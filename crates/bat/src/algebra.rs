@@ -1,0 +1,449 @@
+//! The kernel algebra over bats: the operators the paper's example plans
+//! use (Figure 1) plus the usual aggregates.
+//!
+//! MonetDB's execution paradigm materializes every intermediate result;
+//! all operators here return fresh bats.
+
+use std::collections::HashSet;
+
+use crate::bat::{Bat, BatError, Head, Oid, Tail};
+
+/// A scalar value moving through a plan (predicate constants, aggregates).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Atom {
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Dbl(f64),
+    /// Object identifier.
+    Oid(Oid),
+    /// String.
+    Str(String),
+    /// Missing value.
+    Nil,
+}
+
+impl Atom {
+    /// Numeric view (ints and oids widen to f64).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Atom::Int(v) => Some(*v as f64),
+            Atom::Dbl(v) => Some(*v),
+            Atom::Oid(v) => Some(*v as f64),
+            Atom::Nil | Atom::Str(_) => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Atom {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Atom::Int(v) => write!(f, "{v}"),
+            Atom::Dbl(v) => write!(f, "{v}"),
+            Atom::Oid(v) => write!(f, "{v}@0"),
+            Atom::Str(v) => write!(f, "{v:?}"),
+            Atom::Nil => write!(f, "nil"),
+        }
+    }
+}
+
+fn selected_indices(b: &Bat, lo: &Atom, hi: &Atom) -> Result<Vec<usize>, BatError> {
+    let mut out = Vec::new();
+    match b.tail() {
+        Tail::Int(v) => {
+            let (lo, hi) = numeric_bounds(lo, hi, "int")?;
+            for (i, x) in v.iter().enumerate() {
+                let x = *x as f64;
+                if x >= lo && x <= hi {
+                    out.push(i);
+                }
+            }
+        }
+        Tail::Dbl(v) => {
+            let (lo, hi) = numeric_bounds(lo, hi, "dbl")?;
+            for (i, x) in v.iter().enumerate() {
+                if *x >= lo && *x <= hi {
+                    out.push(i);
+                }
+            }
+        }
+        Tail::Oid(v) => {
+            let (lo, hi) = numeric_bounds(lo, hi, "oid")?;
+            for (i, x) in v.iter().enumerate() {
+                let x = *x as f64;
+                if x >= lo && x <= hi {
+                    out.push(i);
+                }
+            }
+        }
+        Tail::Str(v) => match (lo, hi) {
+            (Atom::Str(lo), Atom::Str(hi)) => {
+                for (i, x) in v.iter().enumerate() {
+                    if x >= lo && x <= hi {
+                        out.push(i);
+                    }
+                }
+            }
+            _ => {
+                return Err(BatError::TypeMismatch {
+                    expected: "str bounds",
+                    got: "non-str",
+                })
+            }
+        },
+        Tail::Nil(_) => {
+            return Err(BatError::TypeMismatch {
+                expected: "valued tail",
+                got: "nil",
+            })
+        }
+    }
+    Ok(out)
+}
+
+fn numeric_bounds(lo: &Atom, hi: &Atom, expected: &'static str) -> Result<(f64, f64), BatError> {
+    match (lo.as_f64(), hi.as_f64()) {
+        (Some(lo), Some(hi)) => Ok((lo, hi)),
+        _ => Err(BatError::TypeMismatch {
+            expected,
+            got: "non-numeric bound",
+        }),
+    }
+}
+
+fn take_rows(b: &Bat, idx: &[usize]) -> Bat {
+    let head = Head::Oids(idx.iter().map(|&i| b.head_at(i)).collect());
+    let tail = match b.tail() {
+        Tail::Int(v) => Tail::Int(idx.iter().map(|&i| v[i]).collect()),
+        Tail::Dbl(v) => Tail::Dbl(idx.iter().map(|&i| v[i]).collect()),
+        Tail::Oid(v) => Tail::Oid(idx.iter().map(|&i| v[i]).collect()),
+        Tail::Str(v) => Tail::Str(idx.iter().map(|&i| v[i].clone()).collect()),
+        Tail::Nil(_) => Tail::Nil(idx.len()),
+    };
+    Bat::new(head, tail).expect("lengths match by construction")
+}
+
+/// `algebra.select(b, lo, hi)`: rows whose tail value lies in `[lo, hi]`.
+pub fn select(b: &Bat, lo: &Atom, hi: &Atom) -> Result<Bat, BatError> {
+    let idx = selected_indices(b, lo, hi)?;
+    Ok(take_rows(b, &idx))
+}
+
+/// `algebra.uselect(b, lo, hi)`: qualifying head oids with a nil tail.
+pub fn uselect(b: &Bat, lo: &Atom, hi: &Atom) -> Result<Bat, BatError> {
+    let idx = selected_indices(b, lo, hi)?;
+    let n = idx.len();
+    let head = Head::Oids(idx.into_iter().map(|i| b.head_at(i)).collect());
+    Ok(Bat::new(head, Tail::Nil(n)).expect("lengths match"))
+}
+
+/// `algebra.kunion(a, b)`: all rows of `a` plus the rows of `b` whose head
+/// oid does not occur in `a`.
+pub fn kunion(a: &Bat, b: &Bat) -> Result<Bat, BatError> {
+    if std::mem::discriminant(a.tail()) != std::mem::discriminant(b.tail())
+        && !a.is_empty()
+        && !b.is_empty()
+    {
+        return Err(BatError::TypeMismatch {
+            expected: a.tail().type_name(),
+            got: b.tail().type_name(),
+        });
+    }
+    let seen: HashSet<Oid> = (0..a.len()).map(|i| a.head_at(i)).collect();
+    let extra: Vec<usize> = (0..b.len())
+        .filter(|&i| !seen.contains(&b.head_at(i)))
+        .collect();
+    let first = take_rows(a, &(0..a.len()).collect::<Vec<_>>());
+    let second = take_rows(b, &extra);
+    append(&first, &second)
+}
+
+/// `algebra.kdifference(a, b)`: rows of `a` whose head oid does not occur
+/// in `b`.
+pub fn kdifference(a: &Bat, b: &Bat) -> Result<Bat, BatError> {
+    let drop: HashSet<Oid> = (0..b.len()).map(|i| b.head_at(i)).collect();
+    let keep: Vec<usize> = (0..a.len())
+        .filter(|&i| !drop.contains(&a.head_at(i)))
+        .collect();
+    Ok(take_rows(a, &keep))
+}
+
+/// `algebra.kintersect(a, b)`: rows of `a` whose head oid occurs in `b`.
+pub fn kintersect(a: &Bat, b: &Bat) -> Result<Bat, BatError> {
+    let keep_set: HashSet<Oid> = (0..b.len()).map(|i| b.head_at(i)).collect();
+    let keep: Vec<usize> = (0..a.len())
+        .filter(|&i| keep_set.contains(&a.head_at(i)))
+        .collect();
+    Ok(take_rows(a, &keep))
+}
+
+/// `algebra.markT(b, base)`: keeps the head, renumbers the tail with
+/// consecutive oids from `base` — the tuple-renumbering step of Figure 1.
+pub fn mark_t(b: &Bat, base: Oid) -> Bat {
+    let n = b.len();
+    let head = Head::Oids((0..n).map(|i| b.head_at(i)).collect());
+    let tail = Tail::Oid((0..n as u64).map(|i| base + i).collect());
+    Bat::new(head, tail).expect("lengths match")
+}
+
+/// `bat.reverse(b)`: swaps head and tail; the tail must be oid-typed.
+pub fn reverse(b: &Bat) -> Result<Bat, BatError> {
+    let Tail::Oid(tails) = b.tail() else {
+        return Err(BatError::OidTailRequired);
+    };
+    let head = Head::Oids(tails.clone());
+    let tail = Tail::Oid((0..b.len()).map(|i| b.head_at(i)).collect());
+    Bat::new(head, tail).map_err(|_| BatError::LengthMismatch)
+}
+
+/// `algebra.join(a, b)`: matches `a`'s tail oids against `b`'s head oids,
+/// producing `(a.head, b.tail)` pairs.
+pub fn join(a: &Bat, b: &Bat) -> Result<Bat, BatError> {
+    let Tail::Oid(a_tails) = a.tail() else {
+        return Err(BatError::OidTailRequired);
+    };
+    // Hash b's heads.
+    let mut index: std::collections::HashMap<Oid, Vec<usize>> = std::collections::HashMap::new();
+    for j in 0..b.len() {
+        index.entry(b.head_at(j)).or_default().push(j);
+    }
+    let mut heads = Vec::new();
+    let mut rows = Vec::new();
+    for (i, t) in a_tails.iter().enumerate() {
+        if let Some(matches) = index.get(t) {
+            for &j in matches {
+                heads.push(a.head_at(i));
+                rows.push(j);
+            }
+        }
+    }
+    let picked = take_rows(b, &rows);
+    let tail = picked.tail().clone();
+    Bat::new(Head::Oids(heads), tail)
+}
+
+/// `bat.slice(b, lo, hi)`: rows `lo..=hi` (clamped).
+pub fn slice(b: &Bat, lo: usize, hi: usize) -> Bat {
+    let hi = hi.min(b.len().saturating_sub(1));
+    if lo > hi || b.is_empty() {
+        return b.empty_like();
+    }
+    take_rows(b, &(lo..=hi).collect::<Vec<_>>())
+}
+
+/// Appends `b`'s rows to `a` (same tail type).
+pub fn append(a: &Bat, b: &Bat) -> Result<Bat, BatError> {
+    if a.is_empty() {
+        return Ok(take_rows(b, &(0..b.len()).collect::<Vec<_>>()));
+    }
+    if b.is_empty() {
+        return Ok(take_rows(a, &(0..a.len()).collect::<Vec<_>>()));
+    }
+    let mut heads = a.head_oids();
+    heads.extend(b.head_oids());
+    let tail = match (a.tail(), b.tail()) {
+        (Tail::Int(x), Tail::Int(y)) => Tail::Int(x.iter().chain(y.iter()).copied().collect()),
+        (Tail::Dbl(x), Tail::Dbl(y)) => Tail::Dbl(x.iter().chain(y.iter()).copied().collect()),
+        (Tail::Oid(x), Tail::Oid(y)) => Tail::Oid(x.iter().chain(y.iter()).copied().collect()),
+        (Tail::Str(x), Tail::Str(y)) => Tail::Str(x.iter().chain(y.iter()).cloned().collect()),
+        (Tail::Nil(x), Tail::Nil(y)) => Tail::Nil(x + y),
+        (x, y) => {
+            return Err(BatError::TypeMismatch {
+                expected: x.type_name(),
+                got: y.type_name(),
+            })
+        }
+    };
+    Bat::new(Head::Oids(heads), tail)
+}
+
+/// `aggr.count(b)`.
+pub fn count(b: &Bat) -> Atom {
+    Atom::Int(b.len() as i64)
+}
+
+/// `aggr.sum(b)` over numeric tails.
+pub fn sum(b: &Bat) -> Result<Atom, BatError> {
+    match b.tail() {
+        Tail::Int(v) => Ok(Atom::Int(v.iter().sum())),
+        Tail::Dbl(v) => Ok(Atom::Dbl(v.iter().sum())),
+        other => Err(BatError::TypeMismatch {
+            expected: "numeric tail",
+            got: other.type_name(),
+        }),
+    }
+}
+
+/// `aggr.min(b)` over numeric tails; `Nil` when empty.
+pub fn min(b: &Bat) -> Result<Atom, BatError> {
+    match b.tail() {
+        Tail::Int(v) => Ok(v.iter().min().map_or(Atom::Nil, |m| Atom::Int(*m))),
+        Tail::Dbl(v) => Ok(v
+            .iter()
+            .copied()
+            .fold(None::<f64>, |acc, x| Some(acc.map_or(x, |a| a.min(x))))
+            .map_or(Atom::Nil, Atom::Dbl)),
+        other => Err(BatError::TypeMismatch {
+            expected: "numeric tail",
+            got: other.type_name(),
+        }),
+    }
+}
+
+/// `aggr.max(b)` over numeric tails; `Nil` when empty.
+pub fn max(b: &Bat) -> Result<Atom, BatError> {
+    match b.tail() {
+        Tail::Int(v) => Ok(v.iter().max().map_or(Atom::Nil, |m| Atom::Int(*m))),
+        Tail::Dbl(v) => Ok(v
+            .iter()
+            .copied()
+            .fold(None::<f64>, |acc, x| Some(acc.map_or(x, |a| a.max(x))))
+            .map_or(Atom::Nil, Atom::Dbl)),
+        other => Err(BatError::TypeMismatch {
+            expected: "numeric tail",
+            got: other.type_name(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dbl_bat() -> Bat {
+        Bat::dense_dbl(vec![205.05, 205.11, 205.13, 205.115, 204.9])
+    }
+
+    #[test]
+    fn select_returns_oid_value_pairs() {
+        let b = dbl_bat();
+        let r = select(&b, &Atom::Dbl(205.1), &Atom::Dbl(205.12)).unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.head_oids(), vec![1, 3]);
+        assert_eq!(r.tail(), &Tail::Dbl(vec![205.11, 205.115]));
+    }
+
+    #[test]
+    fn uselect_returns_oids_only() {
+        let b = dbl_bat();
+        let r = uselect(&b, &Atom::Dbl(205.1), &Atom::Dbl(205.12)).unwrap();
+        assert_eq!(r.head_oids(), vec![1, 3]);
+        assert_eq!(r.tail(), &Tail::Nil(2));
+    }
+
+    #[test]
+    fn select_int_with_int_bounds() {
+        let b = Bat::dense_int(vec![5, 10, 15, 20]);
+        let r = select(&b, &Atom::Int(10), &Atom::Int(15)).unwrap();
+        assert_eq!(r.head_oids(), vec![1, 2]);
+    }
+
+    #[test]
+    fn select_on_nil_tail_fails() {
+        let b = Bat::new(Head::Void { base: 0 }, Tail::Nil(3)).unwrap();
+        assert!(select(&b, &Atom::Int(0), &Atom::Int(1)).is_err());
+    }
+
+    #[test]
+    fn kunion_deduplicates_by_head() {
+        let a = Bat::new(Head::Oids(vec![0, 1]), Tail::Int(vec![10, 11])).unwrap();
+        let b = Bat::new(Head::Oids(vec![1, 2]), Tail::Int(vec![99, 12])).unwrap();
+        let u = kunion(&a, &b).unwrap();
+        assert_eq!(u.head_oids(), vec![0, 1, 2]);
+        assert_eq!(
+            u.tail(),
+            &Tail::Int(vec![10, 11, 12]),
+            "a's value wins for oid 1"
+        );
+    }
+
+    #[test]
+    fn kdifference_and_kintersect_partition() {
+        let a = Bat::new(Head::Oids(vec![0, 1, 2, 3]), Tail::Int(vec![1, 2, 3, 4])).unwrap();
+        let b = Bat::new(Head::Oids(vec![1, 3]), Tail::Nil(2)).unwrap();
+        let d = kdifference(&a, &b).unwrap();
+        let i = kintersect(&a, &b).unwrap();
+        assert_eq!(d.head_oids(), vec![0, 2]);
+        assert_eq!(i.head_oids(), vec![1, 3]);
+        assert_eq!(d.len() + i.len(), a.len());
+    }
+
+    #[test]
+    fn mark_then_reverse_builds_renumbering_map() {
+        // The X25 -> X28 -> X29 pattern of Figure 1.
+        let picked = Bat::new(Head::Oids(vec![42, 17, 99]), Tail::Nil(3)).unwrap();
+        let marked = mark_t(&picked, 0);
+        assert_eq!(marked.tail(), &Tail::Oid(vec![0, 1, 2]));
+        let rev = reverse(&marked).unwrap();
+        // New head: dense result oids; tail: original oids.
+        assert_eq!(rev.head_oids(), vec![0, 1, 2]);
+        assert_eq!(rev.tail(), &Tail::Oid(vec![42, 17, 99]));
+    }
+
+    #[test]
+    fn reverse_requires_oid_tail() {
+        assert_eq!(
+            reverse(&Bat::dense_int(vec![1])).unwrap_err(),
+            BatError::OidTailRequired
+        );
+    }
+
+    #[test]
+    fn join_matches_tail_to_head() {
+        // a: result-oid -> row-oid; b: row-oid -> value.
+        let a = Bat::new(Head::Oids(vec![0, 1]), Tail::Oid(vec![10, 12])).unwrap();
+        let b = Bat::new(Head::Oids(vec![10, 11, 12]), Tail::Int(vec![100, 110, 120])).unwrap();
+        let j = join(&a, &b).unwrap();
+        assert_eq!(j.head_oids(), vec![0, 1]);
+        assert_eq!(j.tail(), &Tail::Int(vec![100, 120]));
+    }
+
+    #[test]
+    fn join_drops_dangling_oids() {
+        let a = Bat::new(Head::Oids(vec![0]), Tail::Oid(vec![77])).unwrap();
+        let b = Bat::dense_int(vec![1, 2]);
+        let j = join(&a, &b).unwrap();
+        assert!(j.is_empty());
+    }
+
+    #[test]
+    fn slice_clamps() {
+        let b = Bat::dense_int(vec![1, 2, 3, 4, 5]);
+        let s = slice(&b, 1, 3);
+        assert_eq!(s.tail(), &Tail::Int(vec![2, 3, 4]));
+        assert_eq!(s.head_oids(), vec![1, 2, 3]);
+        assert!(slice(&b, 4, 2).is_empty());
+        let whole = slice(&b, 0, 100);
+        assert_eq!(whole.len(), 5);
+    }
+
+    #[test]
+    fn append_concatenates_same_types() {
+        let a = Bat::dense_int(vec![1]);
+        let b = Bat::new(Head::Oids(vec![5]), Tail::Int(vec![2])).unwrap();
+        let c = append(&a, &b).unwrap();
+        assert_eq!(c.head_oids(), vec![0, 5]);
+        assert_eq!(c.tail(), &Tail::Int(vec![1, 2]));
+        assert!(append(&a, &Bat::dense_dbl(vec![1.0])).is_err());
+    }
+
+    #[test]
+    fn aggregates() {
+        let b = Bat::dense_int(vec![3, 1, 2]);
+        assert_eq!(count(&b), Atom::Int(3));
+        assert_eq!(sum(&b).unwrap(), Atom::Int(6));
+        assert_eq!(min(&b).unwrap(), Atom::Int(1));
+        assert_eq!(max(&b).unwrap(), Atom::Int(3));
+        let d = Bat::dense_dbl(vec![1.5, 2.5]);
+        assert_eq!(sum(&d).unwrap(), Atom::Dbl(4.0));
+        let empty = Bat::dense_int(vec![]);
+        assert_eq!(min(&empty).unwrap(), Atom::Nil);
+    }
+
+    #[test]
+    fn select_whole_range_is_identity_on_heads() {
+        let b = dbl_bat();
+        let r = select(&b, &Atom::Dbl(f64::NEG_INFINITY), &Atom::Dbl(f64::INFINITY)).unwrap();
+        assert_eq!(r.len(), b.len());
+    }
+}

@@ -1,0 +1,47 @@
+//! Covering-set search (Algorithm 3) cost as the replica tree grows —
+//! the query-time overhead adaptive replication adds over segmentation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use soc_core::{
+    AdaptivePageModel, AdaptiveReplication, ColumnStrategy, NullTracker, ReplicaTree, ValueRange,
+};
+use soc_workload::{uniform_values, WorkloadSpec};
+
+const DOMAIN_HI: u32 = 999_999;
+
+fn domain() -> ValueRange<u32> {
+    ValueRange::must(0, DOMAIN_HI)
+}
+
+/// Builds a replication strategy warmed by `warm` queries.
+fn warmed(warm: usize) -> AdaptiveReplication<u32> {
+    let tree = ReplicaTree::new(domain(), uniform_values(100_000, &domain(), 1)).unwrap();
+    let mut r = AdaptiveReplication::new(tree, Box::new(AdaptivePageModel::simulation_default()));
+    for q in WorkloadSpec::uniform(0.05, warm, 2).generate(&domain()) {
+        r.select_count(&q, &mut NullTracker);
+    }
+    r
+}
+
+fn bench_cover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("covering_set");
+    group.sample_size(20);
+    for warm in [0usize, 50, 500] {
+        let strategy = warmed(warm);
+        let tree = strategy.tree();
+        let queries = WorkloadSpec::uniform(0.05, 128, 3).generate(&domain());
+        group.bench_function(BenchmarkId::new("after_queries", warm), |b| {
+            let mut i = 0;
+            b.iter(|| {
+                let q = &queries[i % queries.len()];
+                i += 1;
+                black_box(tree.covering_set(q).len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cover);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Kernel micro-benches: full-column scan vs segment-pruned selection —
+//! the mechanism behind every read-size figure in the paper.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use soc_core::{
+    AdaptivePageModel, AdaptiveSegmentation, ColumnStrategy, NonSegmented, NullTracker,
+    SegmentedColumn, SizeEstimator, ValueRange,
+};
+use soc_workload::{uniform_values, WorkloadSpec};
+
+const DOMAIN_HI: u32 = 999_999;
+const COLUMN_LEN: usize = 100_000;
+
+fn domain() -> ValueRange<u32> {
+    ValueRange::must(0, DOMAIN_HI)
+}
+
+/// A pre-converged APM-segmented column (after 500 warm-up queries).
+fn converged_segmentation() -> AdaptiveSegmentation<u32> {
+    let column = SegmentedColumn::new(domain(), uniform_values(COLUMN_LEN, &domain(), 1)).unwrap();
+    let mut s = AdaptiveSegmentation::new(
+        column,
+        Box::new(AdaptivePageModel::simulation_default()),
+        SizeEstimator::Uniform,
+    );
+    for q in WorkloadSpec::uniform(0.1, 500, 2).generate(&domain()) {
+        s.select_count(&q, &mut NullTracker);
+    }
+    s
+}
+
+fn bench_select(c: &mut Criterion) {
+    let mut group = c.benchmark_group("select_sel0.1");
+    group.sample_size(20);
+
+    let queries = WorkloadSpec::uniform(0.1, 64, 3).generate(&domain());
+
+    let mut baseline = NonSegmented::new(domain(), uniform_values(COLUMN_LEN, &domain(), 1));
+    group.bench_function(BenchmarkId::new("full_scan", COLUMN_LEN), |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let q = &queries[i % queries.len()];
+            i += 1;
+            black_box(baseline.select_count(q, &mut NullTracker))
+        })
+    });
+
+    let mut segmented = converged_segmentation();
+    group.bench_function(BenchmarkId::new("segmented_converged", COLUMN_LEN), |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let q = &queries[i % queries.len()];
+            i += 1;
+            black_box(segmented.select_count(q, &mut NullTracker))
+        })
+    });
+    group.finish();
+}
+
+fn bench_overlap_lookup(c: &mut Criterion) {
+    let segmented = converged_segmentation();
+    let meta = segmented.column().meta_index();
+    let queries = WorkloadSpec::uniform(0.01, 256, 4).generate(&domain());
+    c.bench_function("meta_index_overlap_lookup", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let q = &queries[i % queries.len()];
+            i += 1;
+            black_box(meta.overlapping(q).len())
+        })
+    });
+}
+
+criterion_group!(benches, bench_select, bench_overlap_lookup);
+criterion_main!(benches);

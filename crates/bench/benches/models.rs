@@ -1,0 +1,57 @@
+//! Model micro-benches: the per-segment decision cost of GD vs APM.
+//! Decisions run on every overlapping segment of every query, so they must
+//! be cheap compared to a scan.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use soc_core::{AdaptivePageModel, GaussianDice, SegmentationModel, SplitGeometry, Technique};
+
+fn geometries() -> Vec<SplitGeometry> {
+    (0..64)
+        .map(|i| {
+            let seg = 4_000 + i * 131;
+            SplitGeometry {
+                segment_bytes: seg,
+                total_bytes: 400_000,
+                lower_bytes: (i % 3 != 0).then_some(seg / 4),
+                selected_bytes: seg / 2,
+                upper_bytes: (i % 5 != 0).then_some(seg / 4),
+            }
+        })
+        .collect()
+}
+
+fn bench_models(c: &mut Criterion) {
+    let geoms = geometries();
+
+    let mut gd = GaussianDice::new(42);
+    c.bench_function("gd_decide", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let g = &geoms[i % geoms.len()];
+            i += 1;
+            black_box(gd.decide(g, Technique::Segmentation))
+        })
+    });
+
+    let mut apm = AdaptivePageModel::simulation_default();
+    c.bench_function("apm_decide", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let g = &geoms[i % geoms.len()];
+            i += 1;
+            black_box(apm.decide(g, Technique::Replication))
+        })
+    });
+
+    c.bench_function("gd_decision_probability", |b| {
+        let mut x = 0.0f64;
+        b.iter(|| {
+            x = (x + 0.013) % 1.0;
+            black_box(GaussianDice::decision_probability(x, 0.3))
+        })
+    });
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Checkpoint/restore throughput of the file-backed segment store —
+//! the cost of making the learned organization durable.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use soc_core::{
+    AdaptivePageModel, AdaptiveSegmentation, ColumnStrategy, NullTracker, SegmentedColumn,
+    SizeEstimator, ValueRange,
+};
+use soc_store::SegmentStore;
+use soc_workload::{uniform_values, WorkloadSpec};
+
+fn converged_column(len: usize) -> SegmentedColumn<u32> {
+    let domain = ValueRange::must(0u32, 999_999);
+    let mut s = AdaptiveSegmentation::new(
+        SegmentedColumn::new(domain, uniform_values(len, &domain, 5)).unwrap(),
+        Box::new(AdaptivePageModel::simulation_default()),
+        SizeEstimator::Uniform,
+    );
+    for q in WorkloadSpec::uniform(0.05, 200, 6).generate(&domain) {
+        s.select_count(&q, &mut NullTracker);
+    }
+    s.into_column()
+}
+
+fn bench_store(c: &mut Criterion) {
+    let column = converged_column(100_000);
+    let dir = std::env::temp_dir().join(format!("socdb-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut group = c.benchmark_group("segment_store");
+    group.sample_size(10);
+    group.bench_function(
+        BenchmarkId::new("full_checkpoint", column.segment_count()),
+        |b| {
+            b.iter(|| {
+                let _ = std::fs::remove_dir_all(&dir);
+                let store = SegmentStore::open(&dir).unwrap();
+                black_box(store.checkpoint(&column).unwrap())
+            })
+        },
+    );
+
+    let store = SegmentStore::open(&dir).unwrap();
+    store.checkpoint(&column).unwrap();
+    group.bench_function(
+        BenchmarkId::new("noop_checkpoint", column.segment_count()),
+        |b| b.iter(|| black_box(store.checkpoint(&column).unwrap())),
+    );
+    group.bench_function(BenchmarkId::new("restore", column.segment_count()), |b| {
+        b.iter(|| black_box(store.restore::<u32>().unwrap().total_len()))
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_store);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Table 2 as a benchmark: one SkyServer-style run per scheme at a reduced
+//! scale, reporting segment statistics (the Table 2 columns) and measuring
+//! the end-to-end run cost.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use soc_sim::experiment::skyserver::{run_sky_cell, SkyConfig, SkyLoad, SkyScheme};
+
+fn bench_table2(c: &mut Criterion) {
+    let cfg = SkyConfig::tiny();
+    let mut group = c.benchmark_group("table2_runs");
+    group.sample_size(10);
+    for scheme in [SkyScheme::Gd, SkyScheme::Apm1_25, SkyScheme::Apm1_5] {
+        let r = run_sky_cell(&cfg, SkyLoad::Random, scheme);
+        let (n, avg, dev) = r.segment_stats_mb();
+        println!(
+            "table2[Random, {}, scaled]: {} segments, avg {:.2} MB, dev {:.2}",
+            r.name, n, avg, dev
+        );
+        group.bench_function(BenchmarkId::new("random", r.name.clone()), |b| {
+            b.iter(|| {
+                black_box(
+                    run_sky_cell(&cfg, SkyLoad::Random, scheme)
+                        .segment_stats_mb()
+                        .0,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,266 @@
+//! Database cracking, the closest related technique (Section 7).
+//!
+//! "Our approach is in-line with the promising development of database
+//! cracking, which, however, reorganizes a complete in-memory replica of
+//! the cracked column." — Idreos, Kersten & Manegold, CIDR 2007.
+//!
+//! Implemented here as an ablation baseline: a cracker column (an in-memory
+//! copy of the data) plus a cracker index of piece boundaries. Each range
+//! selection *cracks* the pieces holding its bounds so the result becomes a
+//! contiguous slice. Unlike adaptive segmentation, the whole column lives in
+//! one allocation and only the touched pieces are physically reorganized.
+//!
+//! Accounting model: every crack scans its piece (`reads += piece bytes`)
+//! and swaps values in place (`writes += 2 × swapped values`); answering the
+//! query reads the result slice (`reads += result bytes`).
+
+use std::collections::BTreeMap;
+
+use crate::range::ValueRange;
+use crate::segment::{SegId, SegIdGen};
+use crate::strategy::ColumnStrategy;
+use crate::tracker::AccessTracker;
+use crate::value::ColumnValue;
+
+/// A column organized by database cracking.
+#[derive(Debug)]
+pub struct CrackedColumn<V> {
+    id: SegId,
+    data: Vec<V>,
+    /// Boundary value → first position holding a value `>= boundary`.
+    index: BTreeMap<V, usize>,
+    cracks: u64,
+}
+
+impl<V: ColumnValue> CrackedColumn<V> {
+    /// Takes ownership of the column copy to crack.
+    pub fn new(values: Vec<V>) -> Self {
+        let mut ids = SegIdGen::new();
+        CrackedColumn {
+            id: ids.fresh(),
+            data: values,
+            index: BTreeMap::new(),
+            cracks: 0,
+        }
+    }
+
+    /// Tuple count.
+    pub fn len(&self) -> u64 {
+        self.data.len() as u64
+    }
+
+    /// Whether the column is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Number of crack operations performed.
+    pub fn cracks(&self) -> u64 {
+        self.cracks
+    }
+
+    /// Number of pieces the cracker index currently delimits.
+    pub fn piece_count(&self) -> usize {
+        self.index.len() + 1
+    }
+
+    /// The piece `[start, end)` that a crack at `v` must partition.
+    fn piece_of(&self, v: V) -> (usize, usize) {
+        let start = self
+            .index
+            .range(..=v)
+            .next_back()
+            .map(|(_, &p)| p)
+            .unwrap_or(0);
+        let end = self
+            .index
+            .range((std::ops::Bound::Excluded(v), std::ops::Bound::Unbounded))
+            .next()
+            .map(|(_, &p)| p)
+            .unwrap_or(self.data.len());
+        (start, end)
+    }
+
+    /// Ensures a boundary at `v`: all values `< v` end up left of the
+    /// returned position, all `>= v` right of it. One in-place partition of
+    /// the piece containing `v` (crack-in-two).
+    fn crack_at(&mut self, v: V, tracker: &mut dyn AccessTracker) -> usize {
+        if let Some(&p) = self.index.get(&v) {
+            return p;
+        }
+        let (start, end) = self.piece_of(v);
+        let piece_bytes = (end - start) as u64 * V::BYTES;
+        tracker.scan(self.id, piece_bytes);
+
+        // Hoare-style partition: < v left, >= v right.
+        let mut swaps = 0u64;
+        let slice = &mut self.data[start..end];
+        let mut l = 0usize;
+        let mut r = slice.len();
+        while l < r {
+            if slice[l] < v {
+                l += 1;
+            } else {
+                r -= 1;
+                slice.swap(l, r);
+                swaps += 1;
+            }
+        }
+        let pos = start + l;
+        tracker.materialize(self.id, swaps * 2 * V::BYTES);
+        self.index.insert(v, pos);
+        self.cracks += 1;
+        pos
+    }
+
+    /// Cracks both query bounds and returns the contiguous result slice
+    /// `[lo, hi)` of positions.
+    fn crack_range(
+        &mut self,
+        q: &ValueRange<V>,
+        tracker: &mut dyn AccessTracker,
+    ) -> (usize, usize) {
+        let lo = self.crack_at(q.lo(), tracker);
+        let hi = match q.hi().succ() {
+            Some(upper) => self.crack_at(upper, tracker),
+            None => self.data.len(),
+        };
+        (lo, hi.max(lo))
+    }
+
+    /// Sizes of the current pieces in bytes.
+    fn piece_sizes(&self) -> Vec<u64> {
+        let mut bounds: Vec<usize> = Vec::with_capacity(self.index.len() + 2);
+        bounds.push(0);
+        bounds.extend(self.index.values().copied());
+        bounds.push(self.data.len());
+        bounds.sort_unstable();
+        bounds
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as u64 * V::BYTES)
+            .collect()
+    }
+}
+
+impl<V: ColumnValue> ColumnStrategy<V> for CrackedColumn<V> {
+    fn name(&self) -> String {
+        "Cracking".to_owned()
+    }
+
+    fn select_count(&mut self, q: &ValueRange<V>, tracker: &mut dyn AccessTracker) -> u64 {
+        let (lo, hi) = self.crack_range(q, tracker);
+        let result_bytes = (hi - lo) as u64 * V::BYTES;
+        tracker.scan(self.id, result_bytes);
+        (hi - lo) as u64
+    }
+
+    fn select_collect(&mut self, q: &ValueRange<V>, tracker: &mut dyn AccessTracker) -> Vec<V> {
+        let (lo, hi) = self.crack_range(q, tracker);
+        let result_bytes = (hi - lo) as u64 * V::BYTES;
+        tracker.scan(self.id, result_bytes);
+        self.data[lo..hi].to_vec()
+    }
+
+    fn storage_bytes(&self) -> u64 {
+        self.data.len() as u64 * V::BYTES
+    }
+
+    fn segment_count(&self) -> usize {
+        self.piece_count()
+    }
+
+    fn segment_bytes(&self) -> Vec<u64> {
+        self.piece_sizes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracker::{CountingTracker, NullTracker};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn shuffled(n: u32, seed: u64) -> Vec<u32> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_range(0..100_000)).collect()
+    }
+
+    #[test]
+    fn results_match_naive_filter() {
+        let values = shuffled(20_000, 1);
+        let reference = values.clone();
+        let mut c = CrackedColumn::new(values);
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..300 {
+            let lo = rng.gen_range(0..100_000u32);
+            let hi = lo.saturating_add(rng.gen_range(0..25_000)).min(99_999);
+            let q = ValueRange::must(lo, hi);
+            let expect = reference.iter().filter(|v| q.contains(**v)).count() as u64;
+            assert_eq!(c.select_count(&q, &mut NullTracker), expect, "{q:?}");
+        }
+    }
+
+    #[test]
+    fn collect_returns_sorted_by_piece_not_necessarily_globally() {
+        let values = shuffled(5_000, 3);
+        let reference = values.clone();
+        let mut c = CrackedColumn::new(values);
+        let q = ValueRange::must(20_000, 39_999);
+        let mut got = c.select_collect(&q, &mut NullTracker);
+        let mut expect: Vec<u32> = reference.into_iter().filter(|v| q.contains(*v)).collect();
+        got.sort_unstable();
+        expect.sort_unstable();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn repeated_queries_stop_cracking() {
+        let mut c = CrackedColumn::new(shuffled(10_000, 4));
+        let q = ValueRange::must(10_000, 19_999);
+        c.select_count(&q, &mut NullTracker);
+        let cracks_after_first = c.cracks();
+        assert_eq!(cracks_after_first, 2);
+        let mut t = CountingTracker::new();
+        let n = c.select_count(&q, &mut t);
+        assert_eq!(c.cracks(), cracks_after_first, "no new cracks");
+        // Only the result slice is read, nothing written.
+        assert_eq!(t.totals().read_bytes, n * 4);
+        assert_eq!(t.totals().write_bytes, 0);
+    }
+
+    #[test]
+    fn pieces_partition_the_column() {
+        let mut c = CrackedColumn::new(shuffled(10_000, 5));
+        let mut rng = SmallRng::seed_from_u64(6);
+        for _ in 0..50 {
+            let lo = rng.gen_range(0..90_000u32);
+            c.select_count(&ValueRange::must(lo, lo + 9_999), &mut NullTracker);
+        }
+        let total: u64 = c.segment_bytes().iter().sum();
+        assert_eq!(total, c.storage_bytes());
+        assert_eq!(c.segment_count(), c.piece_count());
+        // Cracker-index invariant: data left of each boundary < boundary.
+        for (v, &p) in &c.index {
+            assert!(c.data[..p].iter().all(|x| x < v));
+            assert!(c.data[p..].iter().all(|x| x >= v));
+        }
+    }
+
+    #[test]
+    fn domain_max_bound_needs_no_succ() {
+        let mut c = CrackedColumn::new(vec![u32::MAX, 0, u32::MAX - 1]);
+        let q = ValueRange::must(u32::MAX - 1, u32::MAX);
+        assert_eq!(c.select_count(&q, &mut NullTracker), 2);
+    }
+
+    #[test]
+    fn first_query_scans_whole_column_like_segmentation() {
+        let mut c = CrackedColumn::new(shuffled(100_000, 7));
+        let mut t = CountingTracker::new();
+        c.select_count(&ValueRange::must(40_000, 49_999), &mut t);
+        // Two cracks over the virgin column: the first scans all 400KB, the
+        // second only the upper piece.
+        assert!(t.totals().read_bytes >= 400_000);
+    }
+}

@@ -1,0 +1,216 @@
+//! The in-memory segment meta-index (Section 3.1).
+//!
+//! "The segment optimizer uses an in-memory segment meta-index that allows
+//! for easy detection of the segmented tables in the query plans. The
+//! catalog describes various segment properties that can be used during
+//! query optimization without touching the data." — this module is that
+//! catalog: a sparse, ordered list of segment descriptors with overlap
+//! lookup and plan-footprint estimation. It never owns data.
+
+use crate::range::ValueRange;
+use crate::segment::SegId;
+use crate::value::ColumnValue;
+
+/// Catalog entry: everything the optimizer may know about one segment
+/// without touching its data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetaEntry<V> {
+    /// Segment identity.
+    pub id: SegId,
+    /// The closed value range the segment covers.
+    pub range: ValueRange<V>,
+    /// Tuple count.
+    pub len: u64,
+    /// Storage footprint in bytes.
+    pub bytes: u64,
+}
+
+/// Why a meta-index snapshot failed validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetaError {
+    /// Two consecutive entries are not adjacent (hole or overlap).
+    NotAdjacent {
+        /// Index of the left entry of the offending pair.
+        at: usize,
+    },
+    /// Entries are not sorted by range.
+    NotSorted {
+        /// Index of the left entry of the offending pair.
+        at: usize,
+    },
+}
+
+impl std::fmt::Display for MetaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MetaError::NotAdjacent { at } => {
+                write!(f, "segments {at} and {} are not adjacent", at + 1)
+            }
+            MetaError::NotSorted { at } => {
+                write!(f, "segments {at} and {} are out of order", at + 1)
+            }
+        }
+    }
+}
+
+impl std::error::Error for MetaError {}
+
+/// A sparse index over the segments of one column, ordered by value range.
+///
+/// Compared to the dense index a positional organization would need, this
+/// costs one entry per *segment* (Section 1: "a sparse index of segments
+/// requires limited storage").
+#[derive(Debug, Clone, Default)]
+pub struct MetaIndex<V> {
+    entries: Vec<MetaEntry<V>>,
+}
+
+impl<V: ColumnValue> MetaIndex<V> {
+    /// Builds an index from entries already ordered by range.
+    pub fn from_entries(entries: Vec<MetaEntry<V>>) -> Self {
+        MetaIndex { entries }
+    }
+
+    /// All entries in value order.
+    pub fn entries(&self) -> &[MetaEntry<V>] {
+        &self.entries
+    }
+
+    /// Number of segments.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total tuple count across all segments.
+    pub fn total_len(&self) -> u64 {
+        self.entries.iter().map(|e| e.len).sum()
+    }
+
+    /// Total storage footprint across all segments.
+    pub fn total_bytes(&self) -> u64 {
+        self.entries.iter().map(|e| e.bytes).sum()
+    }
+
+    /// The contiguous run of entries whose ranges overlap `q`.
+    ///
+    /// Binary search over the ordered ranges — the "pre-select segments
+    /// overlapping with the selection predicates" step of Section 1.
+    pub fn overlapping(&self, q: &ValueRange<V>) -> &[MetaEntry<V>] {
+        let span = self.overlapping_span(q);
+        &self.entries[span]
+    }
+
+    /// Index range of the entries overlapping `q`.
+    pub fn overlapping_span(&self, q: &ValueRange<V>) -> std::ops::Range<usize> {
+        // First segment whose hi >= q.lo …
+        let start = self.entries.partition_point(|e| e.range.hi() < q.lo());
+        // … up to (exclusive) the first segment whose lo > q.hi.
+        let end = self.entries.partition_point(|e| e.range.lo() <= q.hi());
+        start..end.max(start)
+    }
+
+    /// Estimated bytes a plan touching `q` must bring into memory — the
+    /// memory-footprint estimate Section 3.1 says the optimizer derives
+    /// from segment sizes without touching data.
+    pub fn footprint_bytes(&self, q: &ValueRange<V>) -> u64 {
+        self.overlapping(q).iter().map(|e| e.bytes).sum()
+    }
+
+    /// Checks ordering and adjacency (the segment list must tile its domain).
+    pub fn validate(&self) -> Result<(), MetaError> {
+        for (i, w) in self.entries.windows(2).enumerate() {
+            if w[0].range.lo() > w[1].range.lo() {
+                return Err(MetaError::NotSorted { at: i });
+            }
+            if !w[0].range.adjacent_before(&w[1].range) {
+                return Err(MetaError::NotAdjacent { at: i });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(id: u64, lo: u32, hi: u32, len: u64) -> MetaEntry<u32> {
+        MetaEntry {
+            id: SegId(id),
+            range: ValueRange::must(lo, hi),
+            len,
+            bytes: len * 4,
+        }
+    }
+
+    fn index() -> MetaIndex<u32> {
+        MetaIndex::from_entries(vec![
+            entry(0, 0, 99, 10),
+            entry(1, 100, 499, 40),
+            entry(2, 500, 999, 50),
+        ])
+    }
+
+    #[test]
+    fn totals() {
+        let ix = index();
+        assert_eq!(ix.len(), 3);
+        assert_eq!(ix.total_len(), 100);
+        assert_eq!(ix.total_bytes(), 400);
+    }
+
+    #[test]
+    fn overlap_lookup_hits_only_relevant_segments() {
+        let ix = index();
+        let hits = ix.overlapping(&ValueRange::must(150, 600));
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].id, SegId(1));
+        assert_eq!(hits[1].id, SegId(2));
+    }
+
+    #[test]
+    fn overlap_lookup_boundary_values() {
+        let ix = index();
+        // Exactly on a segment boundary.
+        assert_eq!(ix.overlapping(&ValueRange::must(99, 100)).len(), 2);
+        assert_eq!(ix.overlapping(&ValueRange::must(0, 0)).len(), 1);
+        assert_eq!(ix.overlapping(&ValueRange::must(999, 999)).len(), 1);
+        // Entirely outside the indexed domain.
+        assert_eq!(ix.overlapping(&ValueRange::must(1000, 2000)).len(), 0);
+    }
+
+    #[test]
+    fn footprint_counts_overlapping_bytes() {
+        let ix = index();
+        assert_eq!(ix.footprint_bytes(&ValueRange::must(0, 99)), 40);
+        assert_eq!(ix.footprint_bytes(&ValueRange::must(50, 150)), 200);
+        assert_eq!(ix.footprint_bytes(&ValueRange::must(0, 999)), 400);
+    }
+
+    #[test]
+    fn validate_accepts_tiling() {
+        assert!(index().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_holes_and_disorder() {
+        let holey = MetaIndex::from_entries(vec![entry(0, 0, 99, 1), entry(1, 101, 200, 1)]);
+        assert_eq!(holey.validate(), Err(MetaError::NotAdjacent { at: 0 }));
+
+        let disorder = MetaIndex::from_entries(vec![entry(1, 100, 200, 1), entry(0, 0, 99, 1)]);
+        assert_eq!(disorder.validate(), Err(MetaError::NotSorted { at: 0 }));
+    }
+
+    #[test]
+    fn empty_index_is_fine() {
+        let ix: MetaIndex<u32> = MetaIndex::default();
+        assert!(ix.validate().is_ok());
+        assert!(ix.is_empty());
+        assert_eq!(ix.overlapping(&ValueRange::must(0, 10)).len(), 0);
+    }
+}

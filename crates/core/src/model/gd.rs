@@ -1,0 +1,220 @@
+//! The Gaussian Dice model (Section 3.2.1).
+//!
+//! A "learning" random generator: the probability of accepting a split
+//! follows a Gaussian bell over the split ratio `x = SizeP / SizeS`, centred
+//! at a balanced halving (`µ = 0.5`) and with spread `σ = SizeS / TotSize`.
+//! Large segments (σ → 1) are split almost regardless of where the query
+//! cuts; small segments are split only by well-balanced cuts, which damps
+//! the impact of point queries on the segment structure.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use super::{SegmentationModel, SplitDecision, SplitGeometry, Technique};
+
+/// The randomized Gaussian Dice split policy.
+///
+/// Deterministic for a fixed seed, which keeps experiment runs reproducible.
+///
+/// ```
+/// use soc_core::GaussianDice;
+///
+/// // Figure 2: the decision function peaks at the balanced split…
+/// assert_eq!(GaussianDice::decision_probability(0.5, 0.3), 1.0);
+/// // …and large segments (sigma -> 1) accept even lopsided cuts.
+/// let small_seg = GaussianDice::decision_probability(0.1, 0.05);
+/// let huge_seg = GaussianDice::decision_probability(0.1, 1.0);
+/// assert!(small_seg < 1e-10 && huge_seg > 0.9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GaussianDice {
+    rng: SmallRng,
+}
+
+impl GaussianDice {
+    /// A dice seeded for reproducible decisions.
+    pub fn new(seed: u64) -> Self {
+        GaussianDice {
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The decision function `O(x) = G(x) / G(0.5)` of the paper (Figure 2):
+    /// a Gaussian with `µ = 0.5` and spread `sigma`, normalized to 1 at a
+    /// perfectly balanced split.
+    ///
+    /// Returns 0 for a degenerate `sigma <= 0`.
+    pub fn decision_probability(x: f64, sigma: f64) -> f64 {
+        if sigma <= 0.0 {
+            return 0.0;
+        }
+        let d = x - 0.5;
+        (-d * d / (2.0 * sigma * sigma)).exp()
+    }
+
+    /// The split ratio `x = SizeP / SizeS` the dice is thrown against: the
+    /// produced piece is the part of the segment the selection extracts.
+    fn split_ratio(g: &SplitGeometry) -> Option<f64> {
+        if g.segment_bytes == 0 {
+            return None;
+        }
+        Some(g.selected_bytes as f64 / g.segment_bytes as f64)
+    }
+}
+
+impl SegmentationModel for GaussianDice {
+    fn name(&self) -> String {
+        "GD".to_owned()
+    }
+
+    fn decide(&mut self, g: &SplitGeometry, _technique: Technique) -> SplitDecision {
+        if g.full_cover() {
+            // The query selects the whole segment: there is nothing to split.
+            return SplitDecision::None;
+        }
+        let Some(x) = Self::split_ratio(g) else {
+            return SplitDecision::None;
+        };
+        if g.total_bytes == 0 {
+            return SplitDecision::None;
+        }
+        let sigma = g.segment_bytes as f64 / g.total_bytes as f64;
+        let p = Self::decision_probability(x, sigma);
+        let r: f64 = self.rng.gen();
+        if r < p {
+            SplitDecision::QueryBounds
+        } else {
+            SplitDecision::None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom(
+        lower: Option<u64>,
+        sel: u64,
+        upper: Option<u64>,
+        seg: u64,
+        total: u64,
+    ) -> SplitGeometry {
+        SplitGeometry {
+            segment_bytes: seg,
+            total_bytes: total,
+            lower_bytes: lower,
+            selected_bytes: sel,
+            upper_bytes: upper,
+        }
+    }
+
+    #[test]
+    fn probability_peaks_at_balanced_split() {
+        let sigma = 0.3;
+        let p_mid = GaussianDice::decision_probability(0.5, sigma);
+        assert!((p_mid - 1.0).abs() < 1e-12);
+        assert!(GaussianDice::decision_probability(0.1, sigma) < p_mid);
+        assert!(GaussianDice::decision_probability(0.9, sigma) < p_mid);
+    }
+
+    #[test]
+    fn probability_is_symmetric_around_half() {
+        for sigma in [0.05, 0.2, 0.5, 1.0] {
+            for d in [0.1, 0.2, 0.4] {
+                let lo = GaussianDice::decision_probability(0.5 - d, sigma);
+                let hi = GaussianDice::decision_probability(0.5 + d, sigma);
+                assert!((lo - hi).abs() < 1e-12, "sigma={sigma} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn wider_sigma_is_more_permissive() {
+        // Larger segments (relative to the column) accept unbalanced splits
+        // more readily — Figure 2's flattening curves.
+        let x = 0.1;
+        let narrow = GaussianDice::decision_probability(x, 0.05);
+        let wide = GaussianDice::decision_probability(x, 1.0);
+        assert!(narrow < wide);
+        assert!(
+            narrow < 1e-10,
+            "a 10% cut of a tiny segment is essentially never accepted"
+        );
+    }
+
+    #[test]
+    fn degenerate_sigma_never_splits() {
+        assert_eq!(GaussianDice::decision_probability(0.5, 0.0), 0.0);
+        assert_eq!(GaussianDice::decision_probability(0.5, -1.0), 0.0);
+    }
+
+    #[test]
+    fn full_cover_never_splits() {
+        let mut gd = GaussianDice::new(42);
+        let g = geom(None, 400, None, 400, 400);
+        for _ in 0..100 {
+            assert_eq!(gd.decide(&g, Technique::Segmentation), SplitDecision::None);
+        }
+    }
+
+    #[test]
+    fn whole_column_balanced_split_is_near_certain() {
+        // sigma = 1, x = 0.5 -> p = 1: the dice cannot refuse.
+        let mut gd = GaussianDice::new(7);
+        let g = geom(Some(200), 400, Some(200), 800, 800);
+        let accepted = (0..200)
+            .filter(|_| gd.decide(&g, Technique::Segmentation) == SplitDecision::QueryBounds)
+            .count();
+        assert_eq!(accepted, 200);
+    }
+
+    #[test]
+    fn tiny_cut_of_tiny_segment_is_essentially_never_accepted() {
+        // sigma = 0.01, x ~ 0.01 -> p = exp(-0.49^2/(2*0.0001)) ~ 0.
+        let mut gd = GaussianDice::new(7);
+        let g = geom(Some(1), 1, Some(98), 100, 10_000);
+        let accepted = (0..1000)
+            .filter(|_| gd.decide(&g, Technique::Segmentation) == SplitDecision::QueryBounds)
+            .count();
+        assert_eq!(accepted, 0);
+    }
+
+    #[test]
+    fn acceptance_rate_tracks_probability() {
+        // Empirical acceptance over many throws should approximate O(x).
+        let mut gd = GaussianDice::new(123);
+        let g = geom(Some(100), 200, Some(100), 400, 800); // x = 0.5, sigma = 0.5
+        let p = GaussianDice::decision_probability(0.5, 0.5);
+        let n = 4000;
+        let accepted = (0..n)
+            .filter(|_| gd.decide(&g, Technique::Segmentation) == SplitDecision::QueryBounds)
+            .count();
+        let rate = accepted as f64 / n as f64;
+        assert!((rate - p).abs() < 0.05, "rate={rate} expected~{p}");
+    }
+
+    #[test]
+    fn seeded_runs_are_reproducible() {
+        let g = geom(Some(30), 40, Some(30), 100, 400);
+        let run = |seed| {
+            let mut gd = GaussianDice::new(seed);
+            (0..64)
+                .map(|_| gd.decide(&g, Technique::Replication) == SplitDecision::QueryBounds)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(
+            run(5),
+            run(6),
+            "different seeds should (almost surely) differ"
+        );
+    }
+
+    #[test]
+    fn zero_sized_segment_never_splits() {
+        let mut gd = GaussianDice::new(1);
+        let g = geom(Some(0), 0, Some(0), 0, 400);
+        assert_eq!(gd.decide(&g, Technique::Segmentation), SplitDecision::None);
+    }
+}

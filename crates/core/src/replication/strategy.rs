@@ -1,0 +1,454 @@
+//! Adaptive replication (Section 5, Algorithm 2).
+//!
+//! ```text
+//! procedure AdaptReplication(ql, qh)
+//!     cv ← getCover(ql, qh, root)
+//!     for all s ∈ cv do
+//!         M ← analyseRepl(ql, qh, s)
+//!         scanMat(s, M)
+//!         check4Drop(s)
+//! ```
+//!
+//! One scan of each covering segment answers the query *and* fills every
+//! replica in the materialization list — reorganization is almost entirely
+//! piggy-backed on query execution (lazy materialization).
+
+use crate::model::SegmentationModel;
+use crate::range::ValueRange;
+use crate::strategy::ColumnStrategy;
+use crate::tracker::AccessTracker;
+use crate::value::ColumnValue;
+
+use super::arena::NodeId;
+use super::tree::ReplicaTree;
+
+/// A self-organizing column using lazy, replica-tree-based reorganization.
+///
+/// ```
+/// use soc_core::{
+///     AdaptivePageModel, AdaptiveReplication, ColumnStrategy, CountingTracker,
+///     ReplicaTree, ValueRange,
+/// };
+///
+/// let domain = ValueRange::must(0u32, 9_999);
+/// let tree = ReplicaTree::new(domain, (0..10_000).collect()).unwrap();
+/// let mut column = AdaptiveReplication::new(
+///     tree,
+///     Box::new(AdaptivePageModel::new(512, 2_048)),
+/// );
+///
+/// let mut tracker = CountingTracker::new();
+/// let q = ValueRange::must(4_000, 4_999);
+/// // First query scans the whole column but keeps only its result
+/// // as a replica (lazy materialization).
+/// tracker.begin_query();
+/// column.select_count(&q, &mut tracker);
+/// assert_eq!(tracker.query_stats().read_bytes, 40_000);
+/// assert_eq!(tracker.query_stats().write_bytes, 4_000);
+/// // The repeat reads just the replica.
+/// tracker.begin_query();
+/// column.select_count(&q, &mut tracker);
+/// assert_eq!(tracker.query_stats().read_bytes, 4_000);
+/// ```
+pub struct AdaptiveReplication<V> {
+    tree: ReplicaTree<V>,
+    model: Box<dyn SegmentationModel>,
+    replicas_created: u64,
+    drops: u64,
+    budget_bytes: Option<u64>,
+    budget_declines: u64,
+}
+
+impl<V: ColumnValue> AdaptiveReplication<V> {
+    /// Wraps a freshly loaded column (single materialized root).
+    pub fn new(tree: ReplicaTree<V>, model: Box<dyn SegmentationModel>) -> Self {
+        AdaptiveReplication {
+            tree,
+            model,
+            replicas_created: 0,
+            drops: 0,
+            budget_bytes: None,
+            budget_declines: 0,
+        }
+    }
+
+    /// Caps total materialized storage (Section 8 names replica
+    /// configuration "in the presence of storage limitations" as open
+    /// work; this is the straightforward policy: a replica whose
+    /// materialization would push storage past the budget is declined, and
+    /// its tree node is removed again so the range bookkeeping stays
+    /// clean). The cap cannot be smaller than the column itself.
+    pub fn with_storage_budget(mut self, budget_bytes: u64) -> Self {
+        self.budget_bytes = Some(budget_bytes.max(self.tree.total_bytes()));
+        self
+    }
+
+    /// Materializations declined because of the storage budget.
+    pub fn budget_declines(&self) -> u64 {
+        self.budget_declines
+    }
+
+    /// The underlying replica tree.
+    pub fn tree(&self) -> &ReplicaTree<V> {
+        &self.tree
+    }
+
+    /// Number of replica segments materialized so far.
+    pub fn replicas_created(&self) -> u64 {
+        self.replicas_created
+    }
+
+    /// Number of fully replicated segments dropped so far (Algorithm 5).
+    pub fn drops(&self) -> u64 {
+        self.drops
+    }
+
+    /// Consumes the strategy, releasing the tree.
+    pub fn into_tree(self) -> ReplicaTree<V> {
+        self.tree
+    }
+
+    /// `scanMat(s, M)`: one scan of covering segment `s` produces the query
+    /// answer and the data for every node in `M`.
+    fn scan_cover_member(
+        &mut self,
+        q: &ValueRange<V>,
+        s: NodeId,
+        m_list: &[NodeId],
+        tracker: &mut dyn AccessTracker,
+        out: Option<&mut Vec<V>>,
+    ) -> u64 {
+        let (seg_id, bytes, matched, fills) = {
+            let node = self.tree.node(s);
+            let values = node
+                .values()
+                .expect("covering-set members are materialized");
+            let mut matched = 0u64;
+            if let Some(out) = out {
+                let before = out.len();
+                out.extend(values.iter().copied().filter(|v| q.contains(*v)));
+                matched = (out.len() - before) as u64;
+            } else {
+                for v in values {
+                    if q.contains(*v) {
+                        matched += 1;
+                    }
+                }
+            }
+            let fills: Vec<(NodeId, Vec<V>)> = m_list
+                .iter()
+                .map(|&n| {
+                    let r = self.tree.node(n).range;
+                    let vals: Vec<V> = values.iter().copied().filter(|v| r.contains(*v)).collect();
+                    (n, vals)
+                })
+                .collect();
+            (node.seg_id, node.bytes(), matched, fills)
+        };
+        tracker.scan(seg_id, bytes);
+
+        let mut parents: Vec<NodeId> = Vec::with_capacity(fills.len());
+        for (n, vals) in fills {
+            // Storage-budget policy: declining a materialization simply
+            // leaves the node virtual — it still has a materialized
+            // ancestor, so the tree stays consistent and a later query can
+            // retry once drops have freed space.
+            if let Some(budget) = self.budget_bytes {
+                let bytes = vals.len() as u64 * V::BYTES;
+                if self.tree.mat_bytes() + bytes > budget {
+                    self.budget_declines += 1;
+                    continue;
+                }
+            }
+            self.tree.materialize(n, vals, tracker);
+            self.replicas_created += 1;
+            if let Some(p) = self.tree.node(n).parent {
+                if !parents.contains(&p) {
+                    parents.push(p);
+                }
+            }
+        }
+        // Turning estimates into facts: re-balance the virtual siblings.
+        for p in parents {
+            self.tree.refine_virtual_children(p);
+        }
+        matched
+    }
+
+    fn run_select(
+        &mut self,
+        q: &ValueRange<V>,
+        tracker: &mut dyn AccessTracker,
+        mut out: Option<&mut Vec<V>>,
+    ) -> u64 {
+        let cover = self.tree.covering_set(q);
+        let mut matched = 0u64;
+        for s in cover {
+            let m_list = self.tree.analyze_repl(q, s, self.model.as_mut());
+            matched += self.scan_cover_member(q, s, &m_list, tracker, out.as_deref_mut());
+            let before = self.tree.node_count();
+            self.tree.check4drop(s, tracker);
+            self.drops += (before - self.tree.node_count()) as u64;
+        }
+        matched
+    }
+}
+
+impl<V: ColumnValue> ColumnStrategy<V> for AdaptiveReplication<V> {
+    fn name(&self) -> String {
+        format!("{} Repl", self.model.name())
+    }
+
+    fn select_count(&mut self, q: &ValueRange<V>, tracker: &mut dyn AccessTracker) -> u64 {
+        self.run_select(q, tracker, None)
+    }
+
+    fn select_collect(&mut self, q: &ValueRange<V>, tracker: &mut dyn AccessTracker) -> Vec<V> {
+        let mut out = Vec::new();
+        self.run_select(q, tracker, Some(&mut out));
+        out
+    }
+
+    fn storage_bytes(&self) -> u64 {
+        self.tree.mat_bytes()
+    }
+
+    fn segment_count(&self) -> usize {
+        self.tree.mat_count()
+    }
+
+    fn segment_bytes(&self) -> Vec<u64> {
+        self.tree.mat_segment_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{AdaptivePageModel, GaussianDice};
+    use crate::tracker::{CountingTracker, NullTracker};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    const DOMAIN_HI: u32 = 99_999;
+
+    fn column_values(n: u32, seed: u64) -> Vec<u32> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_range(0..=DOMAIN_HI)).collect()
+    }
+
+    fn repl(values: Vec<u32>, model: Box<dyn SegmentationModel>) -> AdaptiveReplication<u32> {
+        let tree = ReplicaTree::new(ValueRange::must(0, DOMAIN_HI), values).unwrap();
+        AdaptiveReplication::new(tree, model)
+    }
+
+    fn apm() -> Box<dyn SegmentationModel> {
+        Box::new(AdaptivePageModel::new(3 * 1024, 12 * 1024))
+    }
+
+    #[test]
+    fn results_match_naive_filter_apm() {
+        let values = column_values(20_000, 1);
+        let reference = values.clone();
+        let mut r = repl(values, apm());
+        let mut rng = SmallRng::seed_from_u64(2);
+        for i in 0..300 {
+            let lo = rng.gen_range(0..=DOMAIN_HI);
+            let width = rng.gen_range(0..=DOMAIN_HI / 4);
+            let hi = lo.saturating_add(width).min(DOMAIN_HI);
+            let q = ValueRange::must(lo, hi);
+            let expect = reference.iter().filter(|v| q.contains(**v)).count() as u64;
+            let got = r.select_count(&q, &mut NullTracker);
+            assert_eq!(got, expect, "query #{i} {q:?}");
+            r.tree().validate().unwrap();
+        }
+        assert!(r.replicas_created() > 0);
+    }
+
+    #[test]
+    fn results_match_naive_filter_gd() {
+        let values = column_values(20_000, 3);
+        let reference = values.clone();
+        let mut r = repl(values, Box::new(GaussianDice::new(77)));
+        let mut rng = SmallRng::seed_from_u64(4);
+        for _ in 0..300 {
+            let lo = rng.gen_range(0..=DOMAIN_HI - 10_000);
+            let q = ValueRange::must(lo, lo + 9_999);
+            let expect = reference.iter().filter(|v| q.contains(**v)).count() as u64;
+            assert_eq!(r.select_count(&q, &mut NullTracker), expect);
+            r.tree().validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn collect_matches_count() {
+        let values = column_values(5_000, 5);
+        let mut r = repl(values.clone(), apm());
+        let q = ValueRange::must(10_000, 29_999);
+        let mut got = r.select_collect(&q, &mut NullTracker);
+        got.sort_unstable();
+        let mut expect: Vec<u32> = values.into_iter().filter(|v| q.contains(*v)).collect();
+        expect.sort_unstable();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn first_query_keeps_result_as_replica_at_selection_cost_only() {
+        let values = column_values(100_000, 6);
+        let mut r = repl(values, apm());
+        let mut t = CountingTracker::new();
+        t.begin_query();
+        let q = ValueRange::must(40_000, 49_999);
+        let n = r.select_count(&q, &mut t);
+        let st = t.query_stats();
+        // Reads: the whole column once. Writes: only the retained replica
+        // (≈ the selection size), NOT the complements — the lazy win.
+        assert_eq!(st.read_bytes, 400_000);
+        assert_eq!(st.write_bytes, n * 4);
+        assert!(st.write_bytes < 100_000, "lazy: complements not written");
+        // Second identical query reads just the replica.
+        t.begin_query();
+        r.select_count(&q, &mut t);
+        let st2 = t.query_stats();
+        assert_eq!(st2.read_bytes, n * 4);
+        assert_eq!(st2.write_bytes, 0);
+    }
+
+    #[test]
+    fn query_hitting_virtual_area_rescans_column() {
+        // The Figure 7 "spikes": untouched areas force a full scan.
+        let values = column_values(100_000, 7);
+        let mut r = repl(values, apm());
+        let mut t = CountingTracker::new();
+        r.select_count(&ValueRange::must(0, 9_999), &mut t);
+        t.begin_query();
+        // Disjoint area, still only covered by the root.
+        r.select_count(&ValueRange::must(70_000, 79_999), &mut t);
+        assert_eq!(t.query_stats().read_bytes, 400_000);
+    }
+
+    #[test]
+    fn storage_grows_then_returns_to_db_size() {
+        // Sweep the domain repeatedly: every piece gets materialized,
+        // fully replicated parents (incl. the initial column) are dropped,
+        // and storage converges back towards the DB size.
+        let values = column_values(100_000, 8);
+        let db_size = 400_000u64;
+        let mut r = repl(values, apm());
+        assert_eq!(r.storage_bytes(), db_size);
+        let mut peak = 0u64;
+        for round in 0..6 {
+            for i in 0..10u32 {
+                let lo = i * 10_000;
+                let q = ValueRange::must(lo, lo + 9_999);
+                r.select_count(&q, &mut NullTracker);
+                peak = peak.max(r.storage_bytes());
+            }
+            r.tree().validate().unwrap();
+            let _ = round;
+        }
+        assert!(
+            peak > db_size,
+            "replicas must cost extra storage at the peak"
+        );
+        // The initial full-column segment must be gone by now.
+        assert!(
+            r.storage_bytes() <= db_size + db_size / 5,
+            "storage {} should settle near DB size {}",
+            r.storage_bytes(),
+            db_size
+        );
+        assert!(r.drops() > 0);
+    }
+
+    #[test]
+    fn cover_members_stay_disjoint_no_double_counting() {
+        let values: Vec<u32> = (0..=DOMAIN_HI).step_by(10).collect();
+        let total = values.len() as u64;
+        let mut r = repl(values, apm());
+        // Build up structure.
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..100 {
+            let lo = rng.gen_range(0..=DOMAIN_HI - 5_000);
+            r.select_count(&ValueRange::must(lo, lo + 4_999), &mut NullTracker);
+        }
+        // The whole-domain query must count every tuple exactly once.
+        let got = r.select_count(&ValueRange::must(0, DOMAIN_HI), &mut NullTracker);
+        assert_eq!(got, total);
+    }
+
+    #[test]
+    fn replication_writes_less_than_segmentation_rewrites() {
+        // The paper's headline overhead claim: replication materializes
+        // only what queries express interest in.
+        let values = column_values(100_000, 10);
+        let mut r = repl(values.clone(), apm());
+        let mut seg = crate::segmentation::AdaptiveSegmentation::new(
+            crate::column::SegmentedColumn::new(ValueRange::must(0, DOMAIN_HI), values).unwrap(),
+            apm(),
+            crate::estimate::SizeEstimator::Uniform,
+        );
+        let mut tr_r = CountingTracker::new();
+        let mut tr_s = CountingTracker::new();
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..500 {
+            let lo = rng.gen_range(0..=DOMAIN_HI - 10_000);
+            let q = ValueRange::must(lo, lo + 9_999);
+            use crate::strategy::ColumnStrategy as _;
+            r.select_count(&q, &mut tr_r);
+            seg.select_count(&q, &mut tr_s);
+        }
+        assert!(
+            tr_r.totals().write_bytes < tr_s.totals().write_bytes,
+            "replication writes {} must undercut segmentation writes {}",
+            tr_r.totals().write_bytes,
+            tr_s.totals().write_bytes
+        );
+    }
+
+    #[test]
+    fn storage_budget_is_respected_and_results_stay_correct() {
+        let values = column_values(50_000, 20);
+        let reference = values.clone();
+        let db_bytes = 50_000u64 * 4;
+        let budget = db_bytes + db_bytes / 4; // 25% headroom
+        let tree = ReplicaTree::new(ValueRange::must(0, DOMAIN_HI), values).unwrap();
+        let mut r = AdaptiveReplication::new(tree, apm()).with_storage_budget(budget);
+        let mut rng = SmallRng::seed_from_u64(21);
+        let mut peak = 0;
+        for _ in 0..400 {
+            let lo = rng.gen_range(0..=DOMAIN_HI - 10_000);
+            let q = ValueRange::must(lo, lo + 9_999);
+            let expect = reference.iter().filter(|v| q.contains(**v)).count() as u64;
+            assert_eq!(r.select_count(&q, &mut NullTracker), expect);
+            peak = peak.max(r.storage_bytes());
+            r.tree().validate().unwrap();
+        }
+        assert!(peak <= budget, "peak {peak} must respect budget {budget}");
+        assert!(
+            r.budget_declines() > 0,
+            "a tight budget must have declined something"
+        );
+        // Progress still happens: replicas are created when space allows.
+        assert!(r.replicas_created() > 0);
+    }
+
+    #[test]
+    fn budget_below_column_size_is_clamped() {
+        let values = column_values(1_000, 22);
+        let tree = ReplicaTree::new(ValueRange::must(0, DOMAIN_HI), values).unwrap();
+        let r = AdaptiveReplication::new(tree, apm()).with_storage_budget(1);
+        // The budget can never be below the column itself.
+        assert_eq!(r.budget_bytes, Some(4_000));
+    }
+
+    #[test]
+    fn query_outside_domain_matches_nothing() {
+        let values = column_values(1_000, 12);
+        let mut r = repl(values, apm());
+        // Clip to domain: a query range beyond all data.
+        let q = ValueRange::must(DOMAIN_HI, DOMAIN_HI);
+        let n = r.select_count(&q, &mut NullTracker);
+        assert!(n <= 1_000);
+    }
+}

@@ -1,0 +1,253 @@
+//! Physical segments: a value range plus the tuples falling into it.
+
+use crate::range::ValueRange;
+use crate::value::ColumnValue;
+
+/// Stable identity of a materialized segment.
+///
+/// Every materialization (initial load, split product, replica) gets a fresh
+/// id from the owning structure's counter; ids are never reused. The buffer
+/// manager in `soc-sim` keys residency on this.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SegId(pub u64);
+
+impl std::fmt::Debug for SegId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "seg#{}", self.0)
+    }
+}
+
+/// Hands out fresh [`SegId`]s.
+#[derive(Debug, Default)]
+pub struct SegIdGen {
+    next: u64,
+}
+
+impl SegIdGen {
+    /// A generator starting at id 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The next unused id.
+    pub fn fresh(&mut self) -> SegId {
+        let id = SegId(self.next);
+        self.next += 1;
+        id
+    }
+}
+
+/// A materialized segment: contiguous storage of the values of one range.
+///
+/// Values are *not* sorted within the segment — the paper's value-based
+/// organization only guarantees that every value lies inside `range`
+/// (like a cracking piece). Positional correspondence across columns is
+/// deliberately given up (Section 1).
+#[derive(Debug, Clone)]
+pub struct SegmentData<V> {
+    id: SegId,
+    range: ValueRange<V>,
+    values: Vec<V>,
+}
+
+impl<V: ColumnValue> SegmentData<V> {
+    /// Creates a segment, validating that every value is inside `range`.
+    pub fn new(id: SegId, range: ValueRange<V>, values: Vec<V>) -> Self {
+        debug_assert!(
+            values.iter().all(|v| range.contains(*v)),
+            "segment values must lie within the segment range"
+        );
+        SegmentData { id, range, values }
+    }
+
+    /// Segment identity.
+    #[inline]
+    pub fn id(&self) -> SegId {
+        self.id
+    }
+
+    /// The closed value range this segment is responsible for.
+    #[inline]
+    pub fn range(&self) -> ValueRange<V> {
+        self.range
+    }
+
+    /// The stored values (unordered).
+    #[inline]
+    pub fn values(&self) -> &[V] {
+        &self.values
+    }
+
+    /// Number of stored tuples.
+    #[inline]
+    pub fn len(&self) -> u64 {
+        self.values.len() as u64
+    }
+
+    /// Whether the segment holds no tuples (its range may still be non-empty).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Storage footprint in bytes, the unit of the paper's read/write counters.
+    #[inline]
+    pub fn bytes(&self) -> u64 {
+        self.len() * V::BYTES
+    }
+
+    /// Consumes the segment, returning its values.
+    pub fn into_values(self) -> Vec<V> {
+        self.values
+    }
+
+    /// Counts the stored values inside `q` without materializing them.
+    pub fn count_in(&self, q: &ValueRange<V>) -> u64 {
+        if q.covers(&self.range) {
+            return self.len();
+        }
+        self.values.iter().filter(|v| q.contains(**v)).count() as u64
+    }
+
+    /// Copies the stored values inside `q` into `out`.
+    pub fn collect_in(&self, q: &ValueRange<V>, out: &mut Vec<V>) {
+        if q.covers(&self.range) {
+            out.extend_from_slice(&self.values);
+            return;
+        }
+        out.extend(self.values.iter().copied().filter(|v| q.contains(*v)));
+    }
+
+    /// Splits the segment's values across an ordered list of sub-ranges that
+    /// tile `self.range`, producing one new segment per sub-range.
+    ///
+    /// This is the single scan that materializes split products in both
+    /// Algorithm 1 (replace a segment by its sub-segments) and the eager part
+    /// of the replica tree. `ids` supplies a fresh id per piece.
+    ///
+    /// # Panics
+    /// Panics (debug) if the sub-ranges do not tile `self.range`.
+    pub fn partition(self, pieces: &[ValueRange<V>], ids: &mut SegIdGen) -> Vec<SegmentData<V>> {
+        debug_assert!(!pieces.is_empty());
+        debug_assert_eq!(
+            pieces[0].lo(),
+            self.range.lo(),
+            "pieces must start at segment lo"
+        );
+        debug_assert_eq!(
+            pieces[pieces.len() - 1].hi(),
+            self.range.hi(),
+            "pieces must end at segment hi"
+        );
+        debug_assert!(
+            pieces.windows(2).all(|w| w[0].adjacent_before(&w[1])),
+            "pieces must be adjacent and ordered"
+        );
+
+        let est = self.values.len() / pieces.len() + 1;
+        let mut buckets: Vec<Vec<V>> = pieces.iter().map(|_| Vec::with_capacity(est)).collect();
+        'outer: for v in self.values {
+            // Pieces are few (2–3); a linear probe beats binary search here.
+            for (i, p) in pieces.iter().enumerate() {
+                if p.contains(v) {
+                    buckets[i].push(v);
+                    continue 'outer;
+                }
+            }
+            unreachable!("value {v:?} outside every piece of its own segment");
+        }
+        pieces
+            .iter()
+            .zip(buckets)
+            .map(|(range, values)| SegmentData::new(ids.fresh(), *range, values))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(lo: u32, hi: u32, values: &[u32]) -> (SegmentData<u32>, SegIdGen) {
+        let mut ids = SegIdGen::new();
+        let s = SegmentData::new(ids.fresh(), ValueRange::must(lo, hi), values.to_vec());
+        (s, ids)
+    }
+
+    #[test]
+    fn ids_are_unique_and_monotone() {
+        let mut g = SegIdGen::new();
+        let a = g.fresh();
+        let b = g.fresh();
+        assert_ne!(a, b);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn bytes_counts_tuples_times_width() {
+        let (s, _) = seg(0, 100, &[1, 2, 3]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.bytes(), 12); // 3 tuples x 4 bytes
+    }
+
+    #[test]
+    fn count_and_collect_agree() {
+        let (s, _) = seg(0, 100, &[5, 50, 95, 20, 60]);
+        let q = ValueRange::must(20, 60);
+        assert_eq!(s.count_in(&q), 3);
+        let mut out = Vec::new();
+        s.collect_in(&q, &mut out);
+        out.sort_unstable();
+        assert_eq!(out, vec![20, 50, 60]);
+    }
+
+    #[test]
+    fn count_full_cover_shortcut() {
+        let (s, _) = seg(10, 20, &[10, 15, 20]);
+        assert_eq!(s.count_in(&ValueRange::must(0, 100)), 3);
+    }
+
+    #[test]
+    fn partition_three_way() {
+        let (s, mut ids) = seg(0, 99, &[5, 10, 40, 60, 95, 41, 59]);
+        let pieces = [
+            ValueRange::must(0, 39),
+            ValueRange::must(40, 59),
+            ValueRange::must(60, 99),
+        ];
+        let parts = s.partition(&pieces, &mut ids);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0].len(), 2); // 5, 10
+        assert_eq!(parts[1].len(), 3); // 40, 41, 59
+        assert_eq!(parts[2].len(), 2); // 60, 95
+                                       // Fresh, distinct ids.
+        assert!(parts[0].id() != parts[1].id() && parts[1].id() != parts[2].id());
+        // Ranges preserved in order.
+        assert_eq!(parts[0].range(), pieces[0]);
+        assert_eq!(parts[2].range(), pieces[2]);
+    }
+
+    #[test]
+    fn partition_preserves_every_tuple() {
+        let values: Vec<u32> = (0..1000).map(|i| (i * 37) % 1000).collect();
+        let (s, mut ids) = seg(0, 999, &values);
+        let pieces = [ValueRange::must(0, 499), ValueRange::must(500, 999)];
+        let parts = s.partition(&pieces, &mut ids);
+        let total: u64 = parts.iter().map(|p| p.len()).sum();
+        assert_eq!(total, 1000);
+        for p in &parts {
+            assert!(p.values().iter().all(|v| p.range().contains(*v)));
+        }
+    }
+
+    #[test]
+    fn partition_allows_empty_pieces() {
+        let (s, mut ids) = seg(0, 99, &[1, 2, 3]);
+        let pieces = [ValueRange::must(0, 49), ValueRange::must(50, 99)];
+        let parts = s.partition(&pieces, &mut ids);
+        assert_eq!(parts[0].len(), 3);
+        assert_eq!(parts[1].len(), 0);
+        assert!(parts[1].is_empty());
+        assert_eq!(parts[1].bytes(), 0);
+    }
+}

@@ -1,0 +1,38 @@
+//! The common interface all column-organization strategies implement.
+//!
+//! The evaluation (Section 6) compares four self-organizing strategies
+//! ({GD, APM} × {segmentation, replication}) against a non-segmented
+//! baseline; the experiment drivers in `soc-sim` treat them uniformly
+//! through [`ColumnStrategy`].
+
+use crate::range::ValueRange;
+use crate::tracker::AccessTracker;
+use crate::value::ColumnValue;
+
+/// A column organization that can answer range selections and may
+/// reorganize itself as a side effect (the paper's "reorganization decisions
+/// … made an integral part of query execution").
+pub trait ColumnStrategy<V: ColumnValue> {
+    /// Display name for experiment output ("GD Segm", "APM Repl", …).
+    fn name(&self) -> String;
+
+    /// Answers `SELECT count(*) WHERE v BETWEEN q.lo AND q.hi`, reporting
+    /// every scan/materialization to `tracker` and self-organizing along
+    /// the way.
+    fn select_count(&mut self, q: &ValueRange<V>, tracker: &mut dyn AccessTracker) -> u64;
+
+    /// As [`Self::select_count`] but materializes the qualifying values
+    /// (unordered). Used by tests and examples; the simulation figures use
+    /// the counting path.
+    fn select_collect(&mut self, q: &ValueRange<V>, tracker: &mut dyn AccessTracker) -> Vec<V>;
+
+    /// Bytes of materialized segment storage currently held, including the
+    /// base column (the "Replica storage" axis of Figures 8–9).
+    fn storage_bytes(&self) -> u64;
+
+    /// Number of materialized segments currently held (Table 2's "Segm.#").
+    fn segment_count(&self) -> usize;
+
+    /// Sizes in bytes of all materialized segments (Table 2's size stats).
+    fn segment_bytes(&self) -> Vec<u64>;
+}

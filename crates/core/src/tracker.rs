@@ -1,0 +1,179 @@
+//! Access accounting: the hooks the paper's simulator measures through.
+//!
+//! Section 6.1 evaluates the techniques by counting *memory reads* (bytes of
+//! segments scanned to answer a query) and *memory writes* ("writes due to
+//! segment materialization with segments including query results"). Every
+//! data movement in `soc-core` is reported through [`AccessTracker`]; the
+//! strategies never count anything themselves, so the accounting cannot
+//! drift from the actual array work.
+
+use crate::segment::SegId;
+
+/// Observer of all segment-granularity data movement.
+///
+/// Implementations range from plain counters ([`CountingTracker`]) to the
+/// buffer-managed, cost-modelled simulator in `soc-sim`.
+pub trait AccessTracker {
+    /// A full sequential scan of segment `seg` (`bytes` = its footprint).
+    ///
+    /// Fired once per segment touched while answering a query — overlapping
+    /// segments in adaptive segmentation, covering-set members in adaptive
+    /// replication, the whole column in the non-segmented baseline.
+    fn scan(&mut self, seg: SegId, bytes: u64);
+
+    /// A new segment `seg` of `bytes` was materialized (written).
+    ///
+    /// Fired for every retained piece: split products of Algorithm 1 and
+    /// materialized replicas of Algorithm 2. Transient query results that
+    /// are *not* retained are not reported, matching the paper's saturating
+    /// write curves (Figures 5–6).
+    fn materialize(&mut self, seg: SegId, bytes: u64);
+
+    /// Segment `seg` was dropped and its storage released.
+    ///
+    /// Fired when a split replaces a segment and when Algorithm 5 drops a
+    /// fully replicated segment from the replica tree.
+    fn free(&mut self, seg: SegId, bytes: u64);
+}
+
+/// Counters for one query (one "epoch") of tracked work.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Bytes of segments scanned.
+    pub read_bytes: u64,
+    /// Bytes of segments materialized.
+    pub write_bytes: u64,
+    /// Bytes of segments released.
+    pub freed_bytes: u64,
+    /// Number of segments scanned (iteration overhead proxy).
+    pub segments_scanned: u64,
+    /// Number of segments materialized.
+    pub segments_materialized: u64,
+}
+
+impl QueryStats {
+    /// Accumulates `other` into `self`.
+    pub fn absorb(&mut self, other: &QueryStats) {
+        self.read_bytes += other.read_bytes;
+        self.write_bytes += other.write_bytes;
+        self.freed_bytes += other.freed_bytes;
+        self.segments_scanned += other.segments_scanned;
+        self.segments_materialized += other.segments_materialized;
+    }
+}
+
+/// The basic tracker: running totals plus a per-query epoch.
+///
+/// Call [`CountingTracker::begin_query`] before each query and read the
+/// epoch's stats with [`CountingTracker::query_stats`] afterwards; totals
+/// accumulate across the whole run (the cumulative curves of Figures 5–6).
+#[derive(Debug, Default)]
+pub struct CountingTracker {
+    total: QueryStats,
+    current: QueryStats,
+}
+
+impl CountingTracker {
+    /// A fresh tracker with zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts a new per-query epoch (does not touch the running totals).
+    pub fn begin_query(&mut self) {
+        self.current = QueryStats::default();
+    }
+
+    /// Counters accumulated since the last [`Self::begin_query`].
+    pub fn query_stats(&self) -> QueryStats {
+        self.current
+    }
+
+    /// Counters accumulated over the tracker's whole lifetime.
+    pub fn totals(&self) -> QueryStats {
+        self.total
+    }
+}
+
+impl AccessTracker for CountingTracker {
+    fn scan(&mut self, _seg: SegId, bytes: u64) {
+        self.current.read_bytes += bytes;
+        self.current.segments_scanned += 1;
+        self.total.read_bytes += bytes;
+        self.total.segments_scanned += 1;
+    }
+
+    fn materialize(&mut self, _seg: SegId, bytes: u64) {
+        self.current.write_bytes += bytes;
+        self.current.segments_materialized += 1;
+        self.total.write_bytes += bytes;
+        self.total.segments_materialized += 1;
+    }
+
+    fn free(&mut self, _seg: SegId, bytes: u64) {
+        self.current.freed_bytes += bytes;
+        self.total.freed_bytes += bytes;
+    }
+}
+
+/// A tracker that ignores everything — for callers that only want results.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullTracker;
+
+impl AccessTracker for NullTracker {
+    fn scan(&mut self, _seg: SegId, _bytes: u64) {}
+    fn materialize(&mut self, _seg: SegId, _bytes: u64) {}
+    fn free(&mut self, _seg: SegId, _bytes: u64) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_tracker_accumulates_totals_and_epochs() {
+        let mut t = CountingTracker::new();
+        t.begin_query();
+        t.scan(SegId(1), 100);
+        t.materialize(SegId(2), 40);
+        assert_eq!(t.query_stats().read_bytes, 100);
+        assert_eq!(t.query_stats().write_bytes, 40);
+        assert_eq!(t.query_stats().segments_scanned, 1);
+
+        t.begin_query();
+        t.scan(SegId(3), 10);
+        t.free(SegId(1), 100);
+        // Epoch reset…
+        assert_eq!(t.query_stats().read_bytes, 10);
+        assert_eq!(t.query_stats().write_bytes, 0);
+        assert_eq!(t.query_stats().freed_bytes, 100);
+        // …totals keep growing.
+        assert_eq!(t.totals().read_bytes, 110);
+        assert_eq!(t.totals().write_bytes, 40);
+        assert_eq!(t.totals().freed_bytes, 100);
+        assert_eq!(t.totals().segments_scanned, 2);
+    }
+
+    #[test]
+    fn absorb_sums_fields() {
+        let a = QueryStats {
+            read_bytes: 1,
+            write_bytes: 2,
+            freed_bytes: 3,
+            segments_scanned: 4,
+            segments_materialized: 5,
+        };
+        let mut b = a;
+        b.absorb(&a);
+        assert_eq!(b.read_bytes, 2);
+        assert_eq!(b.segments_materialized, 10);
+    }
+
+    #[test]
+    fn null_tracker_is_inert() {
+        let mut t = NullTracker;
+        t.scan(SegId(0), u64::MAX);
+        t.materialize(SegId(0), u64::MAX);
+        t.free(SegId(0), u64::MAX);
+    }
+}

@@ -1,0 +1,318 @@
+//! Value types storable in a self-organizing column.
+//!
+//! The paper's algorithms manipulate *closed value ranges* with
+//! `ql - 1` / `qh + 1` arithmetic over an integer domain (Section 5).  The
+//! [`ColumnValue`] trait captures exactly the operations the algorithms need:
+//! a total order, a discrete successor/predecessor, and a projection to `f64`
+//! used for uniform-interpolation size estimates and mean-split points.
+//!
+//! Implementations are provided for the unsigned/signed fixed-width integers
+//! used by the Section 6.1 simulation and for [`OrdF64`], a totally ordered
+//! `f64` wrapper used by the SkyServer-style `ra` column of Section 6.2.
+
+use std::fmt::Debug;
+
+/// A value that can live in a self-organizing column.
+///
+/// The domain must be totally ordered and *discrete*: [`ColumnValue::succ`]
+/// and [`ColumnValue::pred`] step to the adjacent representable value, which
+/// is what makes closed-range complement arithmetic (`[lo, ql-1]`,
+/// `[qh+1, hi]`) exact. For floating point, "adjacent" means the next
+/// representable number, which preserves the same adjacency algebra.
+pub trait ColumnValue: Copy + Ord + Debug + Send + Sync + 'static {
+    /// Storage footprint of one value in bytes, as counted by the paper's
+    /// simulator (4-byte integers in Section 6.1, 8-byte reals in 6.2).
+    const BYTES: u64;
+
+    /// The next representable value, or `None` at the top of the domain.
+    fn succ(self) -> Option<Self>;
+
+    /// The previous representable value, or `None` at the bottom of the domain.
+    fn pred(self) -> Option<Self>;
+
+    /// Projection used for interpolation estimates and split-point selection.
+    fn to_f64(self) -> f64;
+
+    /// Inverse of [`Self::to_f64`], clamped to the representable domain.
+    ///
+    /// Used by workload generators to place query bounds at fractional
+    /// domain positions. `x` must not be NaN.
+    fn from_f64(x: f64) -> Self;
+
+    /// A value approximately halfway between `lo` and `hi` (inclusive).
+    ///
+    /// Used by the Adaptive Page Model's rule 3 when it splits a segment at
+    /// "an approximation of the mean value in the segment" (Section 3.2.2).
+    /// The result is guaranteed to satisfy `lo <= mid <= hi`.
+    fn midpoint(lo: Self, hi: Self) -> Self;
+
+    /// Width of the closed range `[lo, hi]` for proportional estimates.
+    ///
+    /// For integers this is the population count `hi - lo + 1`; for reals it
+    /// is the length `hi - lo` (the +1 vanishes in the continuum limit).
+    fn range_width(lo: Self, hi: Self) -> f64;
+}
+
+macro_rules! impl_column_value_int {
+    ($($t:ty => $bytes:expr),* $(,)?) => {$(
+        impl ColumnValue for $t {
+            const BYTES: u64 = $bytes;
+
+            #[inline]
+            fn succ(self) -> Option<Self> {
+                self.checked_add(1)
+            }
+
+            #[inline]
+            fn pred(self) -> Option<Self> {
+                self.checked_sub(1)
+            }
+
+            #[inline]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+
+            #[inline]
+            fn from_f64(x: f64) -> Self {
+                debug_assert!(!x.is_nan());
+                x.round().clamp(<$t>::MIN as f64, <$t>::MAX as f64) as $t
+            }
+
+            #[inline]
+            fn midpoint(lo: Self, hi: Self) -> Self {
+                debug_assert!(lo <= hi);
+                // Overflow-safe midpoint (i128 covers every impl'd width);
+                // floors, i.e. rounds toward `lo`.
+                ((lo as i128 + hi as i128).div_euclid(2)) as $t
+            }
+
+            #[inline]
+            fn range_width(lo: Self, hi: Self) -> f64 {
+                debug_assert!(lo <= hi);
+                (hi - lo) as f64 + 1.0
+            }
+        }
+    )*};
+}
+
+impl_column_value_int! {
+    u32 => 4,
+    u64 => 8,
+    i32 => 4,
+    i64 => 8,
+    u16 => 2,
+    i16 => 2,
+}
+
+/// A totally ordered, non-NaN `f64` for real-valued columns.
+///
+/// The SkyServer `ra` (right ascension) column of Section 6.2 is a real
+/// type. `OrdF64` rejects NaN at construction so that `Ord` is total, and
+/// steps with [`f64::next_up`]/[`f64::next_down`] so the closed-range
+/// complement arithmetic of the replica tree stays exact.
+#[derive(Clone, Copy, PartialEq)]
+pub struct OrdF64(f64);
+
+impl OrdF64 {
+    /// Wraps a finite or infinite (but not NaN) `f64`.
+    ///
+    /// Returns `None` for NaN, which has no place in a total order.
+    #[inline]
+    pub fn new(v: f64) -> Option<Self> {
+        if v.is_nan() {
+            None
+        } else {
+            Some(OrdF64(v))
+        }
+    }
+
+    /// Wraps a value that is statically known not to be NaN.
+    ///
+    /// # Panics
+    /// Panics if `v` is NaN.
+    #[inline]
+    pub fn from_finite(v: f64) -> Self {
+        Self::new(v).expect("OrdF64::from_finite called with NaN")
+    }
+
+    /// The inner `f64`.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl Debug for OrdF64 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+impl std::fmt::Display for OrdF64 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Safe: NaN is rejected at construction.
+        self.0
+            .partial_cmp(&other.0)
+            .expect("OrdF64 invariant violated: NaN")
+    }
+}
+
+impl From<OrdF64> for f64 {
+    #[inline]
+    fn from(v: OrdF64) -> f64 {
+        v.0
+    }
+}
+
+impl ColumnValue for OrdF64 {
+    const BYTES: u64 = 8;
+
+    #[inline]
+    fn succ(self) -> Option<Self> {
+        if self.0 == f64::INFINITY {
+            None
+        } else {
+            Some(OrdF64(self.0.next_up()))
+        }
+    }
+
+    #[inline]
+    fn pred(self) -> Option<Self> {
+        if self.0 == f64::NEG_INFINITY {
+            None
+        } else {
+            Some(OrdF64(self.0.next_down()))
+        }
+    }
+
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self.0
+    }
+
+    #[inline]
+    fn from_f64(x: f64) -> Self {
+        OrdF64::from_finite(x)
+    }
+
+    #[inline]
+    fn midpoint(lo: Self, hi: Self) -> Self {
+        debug_assert!(lo <= hi);
+        let mid = lo.0 + (hi.0 - lo.0) * 0.5;
+        // Guard against rounding drifting outside the closed interval.
+        OrdF64(mid.clamp(lo.0, hi.0))
+    }
+
+    #[inline]
+    fn range_width(lo: Self, hi: Self) -> f64 {
+        debug_assert!(lo <= hi);
+        hi.0 - lo.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_succ_pred_roundtrip() {
+        assert_eq!(5u32.succ(), Some(6));
+        assert_eq!(5u32.pred(), Some(4));
+        assert_eq!(0u32.pred(), None);
+        assert_eq!(u32::MAX.succ(), None);
+        assert_eq!(i32::MIN.pred(), None);
+        assert_eq!(i32::MAX.succ(), None);
+        assert_eq!((-1i32).succ(), Some(0));
+    }
+
+    #[test]
+    fn int_midpoint_bounds() {
+        // Qualified calls: std has inherent `midpoint` methods that would
+        // otherwise shadow the trait (with different rounding for signed).
+        assert_eq!(<u32 as ColumnValue>::midpoint(0, 10), 5);
+        assert_eq!(<u32 as ColumnValue>::midpoint(10, 10), 10);
+        assert_eq!(<u32 as ColumnValue>::midpoint(10, 11), 10);
+        // No overflow near the top of the domain.
+        assert_eq!(
+            <u32 as ColumnValue>::midpoint(u32::MAX - 2, u32::MAX),
+            u32::MAX - 1
+        );
+        // Floors: rounds toward the low end.
+        assert_eq!(<i32 as ColumnValue>::midpoint(i32::MIN, i32::MAX), -1);
+    }
+
+    #[test]
+    fn int_range_width_counts_population() {
+        assert_eq!(u32::range_width(3, 3), 1.0);
+        assert_eq!(u32::range_width(0, 9), 10.0);
+        assert_eq!(i32::range_width(-5, 4), 10.0);
+    }
+
+    #[test]
+    fn ordf64_rejects_nan() {
+        assert!(OrdF64::new(f64::NAN).is_none());
+        assert!(OrdF64::new(0.0).is_some());
+        assert!(OrdF64::new(f64::INFINITY).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn ordf64_from_finite_panics_on_nan() {
+        let _ = OrdF64::from_finite(f64::NAN);
+    }
+
+    #[test]
+    fn ordf64_total_order() {
+        let a = OrdF64::from_finite(1.0);
+        let b = OrdF64::from_finite(2.0);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        let mut v = vec![b, a];
+        v.sort();
+        assert_eq!(v, vec![a, b]);
+    }
+
+    #[test]
+    fn ordf64_succ_is_adjacent() {
+        let a = OrdF64::from_finite(1.0);
+        let s = a.succ().unwrap();
+        assert!(s > a);
+        assert_eq!(s.pred().unwrap(), a);
+        assert_eq!(OrdF64::from_finite(f64::INFINITY).succ(), None);
+        assert_eq!(OrdF64::from_finite(f64::NEG_INFINITY).pred(), None);
+    }
+
+    #[test]
+    fn ordf64_midpoint_in_interval() {
+        let lo = OrdF64::from_finite(205.1);
+        let hi = OrdF64::from_finite(205.12);
+        let m = OrdF64::midpoint(lo, hi);
+        assert!(lo <= m && m <= hi);
+        let same = OrdF64::midpoint(lo, lo);
+        assert_eq!(same, lo);
+    }
+
+    #[test]
+    fn bytes_constants() {
+        assert_eq!(u32::BYTES, 4);
+        assert_eq!(OrdF64::BYTES, 8);
+        assert_eq!(u16::BYTES, 2);
+    }
+}

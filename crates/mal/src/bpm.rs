@@ -1,0 +1,405 @@
+//! The `bpm` (bat partition manager) runtime module of Section 3.1.
+//!
+//! A [`SegmentedBat`] is a bat split into value-ranged pieces. Unlike the
+//! simulator's value-only columns, pieces here keep their `(oid, value)`
+//! pairs, so plans that reconstruct tuples (the `join` in Figure 1) stay
+//! correct — at the price the paper names: heads inside a piece are no
+//! longer positionally ordered.
+//!
+//! Split decisions are delegated to a [`SegmentationModel`] from
+//! `soc-core`; the piece boundaries live in plain `f64` space with
+//! half-open `[start, end)` pieces (the last piece is closed at the
+//! domain's top), which keeps boundary arithmetic exact for both `:int`
+//! and `:dbl` tails.
+
+use soc_bat::{algebra::Atom, Bat, BatError, Head, Tail};
+use soc_core::model::{SegmentationModel, SplitDecision, SplitGeometry, Technique, WhichBound};
+
+/// Errors from segmented-bat operations.
+#[derive(Debug)]
+pub enum BpmError {
+    /// The tail type cannot be value-partitioned.
+    UnsupportedTail(&'static str),
+    /// Underlying kernel error.
+    Bat(BatError),
+    /// Piece index out of range.
+    BadPiece(usize),
+}
+
+impl std::fmt::Display for BpmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BpmError::UnsupportedTail(t) => write!(f, "cannot segment a {t} tail"),
+            BpmError::Bat(e) => write!(f, "{e}"),
+            BpmError::BadPiece(i) => write!(f, "no piece #{i}"),
+        }
+    }
+}
+
+impl std::error::Error for BpmError {}
+
+impl From<BatError> for BpmError {
+    fn from(e: BatError) -> Self {
+        BpmError::Bat(e)
+    }
+}
+
+/// One value-ranged piece: rows whose tail value lies in `[start, end)`
+/// (the final piece of a bat is closed at the top).
+#[derive(Debug, Clone)]
+pub struct SegPiece {
+    /// Inclusive lower boundary.
+    pub start: f64,
+    /// Exclusive upper boundary.
+    pub end: f64,
+    /// The rows.
+    pub bat: Bat,
+}
+
+/// A bat organized as a list of adjacent value-ranged pieces.
+pub struct SegmentedBat {
+    pieces: Vec<SegPiece>,
+    model: Box<dyn SegmentationModel>,
+    total_bytes: u64,
+    splits: u64,
+}
+
+impl std::fmt::Debug for SegmentedBat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SegmentedBat")
+            .field("pieces", &self.pieces.len())
+            .field("splits", &self.splits)
+            .finish()
+    }
+}
+
+fn tail_value(b: &Bat, i: usize) -> f64 {
+    match b.tail() {
+        Tail::Int(v) => v[i] as f64,
+        Tail::Dbl(v) => v[i],
+        Tail::Oid(v) => v[i] as f64,
+        Tail::Str(_) | Tail::Nil(_) => unreachable!("checked at construction"),
+    }
+}
+
+/// Splits `b` into one bat per boundary interval. `bounds` are the inner
+/// boundaries, ascending; the result has `bounds.len() + 1` bats.
+fn split_by_value(b: &Bat, bounds: &[f64]) -> Vec<Bat> {
+    let k = bounds.len() + 1;
+    let mut heads: Vec<Vec<u64>> = vec![Vec::new(); k];
+    let mut idx: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for i in 0..b.len() {
+        let v = tail_value(b, i);
+        // First interval whose (exclusive) upper boundary is above v.
+        let slot = bounds.partition_point(|&x| x <= v);
+        heads[slot].push(b.head_at(i));
+        idx[slot].push(i);
+    }
+    idx.into_iter()
+        .zip(heads)
+        .map(|(rows, hs)| {
+            let tail = match b.tail() {
+                Tail::Int(v) => Tail::Int(rows.iter().map(|&i| v[i]).collect()),
+                Tail::Dbl(v) => Tail::Dbl(rows.iter().map(|&i| v[i]).collect()),
+                Tail::Oid(v) => Tail::Oid(rows.iter().map(|&i| v[i]).collect()),
+                Tail::Str(_) | Tail::Nil(_) => unreachable!("checked at construction"),
+            };
+            Bat::new(Head::Oids(hs), tail).expect("lengths match")
+        })
+        .collect()
+}
+
+impl SegmentedBat {
+    /// Wraps `bat` as a single piece covering `[domain_lo, domain_hi)` —
+    /// pass an exclusive upper bound (for `:int` tails, `max + 1`).
+    pub fn new(
+        bat: Bat,
+        domain_lo: f64,
+        domain_hi: f64,
+        model: Box<dyn SegmentationModel>,
+    ) -> Result<Self, BpmError> {
+        match bat.tail() {
+            Tail::Int(_) | Tail::Dbl(_) | Tail::Oid(_) => {}
+            other => return Err(BpmError::UnsupportedTail(other.type_name())),
+        }
+        let total_bytes = bat.bytes();
+        Ok(SegmentedBat {
+            pieces: vec![SegPiece {
+                start: domain_lo,
+                end: domain_hi,
+                bat,
+            }],
+            model,
+            total_bytes,
+            splits: 0,
+        })
+    }
+
+    /// Number of pieces.
+    pub fn piece_count(&self) -> usize {
+        self.pieces.len()
+    }
+
+    /// The pieces in value order.
+    pub fn pieces(&self) -> &[SegPiece] {
+        &self.pieces
+    }
+
+    /// Splits performed so far.
+    pub fn splits(&self) -> u64 {
+        self.splits
+    }
+
+    /// Piece `i`'s rows (cloned — MAL materializes intermediates).
+    pub fn piece_bat(&self, i: usize) -> Result<Bat, BpmError> {
+        self.pieces
+            .get(i)
+            .map(|p| p.bat.clone())
+            .ok_or(BpmError::BadPiece(i))
+    }
+
+    /// Indices of the pieces overlapping the closed query `[lo, hi]`.
+    pub fn overlapping(&self, lo: f64, hi: f64) -> Vec<usize> {
+        self.pieces
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.start <= hi && lo < p.end)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Estimated bytes a query over `[lo, hi]` must touch — the plan
+    /// memory-footprint estimate of Section 3.1.
+    pub fn footprint_bytes(&self, lo: f64, hi: f64) -> u64 {
+        self.overlapping(lo, hi)
+            .into_iter()
+            .map(|i| self.pieces[i].bat.bytes())
+            .sum()
+    }
+
+    /// Reconstructs the whole bat by appending all pieces (the fallback
+    /// for plans that were not segment-optimized).
+    pub fn pack(&self) -> Result<Bat, BpmError> {
+        let mut acc = self.pieces[0].bat.clone();
+        for p in &self.pieces[1..] {
+            acc = soc_bat::algebra::append(&acc, &p.bat)?;
+        }
+        Ok(acc)
+    }
+
+    /// The query's exclusive upper boundary in `f64` space.
+    fn exclusive_hi(hi: &Atom) -> Option<f64> {
+        match hi {
+            Atom::Int(v) => Some((*v as f64) + 1.0),
+            Atom::Oid(v) => Some((*v as f64) + 1.0),
+            Atom::Dbl(v) => Some(v.next_up()),
+            Atom::Str(_) | Atom::Nil => None,
+        }
+    }
+
+    /// Runs one adaptation pass for the closed query `[lo, hi]`: every
+    /// overlapping piece is offered to the segmentation model and split
+    /// where the model approves (Algorithm 1 at the bpm level). Returns the
+    /// number of splits performed.
+    pub fn adapt(&mut self, lo: &Atom, hi: &Atom) -> Result<u64, BpmError> {
+        let (Some(ql), Some(qh_excl)) = (lo.as_f64(), Self::exclusive_hi(hi)) else {
+            return Ok(0);
+        };
+        let before = self.splits;
+        for i in self.overlapping(ql, qh_excl.max(ql)).into_iter().rev() {
+            self.adapt_piece(i, ql, qh_excl);
+        }
+        Ok(self.splits - before)
+    }
+
+    fn adapt_piece(&mut self, i: usize, ql: f64, qh_excl: f64) {
+        let piece = &self.pieces[i];
+        let lower_in = ql > piece.start && ql < piece.end;
+        let upper_in = qh_excl > piece.start && qh_excl < piece.end;
+        // Count the rows each side of the query bounds.
+        let (mut below, mut inside, mut above) = (0u64, 0u64, 0u64);
+        for r in 0..piece.bat.len() {
+            let v = tail_value(&piece.bat, r);
+            if v < ql {
+                below += 1;
+            } else if v < qh_excl {
+                inside += 1;
+            } else {
+                above += 1;
+            }
+        }
+        let geom = SplitGeometry {
+            segment_bytes: piece.bat.bytes(),
+            total_bytes: self.total_bytes,
+            lower_bytes: lower_in.then_some(below * 8),
+            selected_bytes: inside * 8,
+            upper_bytes: upper_in.then_some(above * 8),
+        };
+        let decision = self.model.decide(&geom, Technique::Segmentation);
+        let bounds: Vec<f64> = match decision {
+            SplitDecision::None => return,
+            SplitDecision::QueryBounds => {
+                let mut b = Vec::new();
+                if lower_in {
+                    b.push(ql);
+                }
+                if upper_in {
+                    b.push(qh_excl);
+                }
+                b
+            }
+            SplitDecision::SingleBound(WhichBound::Lower) if lower_in => vec![ql],
+            SplitDecision::SingleBound(WhichBound::Upper) if upper_in => vec![qh_excl],
+            SplitDecision::SingleBound(_) => return,
+            SplitDecision::Mean => {
+                let mid = piece.start + (piece.end - piece.start) * 0.5;
+                if mid <= piece.start || mid >= piece.end {
+                    return;
+                }
+                vec![mid]
+            }
+        };
+        if bounds.is_empty() {
+            return;
+        }
+        let piece = self.pieces.remove(i);
+        let bats = split_by_value(&piece.bat, &bounds);
+        let mut starts = Vec::with_capacity(bats.len() + 1);
+        starts.push(piece.start);
+        starts.extend(&bounds);
+        starts.push(piece.end);
+        let replacements: Vec<SegPiece> = bats
+            .into_iter()
+            .enumerate()
+            .map(|(k, bat)| SegPiece {
+                start: starts[k],
+                end: starts[k + 1],
+                bat,
+            })
+            .collect();
+        self.pieces.splice(i..i, replacements);
+        self.splits += 1;
+    }
+
+    /// Structural invariant check (tests): pieces adjacent, values in
+    /// range, rows conserved.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.pieces.is_empty() {
+            return Err("no pieces".into());
+        }
+        for w in self.pieces.windows(2) {
+            if w[0].end != w[1].start {
+                return Err(format!("gap between {} and {}", w[0].end, w[1].start));
+            }
+        }
+        for (i, p) in self.pieces.iter().enumerate() {
+            if p.start >= p.end {
+                return Err(format!("piece {i} has empty range"));
+            }
+            let last = i == self.pieces.len() - 1;
+            for r in 0..p.bat.len() {
+                let v = tail_value(&p.bat, r);
+                let ok = v >= p.start && (v < p.end || (last && v <= p.end));
+                if !ok {
+                    return Err(format!("piece {i} holds out-of-range value {v}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soc_core::model::AlwaysSplit;
+
+    fn seg_bat() -> SegmentedBat {
+        // 1000 int rows, value == oid, domain [0, 1000).
+        let bat = Bat::dense_int((0..1000).collect());
+        SegmentedBat::new(bat, 0.0, 1000.0, Box::new(AlwaysSplit)).unwrap()
+    }
+
+    #[test]
+    fn starts_as_one_piece() {
+        let s = seg_bat();
+        assert_eq!(s.piece_count(), 1);
+        s.validate().unwrap();
+        assert_eq!(s.pack().unwrap().len(), 1000);
+    }
+
+    #[test]
+    fn rejects_string_tails() {
+        let bat = Bat::new(Head::Void { base: 0 }, Tail::Str(vec!["a".into()])).unwrap();
+        assert!(SegmentedBat::new(bat, 0.0, 1.0, Box::new(AlwaysSplit)).is_err());
+    }
+
+    #[test]
+    fn adapt_splits_at_query_bounds_preserving_oids() {
+        let mut s = seg_bat();
+        let n = s.adapt(&Atom::Int(400), &Atom::Int(599)).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(s.piece_count(), 3);
+        s.validate().unwrap();
+        // The middle piece holds exactly the selected rows with true oids.
+        let mid = s.piece_bat(1).unwrap();
+        assert_eq!(mid.len(), 200);
+        assert_eq!(mid.head_at(0), 400);
+        // Row count is conserved.
+        let total: usize = s.pieces().iter().map(|p| p.bat.len()).sum();
+        assert_eq!(total, 1000);
+    }
+
+    #[test]
+    fn overlapping_respects_half_open_pieces() {
+        let mut s = seg_bat();
+        s.adapt(&Atom::Int(400), &Atom::Int(599)).unwrap();
+        // Query [600, 700] must not touch the [400, 600) piece.
+        assert_eq!(s.overlapping(600.0, 700.0), vec![2]);
+        // Query [599, 599] lies wholly inside the middle piece.
+        assert_eq!(s.overlapping(599.0, 599.0), vec![1]);
+        assert_eq!(s.overlapping(0.0, 1000.0), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn footprint_counts_overlapping_bytes() {
+        let mut s = seg_bat();
+        s.adapt(&Atom::Int(400), &Atom::Int(599)).unwrap();
+        let mid_bytes = s.piece_bat(1).unwrap().bytes();
+        assert_eq!(s.footprint_bytes(450.0, 550.0), mid_bytes);
+    }
+
+    #[test]
+    fn dbl_tails_split_with_exact_boundaries() {
+        let bat = Bat::dense_dbl(vec![204.9, 205.05, 205.11, 205.115, 205.13]);
+        let mut s = SegmentedBat::new(bat, 204.0, 206.0, Box::new(AlwaysSplit)).unwrap();
+        s.adapt(&Atom::Dbl(205.1), &Atom::Dbl(205.12)).unwrap();
+        s.validate().unwrap();
+        assert_eq!(s.piece_count(), 3);
+        let mid = s.piece_bat(1).unwrap();
+        assert_eq!(mid.len(), 2); // 205.11 and 205.115
+                                  // Oids preserved: positions 2 and 3 of the base bat.
+        assert_eq!(mid.head_oids(), vec![2, 3]);
+    }
+
+    #[test]
+    fn pack_reconstructs_every_row() {
+        let mut s = seg_bat();
+        s.adapt(&Atom::Int(100), &Atom::Int(199)).unwrap();
+        s.adapt(&Atom::Int(500), &Atom::Int(899)).unwrap();
+        let packed = s.pack().unwrap();
+        assert_eq!(packed.len(), 1000);
+        let mut oids = packed.head_oids();
+        oids.sort_unstable();
+        assert_eq!(oids, (0..1000u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn adapt_with_never_split_is_inert() {
+        let bat = Bat::dense_int((0..100).collect());
+        let mut s =
+            SegmentedBat::new(bat, 0.0, 100.0, Box::new(soc_core::model::NeverSplit)).unwrap();
+        assert_eq!(s.adapt(&Atom::Int(10), &Atom::Int(20)).unwrap(), 0);
+        assert_eq!(s.piece_count(), 1);
+    }
+}

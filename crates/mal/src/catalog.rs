@@ -1,0 +1,299 @@
+//! The engine catalog: plain BATs for `sql.bind`, the segmented-bat
+//! registry the segment optimizer consults (Section 3.1's meta-index at
+//! the MAL level), and the delta bats the Figure 1 plan merges at query
+//! time — pending inserts (`sql.bind` access 1), updates (access 2) and
+//! deletions (`sql.bind_dbat`). The paper targets "data warehouse
+//! applications with few large bulk loads and prevailing read-only
+//! queries" (Section 7), which is exactly MonetDB's delta scheme: updates
+//! accumulate beside the immutable base column.
+
+use std::collections::HashMap;
+
+use soc_bat::{algebra::Atom, Bat, Head, Oid, Tail};
+use soc_core::model::SegmentationModel;
+
+use crate::bpm::{BpmError, SegmentedBat};
+
+/// Pending changes against one column.
+#[derive(Debug, Default, Clone)]
+struct ColumnDeltas {
+    /// Appended rows: explicit (oid, value) pairs past the base.
+    insert_heads: Vec<Oid>,
+    insert_vals: Vec<Atom>,
+    /// In-place updates of base rows: (oid, new value).
+    update_heads: Vec<Oid>,
+    update_vals: Vec<Atom>,
+}
+
+fn atoms_to_bat(heads: &[Oid], vals: &[Atom], like: &Bat) -> Bat {
+    let tail = match like.tail() {
+        Tail::Int(_) => Tail::Int(
+            vals.iter()
+                .map(|a| match a {
+                    Atom::Int(v) => *v,
+                    Atom::Oid(v) => *v as i64,
+                    Atom::Dbl(v) => *v as i64,
+                    _ => 0,
+                })
+                .collect(),
+        ),
+        Tail::Dbl(_) => Tail::Dbl(
+            vals.iter()
+                .map(|a| a.as_f64().unwrap_or(f64::NAN))
+                .collect(),
+        ),
+        Tail::Oid(_) => Tail::Oid(
+            vals.iter()
+                .map(|a| match a {
+                    Atom::Oid(v) => *v,
+                    Atom::Int(v) => *v as u64,
+                    _ => 0,
+                })
+                .collect(),
+        ),
+        Tail::Str(_) => Tail::Str(
+            vals.iter()
+                .map(|a| match a {
+                    Atom::Str(s) => s.clone(),
+                    other => other.to_string(),
+                })
+                .collect(),
+        ),
+        Tail::Nil(_) => Tail::Nil(vals.len()),
+    };
+    Bat::new(Head::Oids(heads.to_vec()), tail).expect("lengths match")
+}
+
+/// Named storage the MAL interpreter binds against.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    bats: HashMap<String, Bat>,
+    segmented: HashMap<String, SegmentedBat>,
+    deltas: HashMap<String, ColumnDeltas>,
+    /// Deleted row oids per `schema.table`.
+    deleted: HashMap<String, Vec<Oid>>,
+    /// Next fresh oid per `schema.table` (rows appended so far + base).
+    next_oid: HashMap<String, Oid>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The canonical key for `schema.table.column`.
+    pub fn key(schema: &str, table: &str, column: &str) -> String {
+        format!("{schema}.{table}.{column}")
+    }
+
+    fn table_key(schema: &str, table: &str) -> String {
+        format!("{schema}.{table}")
+    }
+
+    /// Registers a plain (positional) column.
+    pub fn register_bat(&mut self, schema: &str, table: &str, column: &str, bat: Bat) {
+        let tk = Self::table_key(schema, table);
+        let n = self.next_oid.entry(tk).or_insert(0);
+        *n = (*n).max(bat.len() as u64);
+        self.bats.insert(Self::key(schema, table, column), bat);
+    }
+
+    /// Registers a column as segmented: the bat is wrapped into a
+    /// single-piece [`SegmentedBat`] governed by `model`.
+    ///
+    /// `domain_lo`/`domain_hi_excl` bound the attribute domain
+    /// (half-open; pass `max + 1` for integer columns).
+    #[allow(clippy::too_many_arguments)]
+    pub fn register_segmented(
+        &mut self,
+        schema: &str,
+        table: &str,
+        column: &str,
+        bat: Bat,
+        domain_lo: f64,
+        domain_hi_excl: f64,
+        model: Box<dyn SegmentationModel>,
+    ) -> Result<(), BpmError> {
+        let seg = SegmentedBat::new(bat, domain_lo, domain_hi_excl, model)?;
+        self.segmented.insert(Self::key(schema, table, column), seg);
+        Ok(())
+    }
+
+    /// Looks up a plain column.
+    pub fn bat(&self, key: &str) -> Option<&Bat> {
+        self.bats.get(key)
+    }
+
+    /// Looks up a segmented column.
+    pub fn segmented(&self, key: &str) -> Option<&SegmentedBat> {
+        self.segmented.get(key)
+    }
+
+    /// Mutable access to a segmented column (bpm adaptation).
+    pub fn segmented_mut(&mut self, key: &str) -> Option<&mut SegmentedBat> {
+        self.segmented.get_mut(key)
+    }
+
+    /// Whether `key` names a segmented column.
+    pub fn is_segmented(&self, key: &str) -> bool {
+        self.segmented.contains_key(key)
+    }
+
+    /// All registered keys (diagnostics).
+    pub fn keys(&self) -> Vec<String> {
+        let mut k: Vec<String> = self
+            .bats
+            .keys()
+            .chain(self.segmented.keys())
+            .cloned()
+            .collect();
+        k.sort();
+        k.dedup();
+        k
+    }
+
+    // ---- delta maintenance (MonetDB's update scheme) --------------------
+
+    /// Appends a row: one `(column, value)` per column of the table.
+    /// Returns the new row's oid. The base bats stay untouched; the row
+    /// lives in the insert deltas until a (hypothetical) bulk merge.
+    pub fn insert_row(&mut self, schema: &str, table: &str, row: &[(&str, Atom)]) -> Oid {
+        let tk = Self::table_key(schema, table);
+        let oid = {
+            let n = self.next_oid.entry(tk).or_insert(0);
+            let oid = *n;
+            *n += 1;
+            oid
+        };
+        for (column, value) in row {
+            let d = self
+                .deltas
+                .entry(Self::key(schema, table, column))
+                .or_default();
+            d.insert_heads.push(oid);
+            d.insert_vals.push(value.clone());
+        }
+        oid
+    }
+
+    /// Records an in-place update of one column of row `oid`.
+    pub fn update_value(&mut self, schema: &str, table: &str, column: &str, oid: Oid, value: Atom) {
+        let d = self
+            .deltas
+            .entry(Self::key(schema, table, column))
+            .or_default();
+        d.update_heads.push(oid);
+        d.update_vals.push(value);
+    }
+
+    /// Marks row `oid` deleted.
+    pub fn delete_row(&mut self, schema: &str, table: &str, oid: Oid) {
+        self.deleted
+            .entry(Self::table_key(schema, table))
+            .or_default()
+            .push(oid);
+    }
+
+    /// The delta bat `sql.bind(schema, table, column, access)` returns for
+    /// `access` 1 (inserts) or 2 (updates); typed like the base column.
+    pub(crate) fn delta_bat(&self, key: &str, access: i64, like: &Bat) -> Bat {
+        match self.deltas.get(key) {
+            None => like.empty_like(),
+            Some(d) => match access {
+                1 => atoms_to_bat(&d.insert_heads, &d.insert_vals, like),
+                2 => atoms_to_bat(&d.update_heads, &d.update_vals, like),
+                _ => like.empty_like(),
+            },
+        }
+    }
+
+    /// The deletions bat `sql.bind_dbat` returns: head void, tail = the
+    /// deleted oids (Figure 1 reverses it before `kdifference`).
+    pub(crate) fn dbat(&self, schema: &str, table: &str) -> Bat {
+        let deleted = self
+            .deleted
+            .get(&Self::table_key(schema, table))
+            .cloned()
+            .unwrap_or_default();
+        Bat::new(Head::Void { base: 0 }, Tail::Oid(deleted)).expect("void head fits any tail")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soc_core::model::AlwaysSplit;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut c = Catalog::new();
+        c.register_bat("sys", "P", "objid", Bat::dense_int(vec![1, 2, 3]));
+        c.register_segmented(
+            "sys",
+            "P",
+            "ra",
+            Bat::dense_dbl(vec![205.0, 205.1]),
+            0.0,
+            360.0,
+            Box::new(AlwaysSplit),
+        )
+        .unwrap();
+        assert!(c.bat("sys.P.objid").is_some());
+        assert!(c.bat("sys.P.ra").is_none());
+        assert!(c.is_segmented("sys.P.ra"));
+        assert!(!c.is_segmented("sys.P.objid"));
+        assert_eq!(
+            c.keys(),
+            vec!["sys.P.objid".to_owned(), "sys.P.ra".to_owned()]
+        );
+    }
+
+    #[test]
+    fn segmented_registration_rejects_bad_tails() {
+        let mut c = Catalog::new();
+        let bat = Bat::new(soc_bat::Head::Void { base: 0 }, soc_bat::Tail::Nil(3)).unwrap();
+        assert!(c
+            .register_segmented("s", "t", "c", bat, 0.0, 1.0, Box::new(AlwaysSplit))
+            .is_err());
+    }
+
+    #[test]
+    fn insert_rows_get_fresh_oids_past_the_base() {
+        let mut c = Catalog::new();
+        c.register_bat("sys", "P", "ra", Bat::dense_dbl(vec![1.0, 2.0, 3.0]));
+        c.register_bat("sys", "P", "objid", Bat::dense_int(vec![10, 11, 12]));
+        let a = c.insert_row(
+            "sys",
+            "P",
+            &[("ra", Atom::Dbl(4.0)), ("objid", Atom::Int(13))],
+        );
+        let b = c.insert_row(
+            "sys",
+            "P",
+            &[("ra", Atom::Dbl(5.0)), ("objid", Atom::Int(14))],
+        );
+        assert_eq!(a, 3);
+        assert_eq!(b, 4);
+        let like = Bat::dense_dbl(vec![]);
+        let ins = c.delta_bat("sys.P.ra", 1, &like);
+        assert_eq!(ins.head_oids(), vec![3, 4]);
+        assert_eq!(ins.tail(), &Tail::Dbl(vec![4.0, 5.0]));
+    }
+
+    #[test]
+    fn updates_and_deletes_land_in_their_deltas() {
+        let mut c = Catalog::new();
+        c.register_bat("sys", "P", "ra", Bat::dense_dbl(vec![1.0, 2.0]));
+        c.update_value("sys", "P", "ra", 1, Atom::Dbl(9.0));
+        c.delete_row("sys", "P", 0);
+        let like = Bat::dense_dbl(vec![]);
+        let upd = c.delta_bat("sys.P.ra", 2, &like);
+        assert_eq!(upd.head_oids(), vec![1]);
+        assert_eq!(upd.tail(), &Tail::Dbl(vec![9.0]));
+        let dbat = c.dbat("sys", "P");
+        assert_eq!(dbat.tail(), &Tail::Oid(vec![0]));
+        // Untouched columns still produce empty deltas.
+        assert!(c.delta_bat("sys.P.nope", 1, &like).is_empty());
+    }
+}

@@ -1,0 +1,32 @@
+//! # soc-mal — the MAL plan layer and the tactical segment optimizer
+//!
+//! A working subset of the MonetDB Assembly Language (Section 2): parser,
+//! interpreter with guarded blocks, a catalog, and the `bpm` runtime for
+//! segmented bats. The [`SegmentOptimizer`] implements the Section 3.1
+//! integration point — it detects selections over segmented columns in a
+//! plan and rewrites them into segment-aware instruction sequences
+//! (unrolled for few segments, iterator-based for many), injecting the
+//! `bpm.adapt` reorganization hook of Section 3.3.
+//!
+//! The paper's Figure 1 plan parses and runs verbatim; see
+//! `examples/mal_optimizer.rs` for the end-to-end tour.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![deny(unsafe_code)]
+
+pub mod ast;
+pub mod bpm;
+pub mod catalog;
+pub mod interp;
+pub mod optimizer;
+pub mod parser;
+pub mod sql;
+
+pub use ast::{Arg, Instruction, Program, Stmt};
+pub use bpm::{BpmError, SegPiece, SegmentedBat};
+pub use catalog::Catalog;
+pub use interp::{ExecError, Interp, MalValue};
+pub use optimizer::{OptimizerReport, RewriteStrategy, SegmentOptimizer};
+pub use parser::{parse, ParseError};
+pub use sql::{compile_select, parse_select, SelectBetween, SqlError};

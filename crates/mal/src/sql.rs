@@ -1,0 +1,504 @@
+//! The SQL front-end of the compilation stack (Section 2): "The SQL
+//! compiler for MonetDB maps the relational tables into collections of
+//! bats … The query is compiled into MAL using common heuristic
+//! optimization rules."
+//!
+//! Supports the query class the paper works with — single-column
+//! projections filtered by a range predicate:
+//!
+//! ```sql
+//! SELECT objid FROM sys.P WHERE ra BETWEEN 205.1 AND 205.12
+//! SELECT objid FROM sys.P WHERE ra BETWEEN ? AND ?   -- plan parameters
+//! ```
+//!
+//! The generated plan has exactly the Figure 1 shape: base + delta binds,
+//! `uselect` over the predicate column, `kunion`/`kdifference` delta
+//! merging, `markT`/`reverse` renumbering, and a positional `join` against
+//! the projected column. It is deliberately *not* segment-aware — that is
+//! the tactical [`crate::SegmentOptimizer`]'s job, downstream.
+
+use soc_bat::Atom;
+
+use crate::ast::{Arg, Instruction, Program, Stmt};
+
+/// A parsed range-selection query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectBetween {
+    /// Schema (defaults to `sys` when the table is unqualified).
+    pub schema: String,
+    /// Table name.
+    pub table: String,
+    /// Projected column.
+    pub projection: String,
+    /// Predicate column.
+    pub predicate: String,
+    /// Lower bound, or `None` for a `?` placeholder.
+    pub lo: Option<Atom>,
+    /// Upper bound, or `None` for a `?` placeholder.
+    pub hi: Option<Atom>,
+}
+
+/// SQL parse failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SqlError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for SqlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SQL: {}", self.message)
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+fn err(message: impl Into<String>) -> SqlError {
+    SqlError {
+        message: message.into(),
+    }
+}
+
+#[derive(Debug, PartialEq)]
+enum Tok {
+    Word(String),
+    Num(f64, bool), // value, had_fraction
+    Placeholder,
+    Dot,
+    Star,
+}
+
+fn tokenize(sql: &str) -> Result<Vec<Tok>, SqlError> {
+    let mut toks = Vec::new();
+    let chars: Vec<char> = sql.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            ';' => i += 1,
+            '.' if chars.get(i + 1).is_some_and(|n| !n.is_ascii_digit()) => {
+                toks.push(Tok::Dot);
+                i += 1;
+            }
+            '*' => {
+                toks.push(Tok::Star);
+                i += 1;
+            }
+            '?' => {
+                toks.push(Tok::Placeholder);
+                i += 1;
+            }
+            c if c.is_ascii_digit() || c == '-' || c == '.' => {
+                let start = i;
+                i += 1;
+                while i < chars.len()
+                    && (chars[i].is_ascii_digit()
+                        || chars[i] == '.'
+                        || chars[i] == 'e'
+                        || chars[i] == '-')
+                {
+                    i += 1;
+                }
+                let s: String = chars[start..i].iter().collect();
+                let had_fraction = s.contains('.') || s.contains('e');
+                let v: f64 = s.parse().map_err(|_| err(format!("bad number {s:?}")))?;
+                toks.push(Tok::Num(v, had_fraction));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' || c == '"' => {
+                let quoted = c == '"';
+                if quoted {
+                    i += 1;
+                }
+                let start = i;
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                let s: String = chars[start..i].iter().collect();
+                if quoted {
+                    if chars.get(i) != Some(&'"') {
+                        return Err(err("unterminated quoted identifier"));
+                    }
+                    i += 1;
+                }
+                toks.push(Tok::Word(s));
+            }
+            other => return Err(err(format!("unexpected character {other:?}"))),
+        }
+    }
+    Ok(toks)
+}
+
+/// Parses `SELECT <col> FROM [<schema>.]<table> WHERE <col> BETWEEN <b> AND <b>`.
+pub fn parse_select(sql: &str) -> Result<SelectBetween, SqlError> {
+    let toks = tokenize(sql)?;
+    let mut i = 0;
+    let kw = |toks: &[Tok], i: usize, want: &str| -> bool {
+        matches!(&toks.get(i), Some(Tok::Word(w)) if w.eq_ignore_ascii_case(want))
+    };
+    let word = |toks: &[Tok], i: usize, what: &str| -> Result<String, SqlError> {
+        match toks.get(i) {
+            Some(Tok::Word(w)) => Ok(w.clone()),
+            other => Err(err(format!("expected {what}, got {other:?}"))),
+        }
+    };
+
+    if !kw(&toks, i, "select") {
+        return Err(err("expected SELECT"));
+    }
+    i += 1;
+    let projection = word(&toks, i, "projected column")?;
+    i += 1;
+    if !kw(&toks, i, "from") {
+        return Err(err("expected FROM"));
+    }
+    i += 1;
+    let first = word(&toks, i, "table name")?;
+    i += 1;
+    let (schema, table) = if toks.get(i) == Some(&Tok::Dot) {
+        i += 1;
+        let t = word(&toks, i, "table name after schema")?;
+        i += 1;
+        (first, t)
+    } else {
+        ("sys".to_owned(), first)
+    };
+    if !kw(&toks, i, "where") {
+        return Err(err("expected WHERE"));
+    }
+    i += 1;
+    let predicate = word(&toks, i, "predicate column")?;
+    i += 1;
+    if !kw(&toks, i, "between") {
+        return Err(err("expected BETWEEN"));
+    }
+    i += 1;
+    let bound = |i: &mut usize| -> Result<Option<Atom>, SqlError> {
+        let b = match toks.get(*i) {
+            Some(Tok::Placeholder) => None,
+            Some(Tok::Num(v, frac)) => Some(if *frac {
+                Atom::Dbl(*v)
+            } else {
+                Atom::Int(*v as i64)
+            }),
+            other => return Err(err(format!("expected bound, got {other:?}"))),
+        };
+        *i += 1;
+        Ok(b)
+    };
+    let lo = bound(&mut i)?;
+    if !kw(&toks, i, "and") {
+        return Err(err("expected AND"));
+    }
+    i += 1;
+    let hi = bound(&mut i)?;
+    if i != toks.len() {
+        return Err(err("trailing tokens after the BETWEEN predicate"));
+    }
+    Ok(SelectBetween {
+        schema,
+        table,
+        projection,
+        predicate,
+        lo,
+        hi,
+    })
+}
+
+/// Compiles a parsed query into a Figure-1-shaped MAL plan.
+///
+/// Placeholder bounds become the function parameters `A0`/`A1`; literal
+/// bounds are inlined as constants (enabling the segment optimizer's
+/// meta-index pruning).
+pub fn compile(q: &SelectBetween) -> Program {
+    let s = |v: &str| Arg::Const(Atom::Str(v.to_owned()));
+    let int = |v: i64| Arg::Const(Atom::Int(v));
+    let var = |v: &str| Arg::Var(v.to_owned());
+    let lo_arg = q.lo.clone().map_or(var("A0"), Arg::Const);
+    let hi_arg = q.hi.clone().map_or(var("A1"), Arg::Const);
+
+    let mut params = Vec::new();
+    if q.lo.is_none() {
+        params.push("A0".to_owned());
+    }
+    if q.hi.is_none() {
+        params.push("A1".to_owned());
+    }
+
+    let mut p = vec![Stmt::Function {
+        name: format!(
+            "user.{}_{}",
+            q.table.to_lowercase(),
+            q.predicate.to_lowercase()
+        ),
+        params,
+    }];
+    let mut push = |target: Option<&str>, module: &str, function: &str, args: Vec<Arg>| {
+        p.push(Stmt::Assign(Instruction::new(
+            target, module, function, args,
+        )));
+    };
+
+    // Predicate column: base + insert/update deltas + deletions.
+    push(
+        Some("X1"),
+        "sql",
+        "bind",
+        vec![s(&q.schema), s(&q.table), s(&q.predicate), int(0)],
+    );
+    push(
+        Some("X16"),
+        "sql",
+        "bind",
+        vec![s(&q.schema), s(&q.table), s(&q.predicate), int(1)],
+    );
+    push(
+        Some("X19"),
+        "sql",
+        "bind",
+        vec![s(&q.schema), s(&q.table), s(&q.predicate), int(2)],
+    );
+    push(
+        Some("X23"),
+        "sql",
+        "bind_dbat",
+        vec![s(&q.schema), s(&q.table), int(1)],
+    );
+    // Projected column: base + deltas.
+    push(
+        Some("X30"),
+        "sql",
+        "bind",
+        vec![s(&q.schema), s(&q.table), s(&q.projection), int(0)],
+    );
+    push(
+        Some("X32"),
+        "sql",
+        "bind",
+        vec![s(&q.schema), s(&q.table), s(&q.projection), int(1)],
+    );
+    push(
+        Some("X34"),
+        "sql",
+        "bind",
+        vec![s(&q.schema), s(&q.table), s(&q.projection), int(2)],
+    );
+    // Range selection over base and deltas (Figure 1's uselect cascade).
+    push(
+        Some("X14"),
+        "algebra",
+        "uselect",
+        vec![var("X1"), lo_arg.clone(), hi_arg.clone()],
+    );
+    push(
+        Some("X17"),
+        "algebra",
+        "uselect",
+        vec![var("X16"), lo_arg.clone(), hi_arg.clone()],
+    );
+    push(
+        Some("X18"),
+        "algebra",
+        "kunion",
+        vec![var("X14"), var("X17")],
+    );
+    push(
+        Some("X20"),
+        "algebra",
+        "kdifference",
+        vec![var("X18"), var("X19")],
+    );
+    push(
+        Some("X21"),
+        "algebra",
+        "uselect",
+        vec![var("X19"), lo_arg, hi_arg],
+    );
+    push(
+        Some("X22"),
+        "algebra",
+        "kunion",
+        vec![var("X20"), var("X21")],
+    );
+    // Drop deleted rows.
+    push(Some("X24"), "bat", "reverse", vec![var("X23")]);
+    push(
+        Some("X25"),
+        "algebra",
+        "kdifference",
+        vec![var("X22"), var("X24")],
+    );
+    // Renumber and reconstruct tuples.
+    push(Some("X26"), "calc", "oid", vec![Arg::Const(Atom::Oid(0))]);
+    push(
+        Some("X28"),
+        "algebra",
+        "markT",
+        vec![var("X25"), var("X26")],
+    );
+    push(Some("X29"), "bat", "reverse", vec![var("X28")]);
+    push(
+        Some("X33"),
+        "algebra",
+        "kunion",
+        vec![var("X30"), var("X32")],
+    );
+    push(
+        Some("X35"),
+        "algebra",
+        "kdifference",
+        vec![var("X33"), var("X34")],
+    );
+    push(
+        Some("X36"),
+        "algebra",
+        "kunion",
+        vec![var("X35"), var("X34")],
+    );
+    push(Some("X37"), "algebra", "join", vec![var("X29"), var("X36")]);
+    // Export.
+    push(
+        Some("X38"),
+        "sql",
+        "resultSet",
+        vec![int(1), int(1), var("X37")],
+    );
+    push(
+        None,
+        "sql",
+        "rsColumn",
+        vec![
+            var("X38"),
+            s(&format!("{}.{}", q.schema, q.table)),
+            s(&q.projection),
+            s("bigint"),
+            int(64),
+            int(0),
+            var("X37"),
+        ],
+    );
+    push(None, "sql", "exportResult", vec![var("X38"), s("")]);
+    p.push(Stmt::End);
+    Program { stmts: p }
+}
+
+/// Parses and compiles in one step.
+pub fn compile_select(sql: &str) -> Result<Program, SqlError> {
+    Ok(compile(&parse_select(sql)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::Interp;
+    use crate::Catalog;
+    use soc_bat::{Bat, Tail};
+    use soc_core::model::AlwaysSplit;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.register_bat(
+            "sys",
+            "P",
+            "ra",
+            Bat::dense_dbl(vec![204.9, 205.05, 205.11, 205.13, 205.115]),
+        );
+        c.register_bat("sys", "P", "objid", Bat::dense_int(vec![0, 1, 2, 3, 4]));
+        c
+    }
+
+    #[test]
+    fn parses_the_papers_query() {
+        let q = parse_select("select objId from P where ra between 205.1 and 205.12").unwrap();
+        assert_eq!(q.schema, "sys");
+        assert_eq!(q.table, "P");
+        assert_eq!(q.projection, "objId");
+        assert_eq!(q.predicate, "ra");
+        assert_eq!(q.lo, Some(Atom::Dbl(205.1)));
+        assert_eq!(q.hi, Some(Atom::Dbl(205.12)));
+    }
+
+    #[test]
+    fn parses_qualified_table_and_placeholders() {
+        let q = parse_select("SELECT objid FROM sky.photo WHERE ra BETWEEN ? AND ?").unwrap();
+        assert_eq!(q.schema, "sky");
+        assert_eq!(q.table, "photo");
+        assert_eq!(q.lo, None);
+        assert_eq!(q.hi, None);
+        let plan = compile(&q);
+        assert_eq!(plan.params(), vec!["A0".to_owned(), "A1".to_owned()]);
+    }
+
+    #[test]
+    fn parses_integer_bounds_as_ints() {
+        let q = parse_select("select v from t where k between 10 and 20").unwrap();
+        assert_eq!(q.lo, Some(Atom::Int(10)));
+        assert_eq!(q.hi, Some(Atom::Int(20)));
+    }
+
+    #[test]
+    fn rejects_malformed_queries() {
+        for bad in [
+            "select from t where k between 1 and 2",
+            "select a from t",
+            "select a t where k between 1 and 2",
+            "select a from t where k between 1",
+            "select a from t where k between 1 and 2 garbage",
+            "delete from t",
+        ] {
+            assert!(parse_select(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn compiled_plan_runs_and_matches_figure1_semantics() {
+        let mut c = catalog();
+        let plan = compile_select("select objid from P where ra between 205.1 and 205.12").unwrap();
+        let result = Interp::new(&mut c)
+            .run(&plan, &[])
+            .unwrap()
+            .expect("plan exports a result");
+        let Tail::Int(ids) = result.tail() else {
+            panic!()
+        };
+        let mut ids = ids.clone();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![2, 4]);
+    }
+
+    #[test]
+    fn placeholder_plan_binds_parameters_at_run_time() {
+        let mut c = catalog();
+        let plan = compile_select("select objid from P where ra between ? and ?").unwrap();
+        let result = Interp::new(&mut c)
+            .run(&plan, &[Atom::Dbl(204.0), Atom::Dbl(205.1)])
+            .unwrap()
+            .unwrap();
+        assert_eq!(result.len(), 2); // 204.9 and 205.05
+    }
+
+    #[test]
+    fn compiled_plan_composes_with_the_segment_optimizer() {
+        let mut c = Catalog::new();
+        c.register_segmented(
+            "sys",
+            "P",
+            "ra",
+            Bat::dense_dbl((0..1000).map(|i| i as f64 * 0.36).collect()),
+            0.0,
+            360.0,
+            Box::new(AlwaysSplit),
+        )
+        .unwrap();
+        c.register_bat("sys", "P", "objid", Bat::dense_int((0..1000).collect()));
+
+        let plan = compile_select("select objid from P where ra between 90.0 and 180.0").unwrap();
+        let (optimized, report) = crate::SegmentOptimizer::new().optimize(&plan, &c);
+        assert_eq!(report.rewrites.len(), 1, "the base uselect is rewritten");
+        let result = Interp::new(&mut c).run(&optimized, &[]).unwrap().unwrap();
+        // ra in [90, 180] -> i in [250, 500].
+        assert_eq!(result.len(), 251);
+        // Adaptation was injected and fired.
+        assert!(c.segmented("sys.P.ra").unwrap().piece_count() > 1);
+    }
+}

@@ -1,0 +1,183 @@
+//! Experiment drivers reproducing every table and figure of the paper's
+//! evaluation (Section 6), plus ablations.
+//!
+//! * [`simulation`] — the Section 6.1 simulator matrix: Figures 5, 6, 7,
+//!   8, 9 and Table 1.
+//! * [`skyserver`] — the Section 6.2 SkyServer-style workload: Figures
+//!   10–16 and Table 2.
+//! * [`ablation`] — extensions: database-cracking comparison, APM bound
+//!   sweep, GD merge policy, disk-bound buffer study.
+
+pub mod ablation;
+pub mod simulation;
+pub mod skyserver;
+
+use soc_core::merge::MergingSegmentation;
+use soc_core::{
+    AdaptivePageModel, AdaptiveReplication, AdaptiveSegmentation, ColumnStrategy, ColumnValue,
+    CrackedColumn, FullySorted, GaussianDice, MergePolicy, NonSegmented, ReplicaTree,
+    SegmentationModel, SegmentedColumn, SizeEstimator, ValueRange,
+};
+
+/// One plotted line of a figure.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Builds a series from y-values with x = 1, 2, 3, … (query number).
+    pub fn from_ys(label: impl Into<String>, ys: impl IntoIterator<Item = f64>) -> Self {
+        Series {
+            label: label.into(),
+            points: ys
+                .into_iter()
+                .enumerate()
+                .map(|(i, y)| ((i + 1) as f64, y))
+                .collect(),
+        }
+    }
+}
+
+/// A reproduced figure: series plus axis metadata.
+#[derive(Debug, Clone)]
+pub struct Figure {
+    /// Identifier matching the paper ("fig5a", "fig12", …).
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// X-axis label.
+    pub xlabel: String,
+    /// Y-axis label.
+    pub ylabel: String,
+    /// Whether the paper plots this with a logarithmic y axis.
+    pub logy: bool,
+    /// The plotted lines.
+    pub series: Vec<Series>,
+}
+
+/// A reproduced table.
+#[derive(Debug, Clone)]
+pub struct TableOut {
+    /// Identifier matching the paper ("tab1", "tab2", …).
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Row-major cells, formatted.
+    pub rows: Vec<Vec<String>>,
+}
+
+/// The strategies the evaluation compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrategyKind {
+    /// Positional organization, full scan per query ("NoSegm").
+    NoSegm,
+    /// Gaussian Dice × adaptive segmentation.
+    GdSegm,
+    /// Gaussian Dice × adaptive replication.
+    GdRepl,
+    /// Adaptive Page Model × adaptive segmentation.
+    ApmSegm,
+    /// Adaptive Page Model × adaptive replication.
+    ApmRepl,
+    /// Database cracking (related-work ablation).
+    Cracking,
+    /// Fully sorted at load time (eager-total-reorganization ablation).
+    FullSort,
+    /// GD segmentation with the post-query merge pass (Section 8 extension).
+    GdSegmMerged,
+}
+
+impl StrategyKind {
+    /// The four strategies of the Section 6.1 simulation.
+    pub const SIMULATION: [StrategyKind; 4] = [
+        StrategyKind::GdSegm,
+        StrategyKind::GdRepl,
+        StrategyKind::ApmSegm,
+        StrategyKind::ApmRepl,
+    ];
+}
+
+/// Builds a ready-to-run strategy over `values`.
+///
+/// `mmin`/`mmax` configure the APM variants (bytes); `model_seed` feeds the
+/// Gaussian Dice so runs are reproducible.
+pub fn build_strategy<V: ColumnValue>(
+    kind: StrategyKind,
+    domain: ValueRange<V>,
+    values: Vec<V>,
+    mmin: u64,
+    mmax: u64,
+    model_seed: u64,
+) -> Box<dyn ColumnStrategy<V>> {
+    let gd = || -> Box<dyn SegmentationModel> { Box::new(GaussianDice::new(model_seed)) };
+    let apm = || -> Box<dyn SegmentationModel> { Box::new(AdaptivePageModel::new(mmin, mmax)) };
+    match kind {
+        StrategyKind::NoSegm => Box::new(NonSegmented::new(domain, values)),
+        StrategyKind::GdSegm => Box::new(AdaptiveSegmentation::new(
+            SegmentedColumn::new(domain, values).expect("values within domain"),
+            gd(),
+            SizeEstimator::Uniform,
+        )),
+        StrategyKind::ApmSegm => Box::new(AdaptiveSegmentation::new(
+            SegmentedColumn::new(domain, values).expect("values within domain"),
+            apm(),
+            SizeEstimator::Uniform,
+        )),
+        StrategyKind::GdRepl => Box::new(AdaptiveReplication::new(
+            ReplicaTree::new(domain, values).expect("values within domain"),
+            gd(),
+        )),
+        StrategyKind::ApmRepl => Box::new(AdaptiveReplication::new(
+            ReplicaTree::new(domain, values).expect("values within domain"),
+            apm(),
+        )),
+        StrategyKind::Cracking => Box::new(CrackedColumn::new(values)),
+        StrategyKind::FullSort => Box::new(FullySorted::new(domain, values)),
+        StrategyKind::GdSegmMerged => Box::new(MergingSegmentation::new(
+            AdaptiveSegmentation::new(
+                SegmentedColumn::new(domain, values).expect("values within domain"),
+                gd(),
+                SizeEstimator::Uniform,
+            ),
+            MergePolicy::new(mmin, mmax),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soc_core::NullTracker;
+
+    #[test]
+    fn factory_builds_every_kind() {
+        for kind in [
+            StrategyKind::NoSegm,
+            StrategyKind::GdSegm,
+            StrategyKind::GdRepl,
+            StrategyKind::ApmSegm,
+            StrategyKind::ApmRepl,
+            StrategyKind::Cracking,
+            StrategyKind::FullSort,
+            StrategyKind::GdSegmMerged,
+        ] {
+            let values: Vec<u32> = (0..1000).collect();
+            let mut s = build_strategy(kind, ValueRange::must(0, 999), values, 64, 256, 1);
+            let n = s.select_count(&ValueRange::must(100, 199), &mut NullTracker);
+            assert_eq!(n, 100, "{kind:?}");
+            assert!(s.storage_bytes() >= 4000, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn series_from_ys_numbers_queries_from_one() {
+        let s = Series::from_ys("x", [5.0, 6.0]);
+        assert_eq!(s.points, vec![(1.0, 5.0), (2.0, 6.0)]);
+    }
+}

@@ -1,0 +1,33 @@
+//! # soc-sim — the architecture-conscious simulator
+//!
+//! Section 6.1: "We simulated the core algorithms of MonetDB, its
+//! management in a constrained memory buffer setting, and its read/write
+//! behavior as data is flushed to secondary store."
+//!
+//! This crate is that simulator, plus the experiment drivers that
+//! regenerate every table and figure of the paper's evaluation:
+//!
+//! * [`buffer`] — LRU buffer pool over segments, write-back flushing;
+//! * [`cost`] — the 2008-desktop cost model converting byte/seek counters
+//!   into milliseconds (the Section 6.2 time axes);
+//! * [`runner`] — per-query instrumentation of any [`soc_core::ColumnStrategy`];
+//! * [`experiment`] — Figures 5–16, Tables 1–2, and four ablations;
+//! * [`output`] — text/CSV renderers used by the `repro` binary.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![deny(unsafe_code)]
+
+pub mod buffer;
+pub mod cost;
+pub mod experiment;
+pub mod output;
+pub mod placement;
+pub mod runner;
+pub mod stats;
+
+pub use buffer::{BufferPool, IoStats};
+pub use cost::CostModel;
+pub use experiment::{build_strategy, Figure, Series, StrategyKind, TableOut};
+pub use placement::{mean_fanout, Placement, PlacementPolicy};
+pub use runner::{run_queries, QueryRecord, RunResult, SimTracker};

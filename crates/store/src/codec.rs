@@ -1,0 +1,125 @@
+//! Fixed-width on-disk encoding of column values.
+//!
+//! Every supported value type round-trips losslessly through a `u64` bit
+//! pattern written little-endian. The `KIND` byte in the segment header
+//! guards against reading a file back as the wrong type.
+
+use soc_core::OrdF64;
+
+/// A value with a lossless 64-bit on-disk representation.
+pub trait FixedCodec: Sized + Copy {
+    /// Type tag stored in the segment header.
+    const KIND: u8;
+
+    /// The value's bit pattern.
+    fn to_bits(self) -> u64;
+
+    /// Reconstructs a value from its bit pattern, `None` when the pattern
+    /// is invalid for the type (e.g. NaN bits for [`OrdF64`]).
+    fn from_bits(bits: u64) -> Option<Self>;
+}
+
+impl FixedCodec for u32 {
+    const KIND: u8 = 1;
+
+    fn to_bits(self) -> u64 {
+        self as u64
+    }
+
+    fn from_bits(bits: u64) -> Option<Self> {
+        u32::try_from(bits).ok()
+    }
+}
+
+impl FixedCodec for u64 {
+    const KIND: u8 = 2;
+
+    fn to_bits(self) -> u64 {
+        self
+    }
+
+    fn from_bits(bits: u64) -> Option<Self> {
+        Some(bits)
+    }
+}
+
+impl FixedCodec for i32 {
+    const KIND: u8 = 3;
+
+    fn to_bits(self) -> u64 {
+        self as u32 as u64
+    }
+
+    fn from_bits(bits: u64) -> Option<Self> {
+        u32::try_from(bits).ok().map(|v| v as i32)
+    }
+}
+
+impl FixedCodec for i64 {
+    const KIND: u8 = 4;
+
+    fn to_bits(self) -> u64 {
+        self as u64
+    }
+
+    fn from_bits(bits: u64) -> Option<Self> {
+        Some(bits as i64)
+    }
+}
+
+impl FixedCodec for OrdF64 {
+    const KIND: u8 = 5;
+
+    fn to_bits(self) -> u64 {
+        self.get().to_bits()
+    }
+
+    fn from_bits(bits: u64) -> Option<Self> {
+        OrdF64::new(f64::from_bits(bits))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_roundtrips() {
+        for v in [0u32, 1, u32::MAX] {
+            assert_eq!(u32::from_bits(v.to_bits()), Some(v));
+        }
+        for v in [i32::MIN, -1, 0, i32::MAX] {
+            assert_eq!(i32::from_bits(v.to_bits()), Some(v));
+        }
+        for v in [i64::MIN, -1, 0, i64::MAX] {
+            assert_eq!(i64::from_bits(v.to_bits()), Some(v));
+        }
+        for v in [0u64, u64::MAX] {
+            assert_eq!(u64::from_bits(v.to_bits()), Some(v));
+        }
+    }
+
+    #[test]
+    fn float_roundtrips_and_rejects_nan() {
+        for x in [-1.5f64, 0.0, 205.115, f64::INFINITY] {
+            let v = OrdF64::from_finite(x);
+            assert_eq!(OrdF64::from_bits(v.to_bits()), Some(v));
+        }
+        assert!(OrdF64::from_bits(f64::NAN.to_bits()).is_none());
+    }
+
+    #[test]
+    fn out_of_range_bits_rejected() {
+        assert!(u32::from_bits(u64::MAX).is_none());
+        assert!(i32::from_bits(1 << 40).is_none());
+    }
+
+    #[test]
+    fn kinds_are_distinct() {
+        let kinds = [u32::KIND, u64::KIND, i32::KIND, i64::KIND, OrdF64::KIND];
+        let mut sorted = kinds.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), kinds.len());
+    }
+}

@@ -1,0 +1,298 @@
+//! Segment-store integration tests: roundtrips, corruption detection,
+//! incremental checkpointing mirroring a live self-organizing column.
+
+use std::fs;
+use std::io::{Read as _, Seek as _, SeekFrom, Write as _};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use soc_core::{
+    AdaptivePageModel, AdaptiveSegmentation, ColumnStrategy, NullTracker, OrdF64, SegId,
+    SegmentedColumn, SizeEstimator, ValueRange,
+};
+use soc_store::{SegmentStore, StoreError};
+
+struct TempDir(std::path::PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let path =
+            std::env::temp_dir().join(format!("soc-store-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&path);
+        TempDir(path)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+#[test]
+fn segment_roundtrip_u32() {
+    let dir = TempDir::new("roundtrip");
+    let store = SegmentStore::open(&dir.0).unwrap();
+    let range = ValueRange::must(10u32, 99);
+    let values: Vec<u32> = vec![10, 55, 99, 42];
+    store.save(SegId(7), &range, &values).unwrap();
+    let (r, v) = store.load::<u32>(SegId(7)).unwrap();
+    assert_eq!(r, range);
+    assert_eq!(v, values);
+    assert_eq!(store.list().unwrap(), vec![SegId(7)]);
+    assert!(store.bytes_on_disk().unwrap() > 0);
+}
+
+#[test]
+fn segment_roundtrip_f64_and_empty() {
+    let dir = TempDir::new("f64");
+    let store = SegmentStore::open(&dir.0).unwrap();
+    let range = ValueRange::must(OrdF64::from_finite(110.0), OrdF64::from_finite(260.0));
+    let values: Vec<OrdF64> = [205.1, 205.115, 110.0, 260.0]
+        .iter()
+        .map(|x| OrdF64::from_finite(*x))
+        .collect();
+    store.save(SegId(1), &range, &values).unwrap();
+    let (r, v) = store.load::<OrdF64>(SegId(1)).unwrap();
+    assert_eq!(r, range);
+    assert_eq!(v, values);
+    // A range-only (empty) segment also survives.
+    store.save(SegId(2), &range, &[] as &[OrdF64]).unwrap();
+    let (_, v) = store.load::<OrdF64>(SegId(2)).unwrap();
+    assert!(v.is_empty());
+}
+
+#[test]
+fn wrong_type_is_rejected() {
+    let dir = TempDir::new("kind");
+    let store = SegmentStore::open(&dir.0).unwrap();
+    store
+        .save(SegId(3), &ValueRange::must(0u32, 10), &[5u32])
+        .unwrap();
+    match store.load::<i64>(SegId(3)) {
+        Err(StoreError::WrongKind { expected, found }) => {
+            assert_ne!(expected, found);
+        }
+        other => panic!("expected WrongKind, got {other:?}"),
+    }
+}
+
+#[test]
+fn bit_flip_is_detected() {
+    let dir = TempDir::new("corrupt");
+    let store = SegmentStore::open(&dir.0).unwrap();
+    let values: Vec<u32> = (0..100).collect();
+    store
+        .save(SegId(9), &ValueRange::must(0u32, 99), &values)
+        .unwrap();
+    // Flip one byte in the middle of the payload.
+    let path = fs::read_dir(&dir.0)
+        .unwrap()
+        .next()
+        .unwrap()
+        .unwrap()
+        .path();
+    let mut f = fs::OpenOptions::new()
+        .read(true)
+        .write(true)
+        .open(&path)
+        .unwrap();
+    f.seek(SeekFrom::Start(60)).unwrap();
+    let mut b = [0u8; 1];
+    f.read_exact(&mut b).unwrap();
+    f.seek(SeekFrom::Start(60)).unwrap();
+    f.write_all(&[b[0] ^ 0xFF]).unwrap();
+    drop(f);
+    match store.load::<u32>(SegId(9)) {
+        Err(StoreError::Corrupt { .. }) | Err(StoreError::Malformed { .. }) => {}
+        other => panic!("corruption must be detected, got {other:?}"),
+    }
+}
+
+#[test]
+fn truncation_is_detected() {
+    let dir = TempDir::new("trunc");
+    let store = SegmentStore::open(&dir.0).unwrap();
+    let values: Vec<u32> = (0..50).collect();
+    store
+        .save(SegId(4), &ValueRange::must(0u32, 49), &values)
+        .unwrap();
+    let path = fs::read_dir(&dir.0)
+        .unwrap()
+        .next()
+        .unwrap()
+        .unwrap()
+        .path();
+    let len = fs::metadata(&path).unwrap().len();
+    let f = fs::OpenOptions::new().write(true).open(&path).unwrap();
+    f.set_len(len - 16).unwrap();
+    drop(f);
+    assert!(matches!(
+        store.load::<u32>(SegId(4)),
+        Err(StoreError::Malformed { .. })
+    ));
+}
+
+#[test]
+fn checkpoint_restore_roundtrips_a_converged_column() {
+    let dir = TempDir::new("ckpt");
+    let store = SegmentStore::open(&dir.0).unwrap();
+
+    // Self-organize a column, then checkpoint it.
+    let domain = ValueRange::must(0u32, 99_999);
+    let mut rng = SmallRng::seed_from_u64(11);
+    let values: Vec<u32> = (0..30_000).map(|_| rng.gen_range(0..=99_999)).collect();
+    let mut strategy = AdaptiveSegmentation::new(
+        SegmentedColumn::new(domain, values.clone()).unwrap(),
+        Box::new(AdaptivePageModel::new(2_048, 8_192)),
+        SizeEstimator::Uniform,
+    );
+    for _ in 0..200 {
+        let lo = rng.gen_range(0..=90_000);
+        strategy.select_count(&ValueRange::must(lo, lo + 9_999), &mut NullTracker);
+    }
+    let (written, deleted) = store.checkpoint(strategy.column()).unwrap();
+    assert_eq!(written, strategy.segment_count());
+    assert_eq!(deleted, 0);
+
+    // Restore and compare: same domain, same piece structure, same data.
+    let restored: SegmentedColumn<u32> = store.restore().unwrap();
+    restored.validate().unwrap();
+    assert_eq!(restored.domain(), domain);
+    assert_eq!(restored.segment_count(), strategy.segment_count());
+    assert_eq!(restored.total_len(), 30_000);
+    let mut orig: Vec<u32> = values;
+    let mut back: Vec<u32> = restored
+        .segments()
+        .iter()
+        .flat_map(|s| s.values().iter().copied())
+        .collect();
+    orig.sort_unstable();
+    back.sort_unstable();
+    assert_eq!(orig, back);
+}
+
+#[test]
+fn checkpoints_are_incremental() {
+    let dir = TempDir::new("incr");
+    let store = SegmentStore::open(&dir.0).unwrap();
+    let domain = ValueRange::must(0u32, 9_999);
+    let values: Vec<u32> = (0..10_000).collect();
+    let mut strategy = AdaptiveSegmentation::new(
+        SegmentedColumn::new(domain, values).unwrap(),
+        Box::new(AdaptivePageModel::new(1_024, 4_096)),
+        SizeEstimator::Uniform,
+    );
+
+    let (w1, d1) = store.checkpoint(strategy.column()).unwrap();
+    assert_eq!((w1, d1), (1, 0), "initial column is one segment");
+
+    // One reorganizing query: the old segment is replaced by pieces.
+    strategy.select_count(&ValueRange::must(3_000, 5_999), &mut NullTracker);
+    let pieces = strategy.segment_count();
+    assert!(pieces > 1);
+    let (w2, d2) = store.checkpoint(strategy.column()).unwrap();
+    assert_eq!(w2, pieces, "every new piece is written");
+    assert_eq!(d2, 1, "the replaced segment is unlinked");
+
+    // No change -> checkpoint is a no-op.
+    let (w3, d3) = store.checkpoint(strategy.column()).unwrap();
+    assert_eq!((w3, d3), (0, 0));
+}
+
+#[test]
+fn restore_from_empty_store_fails_cleanly() {
+    let dir = TempDir::new("empty");
+    let store = SegmentStore::open(&dir.0).unwrap();
+    assert!(matches!(
+        store.restore::<u32>(),
+        Err(StoreError::BadColumn(_))
+    ));
+}
+
+#[test]
+fn delete_is_idempotent() {
+    let dir = TempDir::new("del");
+    let store = SegmentStore::open(&dir.0).unwrap();
+    store
+        .save(SegId(5), &ValueRange::must(0u32, 1), &[0u32, 1])
+        .unwrap();
+    store.delete(SegId(5)).unwrap();
+    store.delete(SegId(5)).unwrap();
+    assert!(store.list().unwrap().is_empty());
+}
+
+#[test]
+fn replica_tree_checkpoint_roundtrip() {
+    use soc_core::{AdaptiveReplication, ReplicaTree};
+    use soc_store::{load_tree, save_tree};
+
+    let dir = TempDir::new("tree");
+    fs::create_dir_all(&dir.0).unwrap();
+    let path = dir.0.join("column.soctree");
+
+    // Grow a tree with mixed materialized/virtual nodes.
+    let domain = ValueRange::must(0u32, 49_999);
+    let mut rng = SmallRng::seed_from_u64(33);
+    let values: Vec<u32> = (0..20_000).map(|_| rng.gen_range(0..=49_999)).collect();
+    let mut r = AdaptiveReplication::new(
+        ReplicaTree::new(domain, values).unwrap(),
+        Box::new(AdaptivePageModel::new(1_024, 4_096)),
+    );
+    for _ in 0..60 {
+        let lo = rng.gen_range(0..=45_000);
+        r.select_count(&ValueRange::must(lo, lo + 4_999), &mut NullTracker);
+    }
+    let tree = r.into_tree();
+    save_tree(&path, &tree).unwrap();
+
+    let restored: ReplicaTree<u32> = load_tree(&path).unwrap();
+    restored.validate().unwrap();
+    assert_eq!(restored.domain(), tree.domain());
+    assert_eq!(restored.node_count(), tree.node_count());
+    assert_eq!(restored.mat_count(), tree.mat_count());
+    assert_eq!(restored.mat_bytes(), tree.mat_bytes());
+    assert_eq!(restored.total_len(), tree.total_len());
+    assert_eq!(restored.depth(), tree.depth());
+
+    // The restored tree answers queries identically.
+    let mut a = AdaptiveReplication::new(tree, Box::new(soc_core::NeverSplit));
+    let mut b = AdaptiveReplication::new(restored, Box::new(soc_core::NeverSplit));
+    for lo in (0..45_000).step_by(3_333) {
+        let q = ValueRange::must(lo, lo + 4_999);
+        assert_eq!(
+            a.select_count(&q, &mut NullTracker),
+            b.select_count(&q, &mut NullTracker)
+        );
+    }
+}
+
+#[test]
+fn tree_file_corruption_is_detected() {
+    use soc_core::ReplicaTree;
+    use soc_store::{load_tree, save_tree, StoreError};
+
+    let dir = TempDir::new("treecorrupt");
+    fs::create_dir_all(&dir.0).unwrap();
+    let path = dir.0.join("t.soctree");
+    let tree = ReplicaTree::new(ValueRange::must(0u32, 99), (0..100).collect()).unwrap();
+    save_tree(&path, &tree).unwrap();
+
+    // Flip a payload byte.
+    let mut bytes = fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    fs::write(&path, &bytes).unwrap();
+    match load_tree::<u32>(&path) {
+        Err(StoreError::Corrupt { .. }) | Err(StoreError::Malformed { .. }) => {}
+        other => panic!("expected corruption error, got {other:?}"),
+    }
+
+    // Wrong type tag.
+    save_tree(&path, &tree).unwrap();
+    match load_tree::<OrdF64>(&path) {
+        Err(StoreError::WrongKind { .. }) => {}
+        other => panic!("expected WrongKind, got {other:?}"),
+    }
+}

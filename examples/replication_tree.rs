@@ -1,0 +1,95 @@
+//! The replica tree in action — the Section 5 / Figure 4 walk-through.
+//!
+//! ```text
+//! cargo run --example replication_tree --release
+//! ```
+//!
+//! Runs the paper's three-query example shape (Q1 inside the column, Q2 and
+//! Q3 hitting untouched areas), printing the tree after each query:
+//! materialized segments keep data, virtual segments only complete the
+//! ranges, and fully replicated parents are dropped (storage cliffs).
+
+use socdb::adaptive::replication::NodeId;
+use socdb::prelude::*;
+
+fn print_tree(tree: &socdb::adaptive::ReplicaTree<u32>) {
+    fn rec(tree: &socdb::adaptive::ReplicaTree<u32>, id: NodeId, depth: usize) {
+        let n = tree.node(id);
+        let kind = if n.is_virtual() { "virtual" } else { "MAT" };
+        println!(
+            "{:indent$}[{:?}, {:?}] {kind:>7}  {:>6} tuples",
+            "",
+            n.range.lo(),
+            n.range.hi(),
+            n.len(),
+            indent = depth * 4
+        );
+        for &c in &n.children {
+            rec(tree, c, depth + 1);
+        }
+    }
+    for &t in tree.top() {
+        rec(tree, t, 1);
+    }
+    println!(
+        "    storage: {} KB (column is {} KB), {} materialized segments, depth {}",
+        tree.mat_bytes() / 1024,
+        tree.total_bytes() / 1024,
+        tree.mat_count(),
+        tree.depth()
+    );
+}
+
+fn main() {
+    // A small column so the whole tree fits on screen: values 0..10_000.
+    let domain = ValueRange::must(0u32, 9_999);
+    let values: Vec<u32> = (0..10_000).collect();
+    let tree = ReplicaTree::new(domain, values).expect("values in domain");
+    // A permissive APM so every example query reorganizes.
+    let model = Box::new(AdaptivePageModel::new(64, 2_048));
+    let mut strategy = AdaptiveReplication::new(tree, model);
+    let mut tracker = CountingTracker::new();
+
+    let script: [(&str, ValueRange<u32>); 4] = [
+        (
+            "Q1: range in the middle (case 3: v | M | v)",
+            ValueRange::must(4_000, 5_999),
+        ),
+        (
+            "Q2: lower area, first touch (full scan spike)",
+            ValueRange::must(1_000, 2_499),
+        ),
+        (
+            "Q3: upper area, first touch",
+            ValueRange::must(7_500, 8_999),
+        ),
+        (
+            "Q4: sweep — materializes leftovers, drops parents",
+            ValueRange::must(0, 9_999),
+        ),
+    ];
+
+    println!("initial state: the column is the single materialized root\n");
+    print_tree(strategy.tree());
+
+    for (label, q) in script {
+        tracker.begin_query();
+        let n = strategy.select_count(&q, &mut tracker);
+        let s = tracker.query_stats();
+        println!(
+            "\n{label}\n    -> {n} tuples, read {} KB, wrote {} KB, freed {} KB",
+            s.read_bytes / 1024,
+            s.write_bytes / 1024,
+            s.freed_bytes / 1024
+        );
+        print_tree(strategy.tree());
+        strategy.tree().validate().expect("tree invariants");
+    }
+
+    println!(
+        "\n{} replicas materialized, {} nodes dropped over the session",
+        strategy.replicas_created(),
+        strategy.drops()
+    );
+    println!("(Compare Figure 4 and the Figure 8 storage cliffs in the paper.)");
+}

@@ -1,0 +1,74 @@
+//! The full compilation stack of Section 2: SQL → MAL → tactical
+//! optimization → execution, with self-organization along the way.
+//!
+//! ```text
+//! cargo run --example sql_frontend --release
+//! ```
+
+use socdb::bat::{Atom, Bat};
+use socdb::mal::{compile_select, Catalog, Interp, SegmentOptimizer};
+use socdb::prelude::AdaptivePageModel;
+
+fn main() {
+    // sys.P: 100k photo objects with clustered ra.
+    let n = 100_000usize;
+    let ra: Vec<f64> = (0..n)
+        .map(|i| 110.0 + 150.0 * ((i as f64 * 0.618_033_988_749).fract()))
+        .collect();
+    let objid: Vec<i64> = (0..n as i64).map(|i| 587_730_000_000 + i).collect();
+
+    let mut catalog = Catalog::new();
+    catalog
+        .register_segmented(
+            "sys",
+            "P",
+            "ra",
+            Bat::dense_dbl(ra),
+            110.0,
+            260.0,
+            Box::new(AdaptivePageModel::new(16 * 1024, 128 * 1024)),
+        )
+        .expect("ra registers");
+    catalog.register_bat("sys", "P", "objid", Bat::dense_int(objid));
+
+    // 1. Literal bounds: compiled constants let the optimizer prune
+    //    segments through the meta-index.
+    let sql = "SELECT objid FROM sys.P WHERE ra BETWEEN 205.1 AND 205.12";
+    println!("SQL> {sql}\n");
+    let plan = compile_select(sql).expect("the paper's query class");
+    println!(
+        "compiled to {} MAL statements (the Figure 1 shape)\n",
+        plan.stmts.len()
+    );
+    let (optimized, report) = SegmentOptimizer::new().optimize(&plan, &catalog);
+    println!(
+        "segment optimizer: {} rewrite(s), strategy {:?}\n",
+        report.rewrites.len(),
+        report.rewrites.first().map(|(_, s)| s.clone())
+    );
+    let result = Interp::new(&mut catalog)
+        .run(&optimized, &[])
+        .expect("plan runs")
+        .expect("plan exports");
+    println!("-> {} objids match\n", result.len());
+
+    // 2. Prepared-statement style: `?` placeholders become plan parameters.
+    let sql = "SELECT objid FROM sys.P WHERE ra BETWEEN ? AND ?";
+    println!("SQL> {sql}   (prepared)\n");
+    let plan = compile_select(sql).expect("placeholders compile");
+    for (lo, hi) in [(120.0, 121.0), (180.0, 182.5), (240.0, 244.0)] {
+        let (optimized, _) = SegmentOptimizer::new().optimize(&plan, &catalog);
+        let result = Interp::new(&mut catalog)
+            .run(&optimized, &[Atom::Dbl(lo), Atom::Dbl(hi)])
+            .expect("plan runs")
+            .expect("plan exports");
+        let pieces = catalog.segmented("sys.P.ra").unwrap().piece_count();
+        println!(
+            "   ra in [{lo:>5.1}, {hi:>5.1}] -> {:>5} objids   (column now {pieces} pieces)",
+            result.len()
+        );
+    }
+    println!("\nEvery execution ran the injected bpm.adapt hook: the column");
+    println!("reorganized itself around the query bounds, fully transparent");
+    println!("to the SQL text — the Section 3.1 design goal.");
+}

@@ -1,0 +1,299 @@
+//! End-to-end MAL: parse → optimize → execute, across repeated queries
+//! with self-organization enabled (the Section 3.1 integration story).
+
+use socdb::bat::{Atom, Bat, Tail};
+use socdb::mal::{parse, Catalog, Interp, MalValue, RewriteStrategy, SegmentOptimizer};
+use socdb::prelude::{AdaptivePageModel, GaussianDice};
+
+const FIGURE1: &str = r#"
+function user.s1_0(A0:dbl,A1:dbl):void;
+    X1:bat[:oid,:dbl]  := sql.bind("sys","P","ra",0);
+    X16:bat[:oid,:dbl] := sql.bind("sys","P","ra",1);
+    X19:bat[:oid,:dbl] := sql.bind("sys","P","ra",2);
+    X23:bat[:oid,:oid] := sql.bind_dbat("sys","P",1);
+    X30:bat[:oid,:lng] := sql.bind("sys","P","objid",0);
+    X32:bat[:oid,:lng] := sql.bind("sys","P","objid",1);
+    X34:bat[:oid,:lng] := sql.bind("sys","P","objid",2);
+    X14 := algebra.uselect(X1,A0,A1,true,true);
+    X17 := algebra.uselect(X16,A0,A1,true,true);
+    X18 := algebra.kunion(X14,X17);
+    X20 := algebra.kdifference(X18,X19);
+    X21 := algebra.uselect(X19,A0,A1,true,true);
+    X22 := algebra.kunion(X20,X21);
+    X24 := bat.reverse(X23);
+    X25 := algebra.kdifference(X22,X24);
+    X26 := calc.oid(0@0);
+    X28 := algebra.markT(X25,X26);
+    X29 := bat.reverse(X28);
+    X33 := algebra.kunion(X30,X32);
+    X35 := algebra.kdifference(X33,X34);
+    X36 := algebra.kunion(X35,X34);
+    X37 := algebra.join(X29,X36);
+    X38 := sql.resultSet(1,1,X37);
+    sql.rsColumn(X38,"sys.P","objid","bigint",64,0,X37);
+    sql.exportResult(X38,"");
+end s1_0;
+"#;
+
+/// sys.P with `n` rows: ra spread over [110, 260), objid = 9000 + oid.
+fn catalog(n: usize, segmented: bool) -> Catalog {
+    let ra: Vec<f64> = (0..n)
+        .map(|i| 110.0 + 150.0 * ((i as f64 * 0.754_877_666).fract()))
+        .collect();
+    let objid: Vec<i64> = (0..n as i64).map(|i| 9_000 + i).collect();
+    let mut c = Catalog::new();
+    if segmented {
+        c.register_segmented(
+            "sys",
+            "P",
+            "ra",
+            Bat::dense_dbl(ra),
+            110.0,
+            260.0,
+            Box::new(AdaptivePageModel::new(1024, 8 * 1024)),
+        )
+        .unwrap();
+    } else {
+        c.register_bat("sys", "P", "ra", Bat::dense_dbl(ra));
+    }
+    c.register_bat("sys", "P", "objid", Bat::dense_int(objid));
+    c
+}
+
+fn result_ids(result: &Bat) -> Vec<i64> {
+    let Tail::Int(ids) = result.tail() else {
+        panic!("objid result must be an int tail")
+    };
+    let mut ids = ids.clone();
+    ids.sort_unstable();
+    ids
+}
+
+#[test]
+fn optimized_and_plain_figure1_agree_across_a_session() {
+    let plan = parse(FIGURE1).unwrap();
+    let mut plain = catalog(20_000, false);
+    let mut segmented = catalog(20_000, true);
+    let optimizer = SegmentOptimizer::new();
+
+    for k in 0..12 {
+        let lo = 112.0 + k as f64 * 11.3;
+        let hi = lo + 3.7;
+        let args = [Atom::Dbl(lo), Atom::Dbl(hi)];
+
+        let expected = Interp::new(&mut plain)
+            .run(&plan, &args)
+            .unwrap()
+            .expect("plain plan exports a result");
+
+        let (optimized, _) = optimizer.optimize(&plan, &segmented);
+        let got = Interp::new(&mut segmented)
+            .run(&optimized, &args)
+            .unwrap()
+            .expect("optimized plan exports a result");
+
+        assert_eq!(
+            result_ids(&expected),
+            result_ids(&got),
+            "query #{k} [{lo}, {hi}]"
+        );
+        segmented.segmented("sys.P.ra").unwrap().validate().unwrap();
+    }
+    // The session must have reorganized the column.
+    assert!(segmented.segmented("sys.P.ra").unwrap().piece_count() > 3);
+}
+
+#[test]
+fn optimizer_switches_from_unroll_to_iterator_as_column_fragments() {
+    let plan = parse(FIGURE1).unwrap();
+    let mut c = catalog(20_000, true);
+    let optimizer = SegmentOptimizer::new();
+
+    let (_, first) = optimizer.optimize(&plan, &c);
+    assert!(matches!(
+        first.rewrites[0].1,
+        RewriteStrategy::Unrolled { segments: 1 }
+    ));
+
+    // Fragment via adaptation.
+    for k in 0..10 {
+        let lo = 115.0 + k as f64 * 14.0;
+        let (opt, _) = optimizer.optimize(&plan, &c);
+        Interp::new(&mut c)
+            .run(&opt, &[Atom::Dbl(lo), Atom::Dbl(lo + 6.0)])
+            .unwrap();
+    }
+    let (_, later) = optimizer.optimize(&plan, &c);
+    assert_eq!(later.rewrites[0].1, RewriteStrategy::Iterator);
+}
+
+#[test]
+fn gd_model_works_at_the_mal_level_too() {
+    let plan = parse(FIGURE1).unwrap();
+    let mut c = Catalog::new();
+    let ra: Vec<f64> = (0..10_000).map(|i| (i % 3600) as f64 / 10.0).collect();
+    c.register_segmented(
+        "sys",
+        "P",
+        "ra",
+        Bat::dense_dbl(ra),
+        0.0,
+        360.0,
+        Box::new(GaussianDice::new(5)),
+    )
+    .unwrap();
+    c.register_bat("sys", "P", "objid", Bat::dense_int((0..10_000).collect()));
+    let optimizer = SegmentOptimizer::new();
+    for k in 0..8 {
+        let lo = (k * 40) as f64;
+        let (opt, _) = optimizer.optimize(&plan, &c);
+        let r = Interp::new(&mut c)
+            .run(&opt, &[Atom::Dbl(lo), Atom::Dbl(lo + 160.0)])
+            .unwrap()
+            .unwrap();
+        assert!(!r.is_empty());
+    }
+    c.segmented("sys.P.ra").unwrap().validate().unwrap();
+}
+
+#[test]
+fn adaptation_can_be_disabled() {
+    let plan = parse(FIGURE1).unwrap();
+    let mut c = catalog(5_000, true);
+    let optimizer = SegmentOptimizer {
+        inject_adaptation: false,
+        ..SegmentOptimizer::new()
+    };
+    for k in 0..5 {
+        let lo = 120.0 + k as f64 * 20.0;
+        let (opt, _) = optimizer.optimize(&plan, &c);
+        assert!(!opt.render().contains("bpm.adapt"));
+        Interp::new(&mut c)
+            .run(&opt, &[Atom::Dbl(lo), Atom::Dbl(lo + 5.0)])
+            .unwrap();
+    }
+    assert_eq!(
+        c.segmented("sys.P.ra").unwrap().piece_count(),
+        1,
+        "without adaptation the column never splits"
+    );
+}
+
+#[test]
+fn interpreter_intermediates_are_inspectable() {
+    let mut c = catalog(1_000, false);
+    let plan = parse(FIGURE1).unwrap();
+    let mut interp = Interp::new(&mut c);
+    interp
+        .run(&plan, &[Atom::Dbl(110.0), Atom::Dbl(260.0)])
+        .unwrap();
+    // The whole-footprint query selects every row.
+    let Some(MalValue::Bat(x14)) = interp.get("X14") else {
+        panic!("X14 bound to a bat")
+    };
+    assert_eq!(x14.len(), 1_000);
+}
+
+/// The delta machinery of Figure 1, exercised with real pending changes:
+/// the same plan must merge inserts, apply updates, and mask deletions —
+/// MonetDB's update scheme for read-mostly warehouses.
+#[test]
+fn figure1_merges_inserts_updates_and_deletes() {
+    let plan = parse(FIGURE1).unwrap();
+    let mut c = Catalog::new();
+    c.register_bat(
+        "sys",
+        "P",
+        "ra",
+        Bat::dense_dbl(vec![204.9, 205.05, 205.11, 205.13, 205.115]),
+    );
+    c.register_bat(
+        "sys",
+        "P",
+        "objid",
+        Bat::dense_int(vec![9000, 9001, 9002, 9003, 9004]),
+    );
+    let args = [Atom::Dbl(205.1), Atom::Dbl(205.12)];
+    let run = |c: &mut Catalog| -> Vec<i64> {
+        let result = Interp::new(c).run(&plan, &args).unwrap().unwrap();
+        let Tail::Int(ids) = result.tail() else {
+            panic!("objid result must be int")
+        };
+        let mut ids = ids.clone();
+        ids.sort_unstable();
+        ids
+    };
+
+    // Base state: oids 2 (205.11) and 4 (205.115) qualify.
+    assert_eq!(run(&mut c), vec![9002, 9004]);
+
+    // Insert a qualifying row: it must appear without touching the base.
+    let new_oid = c.insert_row(
+        "sys",
+        "P",
+        &[("ra", Atom::Dbl(205.111)), ("objid", Atom::Int(9005))],
+    );
+    assert_eq!(new_oid, 5);
+    assert_eq!(run(&mut c), vec![9002, 9004, 9005]);
+
+    // Insert a non-qualifying row: invisible to this predicate.
+    c.insert_row(
+        "sys",
+        "P",
+        &[("ra", Atom::Dbl(190.0)), ("objid", Atom::Int(9006))],
+    );
+    assert_eq!(run(&mut c), vec![9002, 9004, 9005]);
+
+    // Update row 2's ra out of the range: the kdifference(X18, X19) /
+    // uselect(X19) pair must drop it.
+    c.update_value("sys", "P", "ra", 2, Atom::Dbl(204.0));
+    assert_eq!(run(&mut c), vec![9004, 9005]);
+
+    // Update row 0's ra INTO the range: the same pair must add it.
+    c.update_value("sys", "P", "ra", 0, Atom::Dbl(205.118));
+    assert_eq!(run(&mut c), vec![9000, 9004, 9005]);
+
+    // Update row 4's objid: the projection-side delta merge (X33–X36)
+    // must surface the new value.
+    c.update_value("sys", "P", "objid", 4, Atom::Int(9999));
+    assert_eq!(run(&mut c), vec![9000, 9005, 9999]);
+
+    // Delete row 4: reverse(dbat) + kdifference must mask it.
+    c.delete_row("sys", "P", 4);
+    assert_eq!(run(&mut c), vec![9000, 9005]);
+
+    // Delete the inserted row too.
+    c.delete_row("sys", "P", 5);
+    assert_eq!(run(&mut c), vec![9000]);
+}
+
+/// Deltas compose with the segment optimizer: the rewritten plan only
+/// accelerates the base-column select, delta merging stays intact.
+#[test]
+fn deltas_survive_segment_optimization() {
+    let plan = parse(FIGURE1).unwrap();
+    let mut c = catalog(5_000, true);
+    c.insert_row(
+        "sys",
+        "P",
+        &[("ra", Atom::Dbl(150.0005)), ("objid", Atom::Int(77_777))],
+    );
+    c.delete_row("sys", "P", 0);
+    let args = [Atom::Dbl(150.0), Atom::Dbl(150.001)];
+
+    let mut plain = catalog(5_000, false);
+    plain.insert_row(
+        "sys",
+        "P",
+        &[("ra", Atom::Dbl(150.0005)), ("objid", Atom::Int(77_777))],
+    );
+    plain.delete_row("sys", "P", 0);
+    let expected = Interp::new(&mut plain).run(&plan, &args).unwrap().unwrap();
+
+    let (optimized, report) = SegmentOptimizer::new().optimize(&plan, &c);
+    assert_eq!(report.rewrites.len(), 1);
+    let got = Interp::new(&mut c).run(&optimized, &args).unwrap().unwrap();
+    assert_eq!(result_ids(&expected), result_ids(&got));
+    // The inserted row is in both results.
+    assert!(result_ids(&got).contains(&77_777));
+}
