@@ -71,6 +71,10 @@ impl<V: ColumnValue> ColumnStrategy<V> for NonSegmented<V> {
     fn segment_bytes(&self) -> Vec<u64> {
         vec![self.segment.bytes()]
     }
+
+    fn segment_ranges(&self) -> Vec<ValueRange<V>> {
+        vec![self.segment.range()]
+    }
 }
 
 /// A column fully sorted at load time: the eager-total-reorganization pole
@@ -140,6 +144,10 @@ impl<V: ColumnValue> ColumnStrategy<V> for FullySorted<V> {
 
     fn segment_bytes(&self) -> Vec<u64> {
         vec![self.segment.bytes()]
+    }
+
+    fn segment_ranges(&self) -> Vec<ValueRange<V>> {
+        vec![self.segment.range()]
     }
 }
 

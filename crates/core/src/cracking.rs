@@ -30,17 +30,27 @@ pub struct CrackedColumn<V> {
     /// Boundary value → first position holding a value `>= boundary`.
     index: BTreeMap<V, usize>,
     cracks: u64,
+    /// `(min, max)` of the data — invariant under cracking, which only
+    /// permutes values in place.
+    bounds: Option<(V, V)>,
 }
 
 impl<V: ColumnValue> CrackedColumn<V> {
     /// Takes ownership of the column copy to crack.
     pub fn new(values: Vec<V>) -> Self {
         let mut ids = SegIdGen::new();
+        let bounds = values
+            .iter()
+            .fold(None, |acc: Option<(V, V)>, &v| match acc {
+                None => Some((v, v)),
+                Some((lo, hi)) => Some((lo.min(v), hi.max(v))),
+            });
         CrackedColumn {
             id: ids.fresh(),
             data: values,
             index: BTreeMap::new(),
             cracks: 0,
+            bounds,
         }
     }
 
@@ -171,6 +181,40 @@ impl<V: ColumnValue> ColumnStrategy<V> for CrackedColumn<V> {
 
     fn segment_bytes(&self) -> Vec<u64> {
         self.piece_sizes()
+    }
+
+    fn segment_ranges(&self) -> Vec<ValueRange<V>> {
+        let Some((lo, hi)) = self.bounds else {
+            return Vec::new();
+        };
+        // Crack boundaries partition the value space: piece k holds values
+        // in [boundary_k, boundary_{k+1}). Boundaries outside [lo, hi]
+        // delimit empty pieces and produce no range.
+        let mut out = Vec::new();
+        let mut cur = lo;
+        for &b in self.index.keys() {
+            if b > cur {
+                if let Some(end) = b.pred() {
+                    if let Some(r) = ValueRange::new(cur, end.min(hi)) {
+                        out.push(r);
+                    }
+                }
+                cur = b;
+            }
+        }
+        if cur <= hi {
+            if let Some(r) = ValueRange::new(cur.max(lo), hi) {
+                out.push(r);
+            }
+        }
+        out
+    }
+
+    fn adaptation(&self) -> crate::strategy::AdaptationStats {
+        crate::strategy::AdaptationStats {
+            splits: self.cracks,
+            ..Default::default()
+        }
     }
 }
 

@@ -62,6 +62,7 @@ pub mod range;
 pub mod replication;
 pub mod segment;
 pub mod segmentation;
+pub mod spec;
 pub mod strategy;
 pub mod tracker;
 pub mod value;
@@ -70,7 +71,7 @@ pub use baseline::{FullySorted, NonSegmented};
 pub use column::{ColumnError, SegmentedColumn};
 pub use cracking::CrackedColumn;
 pub use estimate::SizeEstimator;
-pub use merge::MergePolicy;
+pub use merge::{MergePolicy, MergingSegmentation};
 pub use meta::{MetaEntry, MetaIndex};
 pub use model::{
     AdaptivePageModel, AlwaysSplit, AutoTunedApm, GaussianDice, NeverSplit, SegmentationModel,
@@ -80,6 +81,7 @@ pub use range::ValueRange;
 pub use replication::{AdaptiveReplication, ReplicaTree};
 pub use segment::{SegId, SegIdGen, SegmentData};
 pub use segmentation::AdaptiveSegmentation;
-pub use strategy::ColumnStrategy;
+pub use spec::{StrategyKind, StrategySpec};
+pub use strategy::{AdaptationStats, ColumnStrategy};
 pub use tracker::{AccessTracker, CountingTracker, NullTracker, QueryStats};
 pub use value::{ColumnValue, OrdF64};

@@ -147,6 +147,17 @@ impl<V: ColumnValue> ColumnStrategy<V> for MergingSegmentation<V> {
     fn segment_bytes(&self) -> Vec<u64> {
         self.inner.segment_bytes()
     }
+
+    fn segment_ranges(&self) -> Vec<ValueRange<V>> {
+        self.inner.segment_ranges()
+    }
+
+    fn adaptation(&self) -> crate::strategy::AdaptationStats {
+        crate::strategy::AdaptationStats {
+            merges: self.merges,
+            ..self.inner.adaptation()
+        }
+    }
 }
 
 #[cfg(test)]

@@ -220,6 +220,19 @@ impl<V: ColumnValue> ColumnStrategy<V> for AdaptiveReplication<V> {
     fn segment_bytes(&self) -> Vec<u64> {
         self.tree.mat_segment_bytes()
     }
+
+    fn segment_ranges(&self) -> Vec<ValueRange<V>> {
+        self.tree.mat_segment_ranges()
+    }
+
+    fn adaptation(&self) -> crate::strategy::AdaptationStats {
+        crate::strategy::AdaptationStats {
+            replicas_created: self.replicas_created,
+            drops: self.drops,
+            budget_declines: self.budget_declines,
+            ..Default::default()
+        }
+    }
 }
 
 #[cfg(test)]

@@ -175,13 +175,33 @@ impl<V: ColumnValue> ReplicaTree<V> {
         self.arena.contains(id)
     }
 
-    /// Sizes in bytes of all materialized segments.
-    pub fn mat_segment_bytes(&self) -> Vec<u64> {
-        self.arena
+    /// `(range, bytes)` of every materialized segment, sorted by range
+    /// start — the one ordering [`Self::mat_segment_bytes`] and
+    /// [`Self::mat_segment_ranges`] both derive from, so index `i` of one
+    /// always describes the same segment as index `i` of the other.
+    pub fn mat_segments(&self) -> Vec<(ValueRange<V>, u64)> {
+        let mut segs: Vec<(ValueRange<V>, u64)> = self
+            .arena
             .iter()
             .filter(|(_, n)| !n.is_virtual())
-            .map(|(_, n)| n.bytes())
-            .collect()
+            .map(|(_, n)| (n.range, n.bytes()))
+            .collect();
+        segs.sort_by(|(a, _), (b, _)| a.lo().cmp(&b.lo()).then(a.hi().cmp(&b.hi())));
+        segs
+    }
+
+    /// Sizes in bytes of all materialized segments, sorted by range start.
+    pub fn mat_segment_bytes(&self) -> Vec<u64> {
+        self.mat_segments().into_iter().map(|(_, b)| b).collect()
+    }
+
+    /// Value ranges of all materialized segments, sorted by range start.
+    ///
+    /// Parents and children can both be materialized, so ranges may nest —
+    /// callers placing segments onto nodes see every replica that occupies
+    /// storage.
+    pub fn mat_segment_ranges(&self) -> Vec<ValueRange<V>> {
+        self.mat_segments().into_iter().map(|(r, _)| r).collect()
     }
 
     /// Depth of the tree (a root-only tree has depth 1).

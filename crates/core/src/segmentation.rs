@@ -182,6 +182,17 @@ impl<V: ColumnValue> ColumnStrategy<V> for AdaptiveSegmentation<V> {
     fn segment_bytes(&self) -> Vec<u64> {
         self.column.segments().iter().map(|s| s.bytes()).collect()
     }
+
+    fn segment_ranges(&self) -> Vec<ValueRange<V>> {
+        self.column.segments().iter().map(|s| s.range()).collect()
+    }
+
+    fn adaptation(&self) -> crate::strategy::AdaptationStats {
+        crate::strategy::AdaptationStats {
+            splits: self.splits,
+            ..Default::default()
+        }
+    }
 }
 
 #[cfg(test)]

@@ -9,6 +9,27 @@ use crate::range::ValueRange;
 use crate::tracker::AccessTracker;
 use crate::value::ColumnValue;
 
+/// Counters describing how much self-organization a strategy has performed.
+///
+/// Uniform across strategies so experiment drivers can report adaptation
+/// activity without downcasting: segmentation counts `splits` (and `merges`
+/// when wrapped in a merge policy), replication counts `replicas_created` /
+/// `drops` / `budget_declines`, cracking counts its cracks as `splits`.
+/// Counters a strategy does not maintain stay zero.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdaptationStats {
+    /// Segment splits (or cracks) performed.
+    pub splits: u64,
+    /// Merge operations performed (merge-policy wrapper only).
+    pub merges: u64,
+    /// Replica segments materialized (replication only).
+    pub replicas_created: u64,
+    /// Fully replicated segments dropped (replication only).
+    pub drops: u64,
+    /// Materializations declined by a storage budget (replication only).
+    pub budget_declines: u64,
+}
+
 /// A column organization that can answer range selections and may
 /// reorganize itself as a side effect (the paper's "reorganization decisions
 /// … made an integral part of query execution").
@@ -35,4 +56,20 @@ pub trait ColumnStrategy<V: ColumnValue> {
 
     /// Sizes in bytes of all materialized segments (Table 2's size stats).
     fn segment_bytes(&self) -> Vec<u64>;
+
+    /// Value ranges of the materialized segments in value order — the
+    /// partitioning a distributed placement policy would ship to nodes
+    /// (Section 8's outlook). Strategies whose pieces can be degenerate
+    /// (cracking's empty boundary pieces) may return fewer entries than
+    /// [`Self::segment_count`]; replication returns every materialized
+    /// node, so ranges may nest.
+    fn segment_ranges(&self) -> Vec<ValueRange<V>>;
+
+    /// How much self-organization has been performed so far.
+    ///
+    /// The default reports no activity, which is correct for the static
+    /// baselines; adaptive strategies override it.
+    fn adaptation(&self) -> AdaptationStats {
+        AdaptationStats::default()
+    }
 }

@@ -15,10 +15,7 @@
 //! * [`placement_ablation`] — the §8 distributed outlook: segment
 //!   placement policies scored by balance and query fan-out.
 
-use soc_core::{
-    AdaptivePageModel, AdaptiveReplication, AdaptiveSegmentation, AutoTunedApm, ColumnStrategy,
-    NullTracker, ReplicaTree, SegmentedColumn, SizeEstimator, ValueRange,
-};
+use soc_core::{NullTracker, SizeEstimator, ValueRange};
 use soc_workload::{uniform_values, zipf_values, WorkloadSpec};
 
 use crate::cost::CostModel;
@@ -26,7 +23,7 @@ use crate::placement::{mean_fanout, Placement, PlacementPolicy};
 use crate::runner::{run_queries, RunResult, SimTracker};
 
 use super::simulation::SimConfig;
-use super::{build_strategy, StrategyKind, TableOut};
+use super::{build_strategy, StrategyKind, StrategySpec, TableOut};
 
 fn run_kind(
     cfg: &SimConfig,
@@ -220,26 +217,28 @@ pub fn budget_ablation(cfg: &SimConfig) -> TableOut {
     ] {
         let values = uniform_values(cfg.column_len, &domain, cfg.data_seed);
         let queries = spec.generate(&domain);
-        let tree = ReplicaTree::new(domain, values).expect("values in domain");
-        let mut strategy =
-            AdaptiveReplication::new(tree, Box::new(AdaptivePageModel::new(cfg.mmin, cfg.mmax)));
+        let mut builder = StrategySpec::new(StrategyKind::ApmRepl)
+            .with_apm_bounds(cfg.mmin, cfg.mmax)
+            .with_model_seed(cfg.model_seed);
         if let Some(b) = budget {
-            strategy = strategy.with_storage_budget(b);
+            builder = builder.with_storage_budget(b);
         }
+        let mut strategy = builder.build(domain, values).expect("values in domain");
         let mut tracker = SimTracker::unbuffered();
         let r = run_queries(
-            &mut strategy,
+            strategy.as_mut(),
             &queries,
             &mut tracker,
             &CostModel::era_2008_desktop(),
         );
         let peak = r.records.iter().map(|q| q.storage_bytes).max().unwrap_or(0);
+        let stats = strategy.adaptation();
         rows.push(vec![
             label.to_owned(),
             format!("{:.2}", peak as f64 / db as f64),
             format!("{:.1}", r.avg_read_kb()),
-            strategy.budget_declines().to_string(),
-            strategy.replicas_created().to_string(),
+            stats.budget_declines.to_string(),
+            stats.replicas_created.to_string(),
         ]);
     }
     TableOut {
@@ -260,27 +259,19 @@ pub fn budget_ablation(cfg: &SimConfig) -> TableOut {
 /// Self-tuning APM vs hand-set bounds (the Section 8 open problem:
 /// "automatically determine the values of its controlling parameters").
 pub fn auto_apm_ablation(cfg: &SimConfig) -> TableOut {
-    let domain = ValueRange::must(0u32, cfg.domain_hi);
     let mut rows = Vec::new();
     for sel in [0.1, 0.01] {
         let spec = WorkloadSpec::uniform(sel, cfg.query_count, cfg.query_seed);
-        // Hand-set APM with the paper's bounds.
+        // Hand-set APM with the paper's bounds vs the self-tuning variant,
+        // both through the shared factory.
         let hand = run_kind(cfg, StrategyKind::ApmSegm, &spec, None, cfg.mmin, cfg.mmax);
-        // Auto-tuned APM.
-        let values = uniform_values(cfg.column_len, &domain, cfg.data_seed);
-        let queries = spec.generate(&domain);
-        let column = SegmentedColumn::new(domain, values).expect("values in domain");
-        let mut auto = AdaptiveSegmentation::new(
-            column,
-            Box::new(AutoTunedApm::new()),
-            SizeEstimator::Uniform,
-        );
-        let mut tracker = SimTracker::unbuffered();
-        let auto_run = run_queries(
-            &mut auto,
-            &queries,
-            &mut tracker,
-            &CostModel::era_2008_desktop(),
+        let auto_run = run_kind(
+            cfg,
+            StrategyKind::AutoApmSegm,
+            &spec,
+            None,
+            cfg.mmin,
+            cfg.mmax,
         );
         for (r, tag) in [(&hand, "hand"), (&auto_run, "auto")] {
             rows.push(vec![
@@ -323,15 +314,14 @@ pub fn estimator_ablation(cfg: &SimConfig) -> TableOut {
                 zipf_values(cfg.column_len, &domain, exponent, 200, cfg.data_seed)
             };
             let queries = spec.generate(&domain);
-            let column = SegmentedColumn::new(domain, values).expect("values in domain");
-            let mut s = AdaptiveSegmentation::new(
-                column,
-                Box::new(AdaptivePageModel::new(cfg.mmin, cfg.mmax)),
-                estimator,
-            );
+            let mut s = StrategySpec::new(StrategyKind::ApmSegm)
+                .with_apm_bounds(cfg.mmin, cfg.mmax)
+                .with_estimator(estimator)
+                .build(domain, values)
+                .expect("values in domain");
             let mut tracker = SimTracker::unbuffered();
             let r = run_queries(
-                &mut s,
+                s.as_mut(),
                 &queries,
                 &mut tracker,
                 &CostModel::era_2008_desktop(),
@@ -360,40 +350,46 @@ pub fn estimator_ablation(cfg: &SimConfig) -> TableOut {
 }
 
 /// Distributed placement of converged segments (the §8 outlook):
-/// balance vs fan-out per policy over the live workload.
+/// balance vs fan-out per policy over the live workload, for every
+/// segmentation strategy — all driven through the shared
+/// [`soc_core::ColumnStrategy`] interface, no concrete column access.
 pub fn placement_ablation(cfg: &SimConfig, nodes: usize) -> TableOut {
     let domain = ValueRange::must(0u32, cfg.domain_hi);
     let spec = WorkloadSpec::uniform(0.05, cfg.query_count, cfg.query_seed);
-    let values = uniform_values(cfg.column_len, &domain, cfg.data_seed);
     let queries = spec.generate(&domain);
-    // Converge a column first.
-    let column = SegmentedColumn::new(domain, values).expect("values in domain");
-    let mut s = AdaptiveSegmentation::new(
-        column,
-        Box::new(AdaptivePageModel::new(cfg.mmin, cfg.mmax)),
-        SizeEstimator::Uniform,
-    );
-    for q in &queries {
-        s.select_count(q, &mut NullTracker);
-    }
-    let segment_bytes: Vec<u64> = s.column().segments().iter().map(|x| x.bytes()).collect();
-    let segment_ranges: Vec<ValueRange<u32>> =
-        s.column().segments().iter().map(|x| x.range()).collect();
 
     let mut rows = Vec::new();
-    for policy in PlacementPolicy::ALL {
-        let p = Placement::assign(policy, &segment_bytes, nodes);
-        rows.push(vec![
-            policy.name().to_owned(),
-            format!("{:.2}", p.imbalance()),
-            format!("{:.2}", mean_fanout(&p, &segment_ranges, &queries)),
-            segment_bytes.len().to_string(),
-        ]);
+    // Segmentation strategies only: their segments tile the domain in value
+    // order, which is what a range-partitioned placement ships to nodes.
+    for kind in [
+        StrategyKind::ApmSegm,
+        StrategyKind::GdSegm,
+        StrategyKind::GdSegmMerged,
+    ] {
+        let values = uniform_values(cfg.column_len, &domain, cfg.data_seed);
+        let mut s = build_strategy(kind, domain, values, cfg.mmin, cfg.mmax, cfg.model_seed);
+        // Converge the column first.
+        for q in &queries {
+            s.select_count(q, &mut NullTracker);
+        }
+        let segment_bytes = s.segment_bytes();
+        let segment_ranges = s.segment_ranges();
+        for policy in PlacementPolicy::ALL {
+            let p = Placement::assign(policy, &segment_bytes, nodes);
+            rows.push(vec![
+                s.name(),
+                policy.name().to_owned(),
+                format!("{:.2}", p.imbalance()),
+                format!("{:.2}", mean_fanout(&p, &segment_ranges, &queries)),
+                segment_bytes.len().to_string(),
+            ]);
+        }
     }
     TableOut {
         id: "abl-placement".to_owned(),
-        title: format!("Ablation: segment placement over {nodes} nodes (converged APM column)"),
+        title: format!("Ablation: segment placement over {nodes} nodes (converged columns)"),
         headers: vec![
+            "Strategy".to_owned(),
             "Policy".to_owned(),
             "Imbalance (max/ideal)".to_owned(),
             "Mean query fan-out".to_owned(),
@@ -504,16 +500,20 @@ mod tests {
     #[test]
     fn placement_ablation_orders_policies_sanely() {
         let t = placement_ablation(&SimConfig::tiny(), 8);
-        assert_eq!(t.rows.len(), 3);
-        let fanout = |i: usize| -> f64 { t.rows[i][2].parse().unwrap() };
-        // Range-contiguous (row 1) must touch fewer nodes per query than
-        // round-robin (row 0).
-        assert!(
-            fanout(1) < fanout(0),
-            "contiguous {} must beat round-robin {}",
-            fanout(1),
-            fanout(0)
-        );
+        // Three segmentation strategies × three policies.
+        assert_eq!(t.rows.len(), 9);
+        let fanout = |i: usize| -> f64 { t.rows[i][3].parse().unwrap() };
+        // For every strategy, range-contiguous (second policy row) must
+        // touch fewer nodes per query than round-robin (first policy row).
+        for base in [0, 3, 6] {
+            assert!(
+                fanout(base + 1) < fanout(base),
+                "strategy {}: contiguous {} must beat round-robin {}",
+                t.rows[base][0],
+                fanout(base + 1),
+                fanout(base)
+            );
+        }
     }
 
     #[test]

@@ -12,12 +12,9 @@ pub mod ablation;
 pub mod simulation;
 pub mod skyserver;
 
-use soc_core::merge::MergingSegmentation;
-use soc_core::{
-    AdaptivePageModel, AdaptiveReplication, AdaptiveSegmentation, ColumnStrategy, ColumnValue,
-    CrackedColumn, FullySorted, GaussianDice, MergePolicy, NonSegmented, ReplicaTree,
-    SegmentationModel, SegmentedColumn, SizeEstimator, ValueRange,
-};
+use soc_core::{ColumnStrategy, ColumnValue, ValueRange};
+
+pub use soc_core::{StrategyKind, StrategySpec};
 
 /// One plotted line of a figure.
 #[derive(Debug, Clone)]
@@ -72,41 +69,15 @@ pub struct TableOut {
     pub rows: Vec<Vec<String>>,
 }
 
-/// The strategies the evaluation compares.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum StrategyKind {
-    /// Positional organization, full scan per query ("NoSegm").
-    NoSegm,
-    /// Gaussian Dice × adaptive segmentation.
-    GdSegm,
-    /// Gaussian Dice × adaptive replication.
-    GdRepl,
-    /// Adaptive Page Model × adaptive segmentation.
-    ApmSegm,
-    /// Adaptive Page Model × adaptive replication.
-    ApmRepl,
-    /// Database cracking (related-work ablation).
-    Cracking,
-    /// Fully sorted at load time (eager-total-reorganization ablation).
-    FullSort,
-    /// GD segmentation with the post-query merge pass (Section 8 extension).
-    GdSegmMerged,
-}
-
-impl StrategyKind {
-    /// The four strategies of the Section 6.1 simulation.
-    pub const SIMULATION: [StrategyKind; 4] = [
-        StrategyKind::GdSegm,
-        StrategyKind::GdRepl,
-        StrategyKind::ApmSegm,
-        StrategyKind::ApmRepl,
-    ];
-}
-
-/// Builds a ready-to-run strategy over `values`.
+/// Builds a ready-to-run strategy over `values` through the unified
+/// [`StrategySpec`] factory in `soc-core`.
 ///
 /// `mmin`/`mmax` configure the APM variants (bytes); `model_seed` feeds the
 /// Gaussian Dice so runs are reproducible.
+///
+/// # Panics
+/// Panics when `values` violate `domain`; the experiment drivers generate
+/// both, so a violation is a driver bug.
 pub fn build_strategy<V: ColumnValue>(
     kind: StrategyKind,
     domain: ValueRange<V>,
@@ -115,39 +86,11 @@ pub fn build_strategy<V: ColumnValue>(
     mmax: u64,
     model_seed: u64,
 ) -> Box<dyn ColumnStrategy<V>> {
-    let gd = || -> Box<dyn SegmentationModel> { Box::new(GaussianDice::new(model_seed)) };
-    let apm = || -> Box<dyn SegmentationModel> { Box::new(AdaptivePageModel::new(mmin, mmax)) };
-    match kind {
-        StrategyKind::NoSegm => Box::new(NonSegmented::new(domain, values)),
-        StrategyKind::GdSegm => Box::new(AdaptiveSegmentation::new(
-            SegmentedColumn::new(domain, values).expect("values within domain"),
-            gd(),
-            SizeEstimator::Uniform,
-        )),
-        StrategyKind::ApmSegm => Box::new(AdaptiveSegmentation::new(
-            SegmentedColumn::new(domain, values).expect("values within domain"),
-            apm(),
-            SizeEstimator::Uniform,
-        )),
-        StrategyKind::GdRepl => Box::new(AdaptiveReplication::new(
-            ReplicaTree::new(domain, values).expect("values within domain"),
-            gd(),
-        )),
-        StrategyKind::ApmRepl => Box::new(AdaptiveReplication::new(
-            ReplicaTree::new(domain, values).expect("values within domain"),
-            apm(),
-        )),
-        StrategyKind::Cracking => Box::new(CrackedColumn::new(values)),
-        StrategyKind::FullSort => Box::new(FullySorted::new(domain, values)),
-        StrategyKind::GdSegmMerged => Box::new(MergingSegmentation::new(
-            AdaptiveSegmentation::new(
-                SegmentedColumn::new(domain, values).expect("values within domain"),
-                gd(),
-                SizeEstimator::Uniform,
-            ),
-            MergePolicy::new(mmin, mmax),
-        )),
-    }
+    StrategySpec::new(kind)
+        .with_apm_bounds(mmin, mmax)
+        .with_model_seed(model_seed)
+        .build(domain, values)
+        .expect("values within domain")
 }
 
 #[cfg(test)]
@@ -157,16 +100,7 @@ mod tests {
 
     #[test]
     fn factory_builds_every_kind() {
-        for kind in [
-            StrategyKind::NoSegm,
-            StrategyKind::GdSegm,
-            StrategyKind::GdRepl,
-            StrategyKind::ApmSegm,
-            StrategyKind::ApmRepl,
-            StrategyKind::Cracking,
-            StrategyKind::FullSort,
-            StrategyKind::GdSegmMerged,
-        ] {
+        for kind in StrategyKind::ALL {
             let values: Vec<u32> = (0..1000).collect();
             let mut s = build_strategy(kind, ValueRange::must(0, 999), values, 64, 256, 1);
             let n = s.select_count(&ValueRange::must(100, 199), &mut NullTracker);

@@ -28,6 +28,6 @@ pub mod stats;
 
 pub use buffer::{BufferPool, IoStats};
 pub use cost::CostModel;
-pub use experiment::{build_strategy, Figure, Series, StrategyKind, TableOut};
+pub use experiment::{build_strategy, Figure, Series, StrategyKind, StrategySpec, TableOut};
 pub use placement::{mean_fanout, Placement, PlacementPolicy};
 pub use runner::{run_queries, QueryRecord, RunResult, SimTracker};

@@ -55,11 +55,11 @@ pub use soc_workload as workload;
 /// The most commonly used types, re-exported flat.
 pub mod prelude {
     pub use soc_core::{
-        AccessTracker, AdaptivePageModel, AdaptiveReplication, AdaptiveSegmentation,
-        ColumnStrategy, ColumnValue, CountingTracker, CrackedColumn, GaussianDice, NonSegmented,
-        NullTracker, OrdF64, ReplicaTree, SegmentationModel, SegmentedColumn, SizeEstimator,
-        ValueRange,
+        AccessTracker, AdaptationStats, AdaptivePageModel, AdaptiveReplication,
+        AdaptiveSegmentation, ColumnStrategy, ColumnValue, CountingTracker, CrackedColumn,
+        FullySorted, GaussianDice, MergePolicy, NonSegmented, NullTracker, OrdF64, ReplicaTree,
+        SegmentationModel, SegmentedColumn, SizeEstimator, StrategyKind, StrategySpec, ValueRange,
     };
-    pub use soc_sim::{run_queries, CostModel, RunResult, SimTracker};
+    pub use soc_sim::{build_strategy, run_queries, CostModel, RunResult, SimTracker};
     pub use soc_workload::{skyserver_domain, skyserver_ra, uniform_values, WorkloadSpec};
 }
