@@ -1,0 +1,83 @@
+//! Sharded range selection: throughput of the placement-routed executor
+//! against the single-node baseline, sweeping the node count.
+//!
+//! Two effects pull in opposite directions as nodes grow: routing skips
+//! ever more of the data for narrow queries (contiguous placement), while
+//! per-query coordination over more strategies adds overhead (round-robin
+//! fans out to everything). The 1-node shard bounds the executor's own
+//! overhead against the plain strategy.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use soc_core::{ColumnStrategy, NullTracker, StrategyKind, StrategySpec, ValueRange};
+use soc_sim::{PlacementPolicy, ShardedColumn};
+use soc_workload::{uniform_values, WorkloadSpec};
+
+const DOMAIN_HI: u32 = 999_999;
+const COLUMN_LEN: usize = 100_000;
+const NODE_COUNTS: [usize; 3] = [1, 4, 16];
+
+fn domain() -> ValueRange<u32> {
+    ValueRange::must(0, DOMAIN_HI)
+}
+
+fn spec() -> StrategySpec {
+    StrategySpec::new(StrategyKind::ApmSegm).with_apm_bounds(3 * 1024, 12 * 1024)
+}
+
+/// A converged shard: the workload has already shaped the per-node columns,
+/// so the measurement sees steady-state routed scans, not first-touch
+/// reorganization.
+fn converged_shard(policy: PlacementPolicy, nodes: usize) -> ShardedColumn<u32> {
+    let values = uniform_values(COLUMN_LEN, &domain(), 21);
+    let mut sharded =
+        ShardedColumn::new(spec(), policy, nodes, domain(), values).expect("valid shard");
+    for q in WorkloadSpec::uniform(0.01, 400, 22).generate(&domain()) {
+        sharded.select_count(&q, &mut NullTracker);
+    }
+    sharded
+}
+
+fn bench_sharded_scan(c: &mut Criterion) {
+    let queries = WorkloadSpec::uniform(0.01, 64, 23).generate(&domain());
+    let mut group = c.benchmark_group("sharded_scan");
+    group.sample_size(20);
+    for policy in [
+        PlacementPolicy::RangeContiguous,
+        PlacementPolicy::RoundRobin,
+    ] {
+        for nodes in NODE_COUNTS {
+            let mut sharded = converged_shard(policy, nodes);
+            group.bench_function(BenchmarkId::new(policy.name(), nodes), |b| {
+                b.iter(|| {
+                    let mut total = 0u64;
+                    for q in &queries {
+                        total += sharded.select_count(black_box(q), &mut NullTracker);
+                    }
+                    black_box(total)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_replacement_epoch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sharded_replace");
+    group.sample_size(10);
+    for nodes in NODE_COUNTS {
+        group.bench_function(BenchmarkId::from_parameter(nodes), |b| {
+            b.iter_batched(
+                || converged_shard(PlacementPolicy::RangeContiguous, nodes),
+                |mut sharded| {
+                    black_box(sharded.replace(&mut NullTracker).expect("nodes > 0"));
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharded_scan, bench_replacement_epoch);
+criterion_main!(benches);

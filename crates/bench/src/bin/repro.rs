@@ -8,8 +8,9 @@
 //!
 //! Experiments: fig2, fig5, fig6, fig7, tab1, fig8, fig9 (simulation);
 //! fig10–fig16, tab2 (SkyServer); ablation-cracking, ablation-apm,
-//! ablation-merge, ablation-buffer; or the groups `simulation`,
-//! `skyserver`, `ablation`, `all`.
+//! ablation-merge, ablation-buffer, ablation-budget, ablation-auto-apm,
+//! ablation-estimator, ablation-placement, ablation-sharding; or the
+//! groups `simulation`, `skyserver`, `ablation`, `all`.
 //!
 //! Each figure/table is printed (tables verbatim, figures as sparkline
 //! summaries) and written as CSV under `--out` (default `results/`).
@@ -224,6 +225,7 @@ fn main() -> ExitCode {
         "ablation-auto-apm",
         "ablation-estimator",
         "ablation-placement",
+        "ablation-sharding",
     ]
     .iter()
     .any(|id| wants(e, id, "ablation"))
@@ -263,6 +265,9 @@ fn main() -> ExitCode {
         }
         if wants(e, "ablation-placement", "ablation") {
             em.table(&ablation::placement_ablation(&cfg, 8));
+        }
+        if wants(e, "ablation-sharding", "ablation") {
+            em.table(&ablation::sharding_ablation(&cfg, 8));
         }
     }
 

@@ -218,11 +218,23 @@ impl<V: ColumnValue> ColumnStrategy<V> for AdaptiveReplication<V> {
     }
 
     fn segment_bytes(&self) -> Vec<u64> {
-        self.tree.mat_segment_bytes()
+        // The flat covering leaf set, not every materialized replica:
+        // nested parent/child replicas would double-count data, so byte i
+        // here always describes the same segment as range i of
+        // [`Self::segment_ranges`] and the bytes sum to the logical column.
+        self.tree
+            .covering_partition()
+            .into_iter()
+            .map(|(_, b)| b)
+            .collect()
     }
 
     fn segment_ranges(&self) -> Vec<ValueRange<V>> {
-        self.tree.mat_segment_ranges()
+        self.tree
+            .covering_partition()
+            .into_iter()
+            .map(|(r, _)| r)
+            .collect()
     }
 
     fn adaptation(&self) -> crate::strategy::AdaptationStats {
@@ -453,6 +465,53 @@ mod tests {
         let r = AdaptiveReplication::new(tree, apm()).with_storage_budget(1);
         // The budget can never be below the column itself.
         assert_eq!(r.budget_bytes, Some(4_000));
+    }
+
+    #[test]
+    fn segment_ranges_flatten_to_a_disjoint_domain_covering_partition() {
+        // Regression: materialized parent and child replicas used to be
+        // reported together, so ranges nested and positional placement
+        // double-counted data. The flat covering leaf set must tile the
+        // domain exactly once, with bytes paired per range.
+        let values = column_values(30_000, 13);
+        let total_bytes = 30_000u64 * 4;
+        for model in [
+            apm(),
+            Box::new(GaussianDice::new(5)) as Box<dyn SegmentationModel>,
+        ] {
+            let mut r = repl(values.clone(), model);
+            let mut rng = SmallRng::seed_from_u64(14);
+            let mut saw_nesting = false;
+            for _ in 0..200 {
+                let lo = rng.gen_range(0..=DOMAIN_HI - 8_000);
+                r.select_count(&ValueRange::must(lo, lo + 7_999), &mut NullTracker);
+
+                let ranges = r.segment_ranges();
+                let bytes = r.segment_bytes();
+                assert_eq!(ranges.len(), bytes.len(), "byte/range pairing");
+                // While parent and child replicas coexist, more segments
+                // occupy storage than the flat report lists.
+                saw_nesting |= r.segment_count() > ranges.len();
+                // The reported partition is disjoint, adjacent, and spans
+                // the domain: every point covered exactly once.
+                assert_eq!(ranges.first().expect("non-empty").lo(), 0);
+                assert_eq!(ranges.last().expect("non-empty").hi(), DOMAIN_HI);
+                for w in ranges.windows(2) {
+                    assert!(
+                        w[0].adjacent_before(&w[1]),
+                        "ranges {:?} and {:?} must tile with no gap or overlap",
+                        w[0],
+                        w[1]
+                    );
+                }
+                // Summing paired bytes counts every tuple exactly once.
+                assert_eq!(bytes.iter().sum::<u64>(), total_bytes);
+            }
+            assert!(
+                saw_nesting,
+                "the run must have passed through a nested-replica state"
+            );
+        }
     }
 
     #[test]

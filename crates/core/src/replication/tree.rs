@@ -198,10 +198,31 @@ impl<V: ColumnValue> ReplicaTree<V> {
     /// Value ranges of all materialized segments, sorted by range start.
     ///
     /// Parents and children can both be materialized, so ranges may nest —
-    /// callers placing segments onto nodes see every replica that occupies
-    /// storage.
+    /// callers auditing every replica that occupies storage see all of
+    /// them. Positional placement must NOT use this (nested ranges
+    /// double-count data); use [`Self::covering_partition`] instead.
     pub fn mat_segment_ranges(&self) -> Vec<ValueRange<V>> {
         self.mat_segments().into_iter().map(|(r, _)| r).collect()
+    }
+
+    /// `(range, bytes)` of the flat covering leaf set: the deepest
+    /// materialized segments whose ranges jointly tile the whole domain,
+    /// each point covered exactly once (the minimal covering set of the
+    /// full-domain selection).
+    ///
+    /// This is the partitioning a distributed placement ships to nodes —
+    /// unlike [`Self::mat_segments`], ranges never nest, so byte/range
+    /// pairing is positionally consistent and summing bytes counts every
+    /// tuple exactly once. The returned ranges are sorted, pairwise
+    /// disjoint, adjacent, and span the domain.
+    pub fn covering_partition(&self) -> Vec<(ValueRange<V>, u64)> {
+        self.covering_set(&self.domain)
+            .into_iter()
+            .map(|id| {
+                let n = self.node(id);
+                (n.range, n.bytes())
+            })
+            .collect()
     }
 
     /// Depth of the tree (a root-only tree has depth 1).

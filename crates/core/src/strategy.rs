@@ -54,15 +54,25 @@ pub trait ColumnStrategy<V: ColumnValue> {
     /// Number of materialized segments currently held (Table 2's "Segm.#").
     fn segment_count(&self) -> usize;
 
-    /// Sizes in bytes of all materialized segments (Table 2's size stats).
+    /// Sizes in bytes of the placeable segments, positionally paired with
+    /// [`Self::segment_ranges`] (Table 2's size stats).
+    ///
+    /// For replication this is the flat covering leaf set, not every
+    /// replica in storage, so the bytes sum to the logical column.
     fn segment_bytes(&self) -> Vec<u64>;
 
-    /// Value ranges of the materialized segments in value order — the
-    /// partitioning a distributed placement policy would ship to nodes
-    /// (Section 8's outlook). Strategies whose pieces can be degenerate
+    /// Value ranges of the placeable segments in value order — the
+    /// partitioning a distributed placement policy ships to nodes
+    /// (Section 8's outlook). Entry `i` describes the same segment as
+    /// entry `i` of [`Self::segment_bytes`].
+    ///
+    /// The ranges are pairwise disjoint and sorted; positional placement
+    /// over them never double-counts data. Replication reports the flat
+    /// covering leaf set (the deepest materialized replicas tiling the
+    /// domain), so nested parent replicas are excluded even though they
+    /// occupy storage; strategies whose pieces can be degenerate
     /// (cracking's empty boundary pieces) may return fewer entries than
-    /// [`Self::segment_count`]; replication returns every materialized
-    /// node, so ranges may nest.
+    /// [`Self::segment_count`].
     fn segment_ranges(&self) -> Vec<ValueRange<V>>;
 
     /// How much self-organization has been performed so far.

@@ -12,6 +12,9 @@
 //!   into milliseconds (the Section 6.2 time axes);
 //! * [`runner`] — per-query instrumentation of any [`soc_core::ColumnStrategy`];
 //! * [`experiment`] — Figures 5–16, Tables 1–2, and four ablations;
+//! * [`placement`] — segment-to-node assignment policies (the §8 outlook);
+//! * [`shard`] — the sharded executor running one strategy per node and
+//!   routing range selections via the placement plan;
 //! * [`output`] — text/CSV renderers used by the `repro` binary.
 
 #![warn(missing_docs)]
@@ -24,10 +27,12 @@ pub mod experiment;
 pub mod output;
 pub mod placement;
 pub mod runner;
+pub mod shard;
 pub mod stats;
 
 pub use buffer::{BufferPool, IoStats};
 pub use cost::CostModel;
 pub use experiment::{build_strategy, Figure, Series, StrategyKind, StrategySpec, TableOut};
-pub use placement::{mean_fanout, Placement, PlacementPolicy};
+pub use placement::{mean_fanout, overlapping_span, Placement, PlacementError, PlacementPolicy};
 pub use runner::{run_queries, QueryRecord, RunResult, SimTracker};
+pub use shard::{MigrationReport, ShardError, ShardedColumn};

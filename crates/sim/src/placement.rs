@@ -45,6 +45,26 @@ impl PlacementPolicy {
     }
 }
 
+/// Errors computing a placement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlacementError {
+    /// A placement over zero nodes was requested; there is nowhere to put
+    /// the segments.
+    NoNodes,
+}
+
+impl std::fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlacementError::NoNodes => {
+                write!(f, "cannot place segments onto zero nodes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlacementError {}
+
 /// A computed assignment of segments to nodes.
 #[derive(Debug, Clone)]
 pub struct Placement {
@@ -57,10 +77,20 @@ pub struct Placement {
 impl Placement {
     /// Assigns `segment_bytes` (in value order) to `nodes` nodes.
     ///
-    /// # Panics
-    /// Panics when `nodes == 0`.
-    pub fn assign(policy: PlacementPolicy, segment_bytes: &[u64], nodes: usize) -> Self {
-        assert!(nodes > 0, "need at least one node");
+    /// An empty `segment_bytes` list is valid and yields the empty
+    /// placement: no segment assignments, every node at zero bytes (a
+    /// freshly loaded, not-yet-reorganized column has nothing to ship).
+    ///
+    /// # Errors
+    /// Returns [`PlacementError::NoNodes`] when `nodes == 0`.
+    pub fn assign(
+        policy: PlacementPolicy,
+        segment_bytes: &[u64],
+        nodes: usize,
+    ) -> Result<Self, PlacementError> {
+        if nodes == 0 {
+            return Err(PlacementError::NoNodes);
+        }
         let mut node_of_segment = Vec::with_capacity(segment_bytes.len());
         let mut node_bytes = vec![0u64; nodes];
         match policy {
@@ -101,10 +131,10 @@ impl Placement {
                 }
             }
         }
-        Placement {
+        Ok(Placement {
             node_of_segment,
             node_bytes,
-        }
+        })
     }
 
     /// Imbalance factor: heaviest node / ideal share (1.0 = perfect).
@@ -130,6 +160,36 @@ impl Placement {
     }
 }
 
+/// Indices of the segments in `segment_ranges` (sorted, pairwise
+/// disjoint — the [`soc_core::ColumnStrategy::segment_ranges`] contract)
+/// that a range selection `q` overlaps.
+///
+/// Boundary semantics: closed ranges overlap when they share a single
+/// value, so a query with `q.lo() == r.hi()` touches segment `r` (and only
+/// once — ranges are disjoint, so the value lives in exactly one segment).
+/// A query falling entirely between two segments overlaps neither and the
+/// span is empty.
+///
+/// Nested ranges (the pre-flattening replication report) violate the
+/// sortedness assumption `partition_point` needs; segment providers must
+/// hand over a flat partition.
+pub fn overlapping_span<V: ColumnValue>(
+    segment_ranges: &[ValueRange<V>],
+    q: &ValueRange<V>,
+) -> std::ops::Range<usize> {
+    debug_assert!(
+        segment_ranges.windows(2).all(|w| w[0].hi() < w[1].lo()),
+        "segment ranges must be sorted and disjoint"
+    );
+    // First segment not entirely below the query: it overlaps q iff any
+    // segment does, because r.hi() >= q.lo() and (within the span)
+    // r.lo() <= q.hi().
+    let start = segment_ranges.partition_point(|r| r.hi() < q.lo());
+    // First segment entirely above the query.
+    let end = segment_ranges.partition_point(|r| r.lo() <= q.hi());
+    start..end.max(start)
+}
+
 /// Mean query fan-out of a placement over a workload, given the segment
 /// ranges in value order.
 pub fn mean_fanout<V: ColumnValue>(
@@ -142,11 +202,7 @@ pub fn mean_fanout<V: ColumnValue>(
     }
     let total: usize = queries
         .iter()
-        .map(|q| {
-            let start = segment_ranges.partition_point(|r| r.hi() < q.lo());
-            let end = segment_ranges.partition_point(|r| r.lo() <= q.hi());
-            placement.fanout(start..end.max(start))
-        })
+        .map(|q| placement.fanout(overlapping_span(segment_ranges, q)))
         .sum();
     total as f64 / queries.len() as f64
 }
@@ -159,16 +215,20 @@ mod tests {
         vec![100, 50, 200, 25, 125, 75, 150, 175]
     }
 
+    fn assign(policy: PlacementPolicy, sizes: &[u64], nodes: usize) -> Placement {
+        Placement::assign(policy, sizes, nodes).expect("nodes > 0")
+    }
+
     #[test]
     fn round_robin_alternates() {
-        let p = Placement::assign(PlacementPolicy::RoundRobin, &bytes(), 3);
+        let p = assign(PlacementPolicy::RoundRobin, &bytes(), 3);
         assert_eq!(p.node_of_segment, vec![0, 1, 2, 0, 1, 2, 0, 1]);
         assert_eq!(p.node_bytes.iter().sum::<u64>(), 900);
     }
 
     #[test]
     fn range_contiguous_is_monotone() {
-        let p = Placement::assign(PlacementPolicy::RangeContiguous, &bytes(), 3);
+        let p = assign(PlacementPolicy::RangeContiguous, &bytes(), 3);
         assert!(p.node_of_segment.windows(2).all(|w| w[0] <= w[1]));
         assert!(*p.node_of_segment.last().unwrap() < 3);
     }
@@ -176,8 +236,8 @@ mod tests {
     #[test]
     fn size_balanced_has_best_imbalance() {
         let skewed: Vec<u64> = vec![1000, 10, 10, 10, 900, 10, 10, 800, 10, 10];
-        let rr = Placement::assign(PlacementPolicy::RoundRobin, &skewed, 3).imbalance();
-        let sb = Placement::assign(PlacementPolicy::SizeBalanced, &skewed, 3).imbalance();
+        let rr = assign(PlacementPolicy::RoundRobin, &skewed, 3).imbalance();
+        let sb = assign(PlacementPolicy::SizeBalanced, &skewed, 3).imbalance();
         assert!(sb <= rr, "greedy {sb} must not lose to round-robin {rr}");
         assert!(sb < 1.2, "greedy should nearly balance, got {sb}");
     }
@@ -185,8 +245,8 @@ mod tests {
     #[test]
     fn contiguous_minimizes_fanout_for_narrow_queries() {
         let sizes = vec![100u64; 12];
-        let contiguous = Placement::assign(PlacementPolicy::RangeContiguous, &sizes, 4);
-        let rr = Placement::assign(PlacementPolicy::RoundRobin, &sizes, 4);
+        let contiguous = assign(PlacementPolicy::RangeContiguous, &sizes, 4);
+        let rr = assign(PlacementPolicy::RoundRobin, &sizes, 4);
         // A query over segments 0..3 (one node's worth).
         assert_eq!(contiguous.fanout(0..3), 1);
         assert_eq!(rr.fanout(0..3), 3);
@@ -194,9 +254,9 @@ mod tests {
 
     #[test]
     fn imbalance_of_empty_and_uniform() {
-        let p = Placement::assign(PlacementPolicy::RoundRobin, &[], 4);
+        let p = assign(PlacementPolicy::RoundRobin, &[], 4);
         assert_eq!(p.imbalance(), 1.0);
-        let p = Placement::assign(PlacementPolicy::RoundRobin, &[10, 10, 10, 10], 4);
+        let p = assign(PlacementPolicy::RoundRobin, &[10, 10, 10, 10], 4);
         assert!((p.imbalance() - 1.0).abs() < 1e-12);
     }
 
@@ -207,7 +267,7 @@ mod tests {
             .map(|i| ValueRange::must(i * 100, i * 100 + 99))
             .collect();
         let sizes = vec![100u64; 10];
-        let p = Placement::assign(PlacementPolicy::RangeContiguous, &sizes, 5);
+        let p = assign(PlacementPolicy::RangeContiguous, &sizes, 5);
         // Queries each covering exactly two adjacent segments = one node.
         let queries: Vec<ValueRange<u32>> = (0..5)
             .map(|i| ValueRange::must(i * 200, i * 200 + 199))
@@ -215,14 +275,63 @@ mod tests {
         let f = mean_fanout(&p, &ranges, &queries);
         assert!((f - 1.0).abs() < 1e-12, "fan-out {f}");
         // The same queries against round-robin touch 2 nodes each.
-        let rr = Placement::assign(PlacementPolicy::RoundRobin, &sizes, 5);
+        let rr = assign(PlacementPolicy::RoundRobin, &sizes, 5);
         let f = mean_fanout(&rr, &ranges, &queries);
         assert!(f > 1.9, "fan-out {f}");
     }
 
     #[test]
-    #[should_panic(expected = "at least one node")]
-    fn zero_nodes_rejected() {
-        let _ = Placement::assign(PlacementPolicy::RoundRobin, &[1], 0);
+    fn zero_nodes_is_a_typed_error_not_a_panic() {
+        for policy in PlacementPolicy::ALL {
+            let err = Placement::assign(policy, &[1, 2, 3], 0).unwrap_err();
+            assert_eq!(err, PlacementError::NoNodes);
+            assert!(err.to_string().contains("zero nodes"));
+        }
+    }
+
+    #[test]
+    fn empty_segment_list_is_the_empty_placement() {
+        for policy in PlacementPolicy::ALL {
+            let p = Placement::assign(policy, &[], 3).expect("empty list is valid");
+            assert!(p.node_of_segment.is_empty());
+            assert_eq!(p.node_bytes, vec![0, 0, 0]);
+            assert_eq!(p.imbalance(), 1.0);
+            assert_eq!(p.fanout(0..0), 0);
+        }
+    }
+
+    #[test]
+    fn span_counts_a_boundary_touching_query_exactly_once() {
+        use soc_core::ValueRange;
+        // Segments [0,99] [100,199] [200,299].
+        let ranges: Vec<ValueRange<u32>> = (0..3)
+            .map(|i| ValueRange::must(i * 100, i * 100 + 99))
+            .collect();
+        // q.lo() == ranges[0].hi(): the shared value 99 lives in exactly
+        // one segment, so the span holds segment 0 once — plus segment 1,
+        // which the rest of the query overlaps.
+        assert_eq!(overlapping_span(&ranges, &ValueRange::must(99, 150)), 0..2);
+        // A point query exactly on a segment's upper bound: one segment,
+        // not zero, not two.
+        assert_eq!(overlapping_span(&ranges, &ValueRange::must(99, 99)), 0..1);
+        // A point query exactly on a segment's lower bound.
+        assert_eq!(overlapping_span(&ranges, &ValueRange::must(200, 200)), 2..3);
+        // Interior query: just its segment.
+        assert_eq!(overlapping_span(&ranges, &ValueRange::must(120, 130)), 1..2);
+        // Query beyond all segments: empty span.
+        assert_eq!(overlapping_span(&ranges, &ValueRange::must(300, 400)), 3..3);
+    }
+
+    #[test]
+    fn span_is_empty_between_gapped_segments() {
+        use soc_core::ValueRange;
+        // Cracked columns can report gapped partitions: [0,99] [200,299].
+        let ranges = vec![ValueRange::must(0u32, 99), ValueRange::must(200, 299)];
+        let span = overlapping_span(&ranges, &ValueRange::must(120, 180));
+        assert!(span.is_empty(), "gap query must touch no segment: {span:?}");
+        // Touching the gap edge from inside the gap still hits nothing…
+        assert!(overlapping_span(&ranges, &ValueRange::must(100, 199)).is_empty());
+        // …but sharing the boundary value does (once).
+        assert_eq!(overlapping_span(&ranges, &ValueRange::must(99, 199)), 0..1);
     }
 }

@@ -1,0 +1,878 @@
+//! The sharded range-selection executor: placement, executed.
+//!
+//! Section 8 leaves "how to exploit the partitioning provided by the
+//! segmentation and replication in a distributed column-store system" as
+//! future work, and [`crate::placement`] only *scores* candidate
+//! assignments. This module executes them: a [`ShardedColumn`] splits a
+//! loaded column across `n` simulated nodes according to a
+//! [`PlacementPolicy`], gives every node its own self-organizing
+//! [`ColumnStrategy`] (so per-node reorganization stays adaptive, in the
+//! spirit of the crack-in-the-middle line of work), routes each range
+//! selection only to the nodes whose data can overlap it, and merges the
+//! per-node results.
+//!
+//! Because the nodes partition the *values* (each tuple lives on exactly
+//! one node), routing is purely a performance concern: however coarse the
+//! routing, counts are never duplicated. The executor therefore measures —
+//! rather than estimates — the two quantities the placement ablation
+//! previously interpolated: per-query fan-out (nodes actually touched) and
+//! per-node read balance.
+//!
+//! Re-placement is supported as an explicit epoch ([`ShardedColumn::replace`]):
+//! the live, self-organized partitioning is collected from every node's
+//! `segment_ranges()`, a fresh plan is computed, and segments migrate to
+//! their new homes with the moved bytes charged to the tracker as
+//! reorganization cost.
+
+use soc_core::{
+    AccessTracker, AdaptationStats, ColumnError, ColumnStrategy, ColumnValue, SegId, SegIdGen,
+    StrategySpec, ValueRange,
+};
+
+use crate::placement::{overlapping_span, Placement, PlacementError, PlacementPolicy};
+
+/// Errors building or re-placing a [`ShardedColumn`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardError {
+    /// The placement layer rejected the request (zero nodes).
+    Placement(PlacementError),
+    /// A per-node column rejected its values.
+    Column(ColumnError),
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::Placement(e) => write!(f, "placement: {e}"),
+            ShardError::Column(e) => write!(f, "node column: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+impl From<PlacementError> for ShardError {
+    fn from(e: PlacementError) -> Self {
+        ShardError::Placement(e)
+    }
+}
+
+impl From<ColumnError> for ShardError {
+    fn from(e: ColumnError) -> Self {
+        ShardError::Column(e)
+    }
+}
+
+/// What one [`ShardedColumn::replace`] epoch did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MigrationReport {
+    /// Segments (placement-grain pieces) in the new plan.
+    pub pieces: usize,
+    /// Pieces whose owning node changed.
+    pub moved_pieces: usize,
+    /// Bytes shipped between nodes (the reorganization cost of the epoch).
+    pub moved_bytes: u64,
+}
+
+/// One simulated node: its own strategy instance plus the value ranges it
+/// owns and its lifetime read counters.
+struct ShardNode<V> {
+    strategy: Box<dyn ColumnStrategy<V>>,
+    /// Sorted, pairwise disjoint ranges whose values this node holds.
+    assigned: Vec<ValueRange<V>>,
+    read_bytes: u64,
+    queries_touched: u64,
+}
+
+/// Forwards all accounting to the run's tracker while attributing read
+/// bytes to the node doing the work — the "measured, not estimated"
+/// per-node balance the ablation tables report.
+struct NodeIo<'a> {
+    inner: &'a mut dyn AccessTracker,
+    read_bytes: u64,
+}
+
+impl AccessTracker for NodeIo<'_> {
+    fn scan(&mut self, seg: SegId, bytes: u64) {
+        self.read_bytes += bytes;
+        self.inner.scan(seg, bytes);
+    }
+
+    fn materialize(&mut self, seg: SegId, bytes: u64) {
+        self.inner.materialize(seg, bytes);
+    }
+
+    fn free(&mut self, seg: SegId, bytes: u64) {
+        self.inner.free(seg, bytes);
+    }
+}
+
+/// A column partitioned across `n` simulated nodes, each running its own
+/// self-organizing [`ColumnStrategy`], with placement-aware query routing.
+///
+/// ```
+/// use soc_core::{ColumnStrategy, CountingTracker, StrategyKind, StrategySpec, ValueRange};
+/// use soc_sim::{PlacementPolicy, ShardedColumn};
+///
+/// let domain = ValueRange::must(0u32, 99_999);
+/// let values: Vec<u32> = (0..20_000u32).map(|i| (i * 13) % 100_000).collect();
+/// let mut sharded = ShardedColumn::new(
+///     StrategySpec::new(StrategyKind::ApmSegm).with_apm_bounds(1024, 4096),
+///     PlacementPolicy::RangeContiguous,
+///     4,
+///     domain,
+///     values.clone(),
+/// )
+/// .unwrap();
+/// let q = ValueRange::must(10_000, 19_999);
+/// let expect = values.iter().filter(|v| q.contains(**v)).count() as u64;
+/// let mut tracker = CountingTracker::new();
+/// assert_eq!(sharded.select_count(&q, &mut tracker), expect);
+/// // A narrow query on a contiguous placement touches few nodes.
+/// assert!(sharded.mean_measured_fanout() <= 2.0);
+/// ```
+pub struct ShardedColumn<V> {
+    spec: StrategySpec,
+    policy: PlacementPolicy,
+    domain: ValueRange<V>,
+    nodes: Vec<ShardNode<V>>,
+    /// The placement-grain partition `(range, bytes)` of the current plan,
+    /// sorted by range — what [`ColumnStrategy::segment_ranges`] reports.
+    partition: Vec<(ValueRange<V>, u64)>,
+    /// Adaptation performed by node strategies retired in past epochs.
+    retired: AdaptationStats,
+    ids: SegIdGen,
+    epochs: u64,
+    moved_bytes: u64,
+    queries: u64,
+    fanout_sum: u64,
+}
+
+impl<V: ColumnValue + std::fmt::Debug> std::fmt::Debug for ShardedColumn<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedColumn")
+            .field("policy", &self.policy)
+            .field("domain", &self.domain)
+            .field("nodes", &self.nodes.len())
+            .field("pieces", &self.partition.len())
+            .field("epochs", &self.epochs)
+            .field("moved_bytes", &self.moved_bytes)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Seed partition granularity: segments per node carved from the domain
+/// before any workload has shaped the column. Fine enough that round-robin
+/// and size-balancing have something to interleave, coarse enough to stay
+/// out of the strategies' way.
+const SEED_SEGMENTS_PER_NODE: usize = 4;
+
+/// Recursively bisects `r` into up to `2^depth` adjacent pieces, stopping
+/// early where the value domain cannot split further.
+fn bisect<V: ColumnValue>(r: ValueRange<V>, depth: u32, out: &mut Vec<ValueRange<V>>) {
+    if depth == 0 {
+        out.push(r);
+        return;
+    }
+    let mid = r.midpoint();
+    let left = ValueRange::new(r.lo(), mid);
+    let right = mid.succ().and_then(|s| ValueRange::new(s, r.hi()));
+    match (left, right) {
+        (Some(l), Some(h)) => {
+            bisect(l, depth - 1, out);
+            bisect(h, depth - 1, out);
+        }
+        _ => out.push(r),
+    }
+}
+
+/// Merges adjacent ranges so each node's assignment list stays minimal.
+fn coalesce<V: ColumnValue>(mut ranges: Vec<ValueRange<V>>) -> Vec<ValueRange<V>> {
+    ranges.sort_by_key(|r| r.lo());
+    let mut out: Vec<ValueRange<V>> = Vec::with_capacity(ranges.len());
+    for r in ranges {
+        match out.last_mut() {
+            Some(last) if last.adjacent_before(&r) => {
+                *last = ValueRange::new(last.lo(), r.hi()).expect("merged range is non-empty");
+            }
+            _ => out.push(r),
+        }
+    }
+    out
+}
+
+impl<V: ColumnValue> ShardedColumn<V> {
+    /// Splits `values` (claimed to lie in `domain`) across `nodes` nodes
+    /// according to `policy`, building one `spec` strategy per node.
+    ///
+    /// The initial plan places equal-width seed ranges (the column has not
+    /// self-organized yet); [`Self::replace`] re-plans from the live,
+    /// workload-shaped partitioning.
+    ///
+    /// # Errors
+    /// [`ShardError::Placement`] when `nodes == 0`; [`ShardError::Column`]
+    /// when a value lies outside `domain`.
+    pub fn new(
+        spec: StrategySpec,
+        policy: PlacementPolicy,
+        nodes: usize,
+        domain: ValueRange<V>,
+        values: Vec<V>,
+    ) -> Result<Self, ShardError> {
+        if nodes == 0 {
+            return Err(PlacementError::NoNodes.into());
+        }
+        if !values.iter().all(|v| domain.contains(*v)) {
+            return Err(ColumnError::ValueOutsideDomain.into());
+        }
+        let target = nodes.saturating_mul(SEED_SEGMENTS_PER_NODE).max(1);
+        let mut depth = 0u32;
+        while (1usize << depth) < target && depth < 12 {
+            depth += 1;
+        }
+        let mut seed_ranges = Vec::with_capacity(1 << depth);
+        bisect(domain, depth, &mut seed_ranges);
+
+        // Bucket the values per seed range (ranges tile the domain, so
+        // every value lands in exactly one bucket).
+        let mut buckets: Vec<Vec<V>> = seed_ranges.iter().map(|_| Vec::new()).collect();
+        for v in values {
+            let i = seed_ranges.partition_point(|r| r.hi() < v);
+            debug_assert!(seed_ranges[i].contains(v), "seed ranges tile the domain");
+            buckets[i].push(v);
+        }
+        let sizes: Vec<u64> = buckets.iter().map(|b| b.len() as u64 * V::BYTES).collect();
+        let plan = Placement::assign(policy, &sizes, nodes)?;
+
+        let mut shard = ShardedColumn {
+            spec,
+            policy,
+            domain,
+            nodes: Vec::with_capacity(nodes),
+            partition: seed_ranges.iter().copied().zip(sizes).collect(),
+            retired: AdaptationStats::default(),
+            ids: SegIdGen::new(),
+            epochs: 0,
+            moved_bytes: 0,
+            queries: 0,
+            fanout_sum: 0,
+        };
+        shard.build_nodes(nodes, &plan.node_of_segment, seed_ranges, buckets)?;
+        Ok(shard)
+    }
+
+    /// Constructs the per-node strategies from a plan over pieces.
+    fn build_nodes(
+        &mut self,
+        nodes: usize,
+        node_of_piece: &[usize],
+        piece_ranges: Vec<ValueRange<V>>,
+        piece_values: Vec<Vec<V>>,
+    ) -> Result<(), ShardError> {
+        let mut per_node_ranges: Vec<Vec<ValueRange<V>>> = (0..nodes).map(|_| Vec::new()).collect();
+        let mut per_node_values: Vec<Vec<V>> = (0..nodes).map(|_| Vec::new()).collect();
+        for ((range, values), &n) in piece_ranges
+            .into_iter()
+            .zip(piece_values)
+            .zip(node_of_piece)
+        {
+            per_node_ranges[n].push(range);
+            per_node_values[n].extend(values);
+        }
+        self.nodes = per_node_ranges
+            .into_iter()
+            .zip(per_node_values)
+            .map(|(ranges, values)| {
+                Ok(ShardNode {
+                    // Every node keeps the full domain: assignment, not the
+                    // strategy's domain, is what scopes a node's data.
+                    strategy: self.spec.build(self.domain, values)?,
+                    assigned: coalesce(ranges),
+                    read_bytes: 0,
+                    queries_touched: 0,
+                })
+            })
+            .collect::<Result<Vec<_>, ColumnError>>()?;
+        Ok(())
+    }
+
+    /// Node indices whose assigned ranges overlap `q` — the routing
+    /// decision a distributed coordinator would take from the placement
+    /// catalog.
+    fn route(&self, q: &ValueRange<V>) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| !overlapping_span(&n.assigned, q).is_empty())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    fn run_select(
+        &mut self,
+        q: &ValueRange<V>,
+        tracker: &mut dyn AccessTracker,
+        mut out: Option<&mut Vec<V>>,
+    ) -> u64 {
+        let routed = self.route(q);
+        self.queries += 1;
+        self.fanout_sum += routed.len() as u64;
+        let mut matched = 0u64;
+        for i in routed {
+            let node = &mut self.nodes[i];
+            let mut io = NodeIo {
+                inner: tracker,
+                read_bytes: 0,
+            };
+            match out.as_deref_mut() {
+                Some(out) => {
+                    let mut part = node.strategy.select_collect(q, &mut io);
+                    matched += part.len() as u64;
+                    out.append(&mut part);
+                }
+                None => matched += node.strategy.select_count(q, &mut io),
+            }
+            node.read_bytes += io.read_bytes;
+            node.queries_touched += 1;
+        }
+        matched
+    }
+
+    /// Re-placement epoch: collects the live (self-organized) partitioning
+    /// from every node, computes a fresh plan with the same policy, and
+    /// migrates segments to their new homes.
+    ///
+    /// Moved bytes are charged to `tracker` as one scan (read at the old
+    /// node) plus one materialization (write at the new node) per moved
+    /// piece — the reorganization cost of acting on the new plan. Pieces
+    /// that stay put cost nothing.
+    ///
+    /// # Errors
+    /// [`ShardError`] on placement failure; the shard is left unchanged in
+    /// that case.
+    pub fn replace(
+        &mut self,
+        tracker: &mut dyn AccessTracker,
+    ) -> Result<MigrationReport, ShardError> {
+        // Snapshot the workload-caused adaptation history up front: the
+        // extraction pass below issues adaptive queries of its own
+        // (cracking cracks at piece boundaries, replication materializes),
+        // and that self-inflicted activity must not count.
+        let mut retired = self.retired;
+        for node in &self.nodes {
+            let a = node.strategy.adaptation();
+            retired.splits += a.splits;
+            retired.merges += a.merges;
+            retired.replicas_created += a.replicas_created;
+            retired.drops += a.drops;
+            retired.budget_declines += a.budget_declines;
+        }
+
+        // 1. The live partitioning, restricted to each node's ownership:
+        //    per-node strategies keep the full domain, so their ranges must
+        //    be clipped to the ranges whose values the node actually holds.
+        let mut pieces: Vec<(ValueRange<V>, usize)> = Vec::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            let live = node.strategy.segment_ranges();
+            let live = if live.is_empty() {
+                node.assigned.clone()
+            } else {
+                live
+            };
+            for r in live {
+                for a in &node.assigned {
+                    if let Some(piece) = r.intersect(a) {
+                        pieces.push((piece, i));
+                    }
+                }
+            }
+        }
+        pieces.sort_by_key(|(r, _)| r.lo());
+
+        // 2. Extract each piece's values from its current owner. The
+        //    extraction itself is not charged: data that stays on its node
+        //    does not cross the (simulated) network.
+        let mut piece_values: Vec<Vec<V>> = Vec::with_capacity(pieces.len());
+        for (range, owner) in &pieces {
+            let vals = self.nodes[*owner]
+                .strategy
+                .select_collect(range, &mut soc_core::NullTracker);
+            piece_values.push(vals);
+        }
+        let sizes: Vec<u64> = piece_values
+            .iter()
+            .map(|v| v.len() as u64 * V::BYTES)
+            .collect();
+
+        // 3. The new plan.
+        let plan = Placement::assign(self.policy, &sizes, self.nodes.len())?;
+
+        // 4. Migration accounting: only pieces changing nodes move.
+        let mut report = MigrationReport {
+            pieces: pieces.len(),
+            ..MigrationReport::default()
+        };
+        for (((_, old_node), &new_node), &bytes) in
+            pieces.iter().zip(&plan.node_of_segment).zip(&sizes)
+        {
+            if *old_node != new_node && bytes > 0 {
+                report.moved_pieces += 1;
+                report.moved_bytes += bytes;
+                let seg = self.ids.fresh();
+                tracker.scan(seg, bytes);
+                tracker.materialize(seg, bytes);
+            }
+        }
+        self.moved_bytes += report.moved_bytes;
+        self.epochs += 1;
+
+        // 5. Retire the old strategies (their pre-extraction adaptation
+        //    history was snapshotted above) and rebuild each node from its
+        //    newly assigned values.
+        self.retired = retired;
+        let nodes = self.nodes.len();
+        let piece_ranges: Vec<ValueRange<V>> = pieces.iter().map(|(r, _)| *r).collect();
+        self.partition = piece_ranges.iter().copied().zip(sizes).collect();
+        self.build_nodes(nodes, &plan.node_of_segment, piece_ranges, piece_values)?;
+        Ok(report)
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The placement policy in force.
+    pub fn policy(&self) -> PlacementPolicy {
+        self.policy
+    }
+
+    /// Lifetime read bytes per node — measured balance, not an estimate.
+    pub fn node_read_bytes(&self) -> Vec<u64> {
+        self.nodes.iter().map(|n| n.read_bytes).collect()
+    }
+
+    /// Live storage bytes per node.
+    pub fn node_storage_bytes(&self) -> Vec<u64> {
+        self.nodes
+            .iter()
+            .map(|n| n.strategy.storage_bytes())
+            .collect()
+    }
+
+    /// Queries each node actually served.
+    pub fn node_queries_touched(&self) -> Vec<u64> {
+        self.nodes.iter().map(|n| n.queries_touched).collect()
+    }
+
+    /// Mean number of nodes touched per executed query (measured fan-out).
+    pub fn mean_measured_fanout(&self) -> f64 {
+        if self.queries == 0 {
+            return 0.0;
+        }
+        self.fanout_sum as f64 / self.queries as f64
+    }
+
+    /// Heaviest node's read bytes over the ideal (even) share — 1.0 is a
+    /// perfectly balanced read load.
+    pub fn read_imbalance(&self) -> f64 {
+        let total: u64 = self.nodes.iter().map(|n| n.read_bytes).sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let max = self
+            .nodes
+            .iter()
+            .map(|n| n.read_bytes)
+            .max()
+            .expect("nodes > 0") as f64;
+        max / (total as f64 / self.nodes.len() as f64)
+    }
+
+    /// Bytes shipped between nodes across all re-placement epochs.
+    pub fn moved_bytes(&self) -> u64 {
+        self.moved_bytes
+    }
+
+    /// Completed re-placement epochs.
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+}
+
+impl<V: ColumnValue> ColumnStrategy<V> for ShardedColumn<V> {
+    fn name(&self) -> String {
+        let inner = self
+            .nodes
+            .first()
+            .map(|n| n.strategy.name())
+            .unwrap_or_else(|| "?".to_owned());
+        format!(
+            "Sharded {inner} ({} nodes, {})",
+            self.nodes.len(),
+            self.policy.name()
+        )
+    }
+
+    fn select_count(&mut self, q: &ValueRange<V>, tracker: &mut dyn AccessTracker) -> u64 {
+        self.run_select(q, tracker, None)
+    }
+
+    fn select_collect(&mut self, q: &ValueRange<V>, tracker: &mut dyn AccessTracker) -> Vec<V> {
+        let mut out = Vec::new();
+        self.run_select(q, tracker, Some(&mut out));
+        out
+    }
+
+    fn storage_bytes(&self) -> u64 {
+        self.nodes.iter().map(|n| n.strategy.storage_bytes()).sum()
+    }
+
+    fn segment_count(&self) -> usize {
+        self.nodes.iter().map(|n| n.strategy.segment_count()).sum()
+    }
+
+    fn segment_bytes(&self) -> Vec<u64> {
+        self.partition.iter().map(|(_, b)| *b).collect()
+    }
+
+    fn segment_ranges(&self) -> Vec<ValueRange<V>> {
+        // The placement-grain partition (sorted, disjoint): what the
+        // current plan ships around, paired with `segment_bytes`. The
+        // node-local strategies may have split further since; `replace`
+        // refreshes the partition from their live state.
+        self.partition.iter().map(|(r, _)| *r).collect()
+    }
+
+    fn adaptation(&self) -> AdaptationStats {
+        let mut total = self.retired;
+        for node in &self.nodes {
+            let a = node.strategy.adaptation();
+            total.splits += a.splits;
+            total.merges += a.merges;
+            total.replicas_created += a.replicas_created;
+            total.drops += a.drops;
+            total.budget_declines += a.budget_declines;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soc_core::{CountingTracker, NullTracker, StrategyKind};
+    use soc_workload::{uniform_values, WorkloadSpec};
+
+    const DOMAIN_HI: u32 = 99_999;
+
+    fn domain() -> ValueRange<u32> {
+        ValueRange::must(0, DOMAIN_HI)
+    }
+
+    fn spec(kind: StrategyKind) -> StrategySpec {
+        StrategySpec::new(kind)
+            .with_apm_bounds(512, 2_048)
+            .with_model_seed(17)
+    }
+
+    fn workload(n: usize, seed: u64) -> Vec<ValueRange<u32>> {
+        WorkloadSpec::uniform(0.05, n, seed).generate(&domain())
+    }
+
+    #[test]
+    fn sharded_counts_match_single_node_for_every_kind_and_policy() {
+        let values = uniform_values(12_000, &domain(), 3);
+        let queries = workload(60, 4);
+        for kind in StrategyKind::ALL {
+            // The reference: one unsharded strategy.
+            let mut single = spec(kind)
+                .build(domain(), values.clone())
+                .expect("values in domain");
+            let expect: Vec<u64> = queries
+                .iter()
+                .map(|q| single.select_count(q, &mut NullTracker))
+                .collect();
+            for policy in PlacementPolicy::ALL {
+                for nodes in [1usize, 3, 8] {
+                    let mut sharded =
+                        ShardedColumn::new(spec(kind), policy, nodes, domain(), values.clone())
+                            .expect("shard construction");
+                    for (q, &e) in queries.iter().zip(&expect) {
+                        let got = sharded.select_count(q, &mut NullTracker);
+                        assert_eq!(got, e, "{kind:?}/{policy:?}/{nodes} nodes, query {q:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn collect_returns_the_same_multiset_as_the_unsharded_column() {
+        let values = uniform_values(5_000, &domain(), 5);
+        let mut sharded = ShardedColumn::new(
+            spec(StrategyKind::GdRepl),
+            PlacementPolicy::RoundRobin,
+            4,
+            domain(),
+            values.clone(),
+        )
+        .expect("shard construction");
+        let q = ValueRange::must(20_000, 59_999);
+        let mut got = sharded.select_collect(&q, &mut NullTracker);
+        got.sort_unstable();
+        let mut expect: Vec<u32> = values.into_iter().filter(|v| q.contains(*v)).collect();
+        expect.sort_unstable();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn zero_nodes_is_a_typed_error() {
+        let err = ShardedColumn::new(
+            spec(StrategyKind::ApmSegm),
+            PlacementPolicy::RoundRobin,
+            0,
+            domain(),
+            vec![1u32, 2, 3],
+        )
+        .unwrap_err();
+        assert_eq!(err, ShardError::Placement(PlacementError::NoNodes));
+    }
+
+    #[test]
+    fn out_of_domain_values_are_a_typed_error() {
+        let err = ShardedColumn::new(
+            spec(StrategyKind::ApmSegm),
+            PlacementPolicy::RoundRobin,
+            2,
+            ValueRange::must(0u32, 10),
+            vec![11u32],
+        )
+        .unwrap_err();
+        assert_eq!(err, ShardError::Column(ColumnError::ValueOutsideDomain));
+    }
+
+    #[test]
+    fn contiguous_placement_routes_narrower_than_round_robin() {
+        let values = uniform_values(20_000, &domain(), 7);
+        let queries = workload(200, 8);
+        let mut fanouts = Vec::new();
+        for policy in [
+            PlacementPolicy::RangeContiguous,
+            PlacementPolicy::RoundRobin,
+        ] {
+            let mut sharded = ShardedColumn::new(
+                spec(StrategyKind::ApmSegm),
+                policy,
+                8,
+                domain(),
+                values.clone(),
+            )
+            .expect("shard construction");
+            for q in &queries {
+                sharded.select_count(q, &mut NullTracker);
+            }
+            fanouts.push(sharded.mean_measured_fanout());
+        }
+        assert!(
+            fanouts[0] < fanouts[1],
+            "contiguous {} must touch fewer nodes than round-robin {}",
+            fanouts[0],
+            fanouts[1]
+        );
+    }
+
+    #[test]
+    fn routing_skips_nodes_and_saves_reads() {
+        let values = uniform_values(20_000, &domain(), 9);
+        // Contiguous placement over 4 nodes: a query in the first quarter
+        // must not touch the last node at all.
+        let mut sharded = ShardedColumn::new(
+            spec(StrategyKind::NoSegm),
+            PlacementPolicy::RangeContiguous,
+            4,
+            domain(),
+            values.clone(),
+        )
+        .expect("shard construction");
+        sharded.select_count(&ValueRange::must(0, 9_999), &mut NullTracker);
+        let touched = sharded.node_queries_touched();
+        assert!(
+            touched.iter().sum::<u64>() < 4,
+            "narrow query must not fan out to all nodes: {touched:?}"
+        );
+        // An unsharded NoSegm column reads everything; the shard reads
+        // only the routed nodes' columns.
+        let shard_reads: u64 = sharded.node_read_bytes().iter().sum();
+        assert!(
+            shard_reads < values.len() as u64 * 4,
+            "routing must save reads: {shard_reads}"
+        );
+    }
+
+    #[test]
+    fn replace_after_convergence_improves_contiguous_fanout() {
+        // Round-robin over seed ranges fans out maximally; after the
+        // column self-organizes, re-planning with range-contiguous should
+        // drop the measured fan-out.
+        let values = uniform_values(20_000, &domain(), 11);
+        let queries = workload(300, 12);
+        let mut sharded = ShardedColumn::new(
+            spec(StrategyKind::ApmSegm),
+            PlacementPolicy::RangeContiguous,
+            6,
+            domain(),
+            values.clone(),
+        )
+        .expect("shard construction");
+        for q in &queries {
+            sharded.select_count(q, &mut NullTracker);
+        }
+        let mut tracker = CountingTracker::new();
+        let report = sharded.replace(&mut tracker).expect("replace");
+        assert!(report.pieces > 0);
+        // Migration cost is visible to the tracker byte-for-byte.
+        assert_eq!(tracker.totals().write_bytes, report.moved_bytes);
+        assert_eq!(sharded.moved_bytes(), report.moved_bytes);
+        assert_eq!(sharded.epochs(), 1);
+        // Results stay correct after migration.
+        for q in &queries {
+            let expect = values.iter().filter(|v| q.contains(**v)).count() as u64;
+            assert_eq!(
+                sharded.select_count(q, &mut NullTracker),
+                expect,
+                "post-replace query {q:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn replace_preserves_adaptation_history() {
+        let values = uniform_values(10_000, &domain(), 13);
+        let mut sharded = ShardedColumn::new(
+            spec(StrategyKind::ApmSegm),
+            PlacementPolicy::SizeBalanced,
+            3,
+            domain(),
+            values,
+        )
+        .expect("shard construction");
+        for q in workload(150, 14) {
+            sharded.select_count(&q, &mut NullTracker);
+        }
+        let before = sharded.adaptation();
+        assert!(before.splits > 0, "workload must have caused splits");
+        sharded.replace(&mut NullTracker).expect("replace");
+        let after = sharded.adaptation();
+        assert!(
+            after.splits >= before.splits,
+            "retired split history must survive re-placement"
+        );
+    }
+
+    #[test]
+    fn replace_does_not_invent_adaptation() {
+        // The extraction pass inside replace() issues adaptive queries of
+        // its own (cracking cracks at piece boundaries, replication
+        // materializes); none of that self-inflicted activity may leak
+        // into the reported adaptation history.
+        for kind in [
+            StrategyKind::Cracking,
+            StrategyKind::ApmRepl,
+            StrategyKind::GdSegm,
+        ] {
+            let values = uniform_values(8_000, &domain(), 23);
+            let mut sharded = ShardedColumn::new(
+                spec(kind),
+                PlacementPolicy::RangeContiguous,
+                4,
+                domain(),
+                values,
+            )
+            .expect("shard construction");
+            for q in workload(100, 24) {
+                sharded.select_count(&q, &mut NullTracker);
+            }
+            let before = sharded.adaptation();
+            sharded.replace(&mut NullTracker).expect("replace");
+            assert_eq!(
+                sharded.adaptation(),
+                before,
+                "{kind:?}: replace with no intervening queries must not \
+                 change the adaptation counters"
+            );
+        }
+    }
+
+    #[test]
+    fn partition_tiles_and_pairs_with_bytes() {
+        let values = uniform_values(8_000, &domain(), 15);
+        let mut sharded = ShardedColumn::new(
+            spec(StrategyKind::GdSegm),
+            PlacementPolicy::RoundRobin,
+            5,
+            domain(),
+            values,
+        )
+        .expect("shard construction");
+        for q in workload(100, 16) {
+            sharded.select_count(&q, &mut NullTracker);
+        }
+        sharded.replace(&mut NullTracker).expect("replace");
+        let ranges = sharded.segment_ranges();
+        let bytes = sharded.segment_bytes();
+        assert_eq!(ranges.len(), bytes.len());
+        assert_eq!(bytes.iter().sum::<u64>(), 8_000 * 4);
+        assert!(ranges.windows(2).all(|w| w[0].hi() < w[1].lo()));
+    }
+
+    #[test]
+    fn storage_and_reads_are_attributed_per_node() {
+        let values = uniform_values(10_000, &domain(), 17);
+        let mut sharded = ShardedColumn::new(
+            spec(StrategyKind::NoSegm),
+            PlacementPolicy::SizeBalanced,
+            4,
+            domain(),
+            values,
+        )
+        .expect("shard construction");
+        assert_eq!(sharded.storage_bytes(), 40_000);
+        assert_eq!(sharded.node_storage_bytes().iter().sum::<u64>(), 40_000);
+        for q in workload(80, 18) {
+            sharded.select_count(&q, &mut NullTracker);
+        }
+        let reads = sharded.node_read_bytes();
+        assert!(reads.iter().all(|&r| r > 0), "all nodes served reads");
+        assert!(sharded.read_imbalance() >= 1.0);
+        assert!(sharded.mean_measured_fanout() >= 1.0);
+    }
+
+    #[test]
+    fn single_node_shard_degenerates_to_the_plain_strategy() {
+        let values = uniform_values(6_000, &domain(), 19);
+        let mut single = spec(StrategyKind::ApmSegm)
+            .build(domain(), values.clone())
+            .expect("values in domain");
+        let mut sharded = ShardedColumn::new(
+            spec(StrategyKind::ApmSegm),
+            PlacementPolicy::RangeContiguous,
+            1,
+            domain(),
+            values,
+        )
+        .expect("shard construction");
+        let mut t_single = CountingTracker::new();
+        let mut t_shard = CountingTracker::new();
+        for q in workload(100, 20) {
+            assert_eq!(
+                sharded.select_count(&q, &mut t_shard),
+                single.select_count(&q, &mut t_single)
+            );
+        }
+        // One node serves everything; fan-out is exactly 1 per query that
+        // overlaps data.
+        assert!(sharded.mean_measured_fanout() <= 1.0);
+        assert_eq!(sharded.read_imbalance(), 1.0);
+    }
+}

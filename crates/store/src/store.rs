@@ -43,6 +43,12 @@ pub enum StoreError {
     },
     /// The restored pieces do not form a valid column.
     BadColumn(String),
+    /// The stored segments belong to a strategy the store cannot restore
+    /// (only [`SegmentedColumn`] checkpoints round-trip).
+    UnsupportedStrategy {
+        /// What the piece layout looked like.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for StoreError {
@@ -59,6 +65,14 @@ impl std::fmt::Display for StoreError {
                 write!(f, "wrong value kind: expected {expected}, found {found}")
             }
             StoreError::BadColumn(m) => write!(f, "restored column invalid: {m}"),
+            StoreError::UnsupportedStrategy { reason } => {
+                write!(
+                    f,
+                    "unsupported strategy checkpoint: {reason}; only segmented-column \
+                     checkpoints (adjacent, non-overlapping ranges) can be restored here — \
+                     replica trees round-trip through save_tree/load_tree instead"
+                )
+            }
         }
     }
 }
@@ -271,6 +285,13 @@ impl SegmentStore {
     /// a domain; the restored column gets fresh segment ids (so a
     /// follow-up checkpoint rewrites everything — call sites that care
     /// should checkpoint into a fresh directory).
+    ///
+    /// Only [`SegmentedColumn`] checkpoints are restorable. Segment sets
+    /// from other strategies are recognized by their layout and rejected
+    /// with [`StoreError::UnsupportedStrategy`] instead of an opaque
+    /// decode failure: a replica tree materializes nested/overlapping
+    /// ranges, and a partially cracked or partially checkpointed column
+    /// leaves gaps between ranges.
     pub fn restore<V: ColumnValue + FixedCodec>(&self) -> Result<SegmentedColumn<V>, StoreError> {
         let mut pieces: Vec<(ValueRange<V>, Vec<V>)> = Vec::new();
         for id in self.list()? {
@@ -280,7 +301,26 @@ impl SegmentStore {
         if pieces.is_empty() {
             return Err(StoreError::BadColumn("store is empty".into()));
         }
-        pieces.sort_by_key(|p| p.0.lo());
+        pieces.sort_by(|a, b| a.0.lo().cmp(&b.0.lo()).then(a.0.hi().cmp(&b.0.hi())));
+        for w in pieces.windows(2) {
+            let (a, b) = (&w[0].0, &w[1].0);
+            if a.overlaps(b) {
+                return Err(StoreError::UnsupportedStrategy {
+                    reason: format!(
+                        "segment ranges {a:?} and {b:?} overlap (a replica-tree checkpoint \
+                         stores nested parent and child replicas)"
+                    ),
+                });
+            }
+            if !a.adjacent_before(b) {
+                return Err(StoreError::UnsupportedStrategy {
+                    reason: format!(
+                        "gap between segment ranges {a:?} and {b:?} (a cracked or partial \
+                         checkpoint does not tile its domain)"
+                    ),
+                });
+            }
+        }
         let domain = ValueRange::new(pieces[0].0.lo(), pieces[pieces.len() - 1].0.hi())
             .ok_or_else(|| StoreError::BadColumn("empty domain".into()))?;
         SegmentedColumn::from_pieces(domain, pieces)

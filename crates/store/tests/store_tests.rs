@@ -212,6 +212,53 @@ fn restore_from_empty_store_fails_cleanly() {
 }
 
 #[test]
+fn restore_of_nested_replica_segments_is_a_typed_unsupported_error() {
+    // A replica tree's materialized segments nest: the parent [0,999] and
+    // its children both occupy storage. Saving them as plain segment files
+    // used to make restore fail with an opaque decode error; it must name
+    // the actual problem instead.
+    let dir = TempDir::new("nested");
+    let store = SegmentStore::open(&dir.0).unwrap();
+    let parent: Vec<u32> = (0..1000).collect();
+    let child: Vec<u32> = (0..500).collect();
+    store
+        .save(SegId(1), &ValueRange::must(0u32, 999), &parent)
+        .unwrap();
+    store
+        .save(SegId(2), &ValueRange::must(0u32, 499), &child)
+        .unwrap();
+    match store.restore::<u32>() {
+        Err(StoreError::UnsupportedStrategy { reason }) => {
+            assert!(reason.contains("overlap"), "reason: {reason}");
+        }
+        other => panic!("expected UnsupportedStrategy, got {other:?}"),
+    }
+}
+
+#[test]
+fn restore_of_gapped_segments_is_a_typed_unsupported_error() {
+    // A partially cracked (or partially checkpointed) column leaves holes
+    // between ranges; the restore error must say so.
+    let dir = TempDir::new("gapped");
+    let store = SegmentStore::open(&dir.0).unwrap();
+    store
+        .save(SegId(1), &ValueRange::must(0u32, 99), &[5u32, 50])
+        .unwrap();
+    store
+        .save(SegId(2), &ValueRange::must(200u32, 299), &[250u32])
+        .unwrap();
+    match store.restore::<u32>() {
+        Err(StoreError::UnsupportedStrategy { reason }) => {
+            assert!(reason.contains("gap"), "reason: {reason}");
+        }
+        other => panic!("expected UnsupportedStrategy, got {other:?}"),
+    }
+    // The error is descriptive end-to-end.
+    let err = store.restore::<u32>().unwrap_err();
+    assert!(err.to_string().contains("save_tree"), "{err}");
+}
+
+#[test]
 fn delete_is_idempotent() {
     let dir = TempDir::new("del");
     let store = SegmentStore::open(&dir.0).unwrap();

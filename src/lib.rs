@@ -60,6 +60,9 @@ pub mod prelude {
         FullySorted, GaussianDice, MergePolicy, NonSegmented, NullTracker, OrdF64, ReplicaTree,
         SegmentationModel, SegmentedColumn, SizeEstimator, StrategyKind, StrategySpec, ValueRange,
     };
-    pub use soc_sim::{build_strategy, run_queries, CostModel, RunResult, SimTracker};
+    pub use soc_sim::{
+        build_strategy, run_queries, CostModel, MigrationReport, Placement, PlacementError,
+        PlacementPolicy, RunResult, ShardError, ShardedColumn, SimTracker,
+    };
     pub use soc_workload::{skyserver_domain, skyserver_ra, uniform_values, WorkloadSpec};
 }

@@ -118,6 +118,58 @@ fn run_queries_pipeline_reproduces_declining_read_trajectory() {
 }
 
 #[test]
+fn sharded_executor_works_through_the_facade() {
+    let values = load();
+    let queries = WorkloadSpec::uniform(0.05, 80, 5).generate(&domain());
+    for kind in [StrategyKind::ApmSegm, StrategyKind::GdRepl] {
+        let mut sharded = ShardedColumn::new(
+            StrategySpec::new(kind).with_model_seed(7),
+            PlacementPolicy::RangeContiguous,
+            4,
+            domain(),
+            values.clone(),
+        )
+        .expect("valid shard");
+        let mut tracker = CountingTracker::new();
+        for q in &queries {
+            let expect = values.iter().filter(|v| q.contains(**v)).count() as u64;
+            assert_eq!(sharded.select_count(q, &mut tracker), expect, "{kind:?}");
+        }
+        // The executor measured its routing: narrow queries on a
+        // contiguous placement touch a fraction of the 4 nodes.
+        assert!(sharded.mean_measured_fanout() < 3.0, "{kind:?}");
+        let report = sharded.replace(&mut tracker).expect("replace");
+        assert!(report.pieces > 0, "{kind:?}");
+        assert!(
+            sharded.storage_bytes() >= COLUMN_BYTES,
+            "{kind:?}: storage below the bare column"
+        );
+    }
+}
+
+#[test]
+fn replication_segment_ranges_are_placeable_through_the_facade() {
+    // The flattening fix end-to-end: a replication strategy's reported
+    // partition is disjoint and domain-covering, so positional placement
+    // over it cannot double-count data.
+    let mut strategy = StrategySpec::new(StrategyKind::ApmRepl)
+        .build(domain(), load())
+        .expect("values lie in domain");
+    for q in WorkloadSpec::uniform(0.05, 120, 11).generate(&domain()) {
+        strategy.select_count(&q, &mut NullTracker);
+    }
+    let ranges = strategy.segment_ranges();
+    let bytes = strategy.segment_bytes();
+    assert_eq!(ranges.len(), bytes.len());
+    assert_eq!(ranges.first().expect("non-empty").lo(), 0);
+    assert_eq!(ranges.last().expect("non-empty").hi(), DOMAIN_HI);
+    assert!(ranges.windows(2).all(|w| w[0].adjacent_before(&w[1])));
+    assert_eq!(bytes.iter().sum::<u64>(), COLUMN_BYTES);
+    let placement = Placement::assign(PlacementPolicy::SizeBalanced, &bytes, 4).expect("4 nodes");
+    assert_eq!(placement.node_bytes.iter().sum::<u64>(), COLUMN_BYTES);
+}
+
+#[test]
 fn segment_ranges_expose_the_partitioning_for_placement() {
     let queries = WorkloadSpec::uniform(0.05, 150, 9).generate(&domain());
     let mut strategy = StrategySpec::new(StrategyKind::ApmSegm)

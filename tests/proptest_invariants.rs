@@ -166,6 +166,50 @@ proptest! {
     }
 
     #[test]
+    fn sharded_execution_matches_single_node_for_every_kind_and_policy(
+        values in arb_values(),
+        queries in arb_queries(),
+        nodes in 1usize..7,
+        seed in any::<u64>(),
+    ) {
+        // The distribution-transparency property of the sharded executor:
+        // for arbitrary columns, arbitrary query sequences, every strategy
+        // kind, and every placement policy, the routed, merged counts
+        // equal plain single-node execution.
+        let domain = ValueRange::must(0u32, DOMAIN_HI);
+        for kind in StrategyKind::ALL {
+            let spec = StrategySpec::new(kind)
+                .with_apm_bounds(128, 512)
+                .with_model_seed(seed);
+            for policy in PlacementPolicy::ALL {
+                let mut sharded = ShardedColumn::new(
+                    spec, policy, nodes, domain, values.clone(),
+                ).map_err(TestCaseError::fail)?;
+                for (lo, hi) in &queries {
+                    let q = to_range(*lo, *hi);
+                    let expect = values.iter().filter(|v| q.contains(**v)).count() as u64;
+                    prop_assert_eq!(
+                        sharded.select_count(&q, &mut NullTracker),
+                        expect,
+                        "{:?}/{:?}/{} nodes, query {:?}", kind, policy, nodes, q
+                    );
+                }
+                // One re-placement epoch must preserve every answer too.
+                sharded.replace(&mut NullTracker).map_err(TestCaseError::fail)?;
+                for (lo, hi) in &queries {
+                    let q = to_range(*lo, *hi);
+                    let expect = values.iter().filter(|v| q.contains(**v)).count() as u64;
+                    prop_assert_eq!(
+                        sharded.select_count(&q, &mut NullTracker),
+                        expect,
+                        "post-replace {:?}/{:?}/{} nodes, query {:?}", kind, policy, nodes, q
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn workload_generators_stay_in_domain(
         sel in 0.001f64..1.0,
         count in 1usize..200,
