@@ -9,8 +9,9 @@
 //! Experiments: fig2, fig5, fig6, fig7, tab1, fig8, fig9 (simulation);
 //! fig10–fig16, tab2 (SkyServer); ablation-cracking, ablation-apm,
 //! ablation-merge, ablation-buffer, ablation-budget, ablation-auto-apm,
-//! ablation-estimator, ablation-placement, ablation-sharding; or the
-//! groups `simulation`, `skyserver`, `ablation`, `all`.
+//! ablation-estimator, ablation-placement, ablation-sharding,
+//! ablation-sql-strategy; or the groups `simulation`, `skyserver`,
+//! `ablation`, `all`.
 //!
 //! Each figure/table is printed (tables verbatim, figures as sparkline
 //! summaries) and written as CSV under `--out` (default `results/`).
@@ -226,6 +227,7 @@ fn main() -> ExitCode {
         "ablation-estimator",
         "ablation-placement",
         "ablation-sharding",
+        "ablation-sql-strategy",
     ]
     .iter()
     .any(|id| wants(e, id, "ablation"))
@@ -268,6 +270,9 @@ fn main() -> ExitCode {
         }
         if wants(e, "ablation-sharding", "ablation") {
             em.table(&ablation::sharding_ablation(&cfg, 8));
+        }
+        if wants(e, "ablation-sql-strategy", "ablation") {
+            em.table(&ablation::sql_strategy_ablation(&cfg));
         }
     }
 

@@ -6,9 +6,13 @@
 //!
 //! The build environment has no access to crates.io, so the workspace
 //! vendors this minimal implementation (see the workspace `Cargo.toml`).
-//! It measures wall-clock means over a modest number of iterations and
-//! prints one line per benchmark — enough for `cargo bench` to be a useful
-//! smoke signal; it does no statistics, outlier rejection, or HTML reports.
+//! Each benchmark runs a warm-up/calibration phase (caches hot, an
+//! iteration count sized so one sample takes a few milliseconds), then
+//! `sample_size` independently timed samples; the printed line reports the
+//! **min** (the least-noise estimate of the true cost) and **median**
+//! (the robust central tendency) per-iteration times. No outlier
+//! rejection, confidence intervals, or HTML reports — upgrade to real
+//! criterion when a networked build is available.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -228,19 +232,51 @@ impl Criterion {
             println!("{name}: benchmark");
             return;
         }
-        // One warm-up pass, then the measured run.
-        let mut warm = Bencher {
-            iters: 1,
-            elapsed: Duration::ZERO,
-        };
-        f(&mut warm);
-        let mut b = Bencher {
-            iters: sample_size.max(1) as u64,
-            elapsed: Duration::ZERO,
-        };
-        f(&mut b);
-        let per_iter = b.elapsed.as_secs_f64() / b.iters as f64;
-        println!("{name}: {} iters, mean {}", b.iters, human_time(per_iter));
+        // Warm-up + calibration: grow the iteration count until one pass
+        // costs a measurable slice of wall clock, so the timer's
+        // granularity stops dominating. The warm-up work also brings
+        // caches and branch predictors to steady state before sampling.
+        const WARMUP_BUDGET: Duration = Duration::from_millis(20);
+        const TARGET_SAMPLE_SECS: f64 = 2e-3;
+        let mut warm_iters = 1u64;
+        let mut per_iter;
+        let warmup_start = Instant::now();
+        loop {
+            let mut w = Bencher {
+                iters: warm_iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut w);
+            per_iter = (w.elapsed.as_secs_f64() / warm_iters as f64).max(1e-9);
+            // Budget on wall clock (setup included), so iter_batched
+            // benches with heavy setup don't spin here forever.
+            if warmup_start.elapsed() >= WARMUP_BUDGET || warm_iters >= 1 << 20 {
+                break;
+            }
+            warm_iters *= 2;
+        }
+        let iters = ((TARGET_SAMPLE_SECS / per_iter).ceil() as u64).clamp(1, 1 << 24);
+
+        // Independent samples; min and median over the per-iteration means.
+        let samples = sample_size.max(3);
+        let mut means: Vec<f64> = (0..samples)
+            .map(|_| {
+                let mut b = Bencher {
+                    iters,
+                    elapsed: Duration::ZERO,
+                };
+                f(&mut b);
+                b.elapsed.as_secs_f64() / iters as f64
+            })
+            .collect();
+        means.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        let min = means[0];
+        let median = means[means.len() / 2];
+        println!(
+            "{name}: {samples} samples x {iters} iters, min {}, median {}",
+            human_time(min),
+            human_time(median)
+        );
     }
 }
 

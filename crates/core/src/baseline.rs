@@ -60,6 +60,12 @@ impl<V: ColumnValue> ColumnStrategy<V> for NonSegmented<V> {
         out
     }
 
+    fn peek_collect(&self, q: &ValueRange<V>) -> Vec<V> {
+        let mut out = Vec::new();
+        self.segment.collect_in(q, &mut out);
+        out
+    }
+
     fn storage_bytes(&self) -> u64 {
         self.segment.bytes()
     }
@@ -131,6 +137,11 @@ impl<V: ColumnValue> ColumnStrategy<V> for FullySorted<V> {
         self.charge_sort(tracker);
         let (start, end) = self.run_of(q);
         tracker.scan(self.segment.id(), (end - start) as u64 * V::BYTES);
+        self.segment.values()[start..end].to_vec()
+    }
+
+    fn peek_collect(&self, q: &ValueRange<V>) -> Vec<V> {
+        let (start, end) = self.run_of(q);
         self.segment.values()[start..end].to_vec()
     }
 

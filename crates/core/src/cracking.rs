@@ -74,6 +74,81 @@ impl<V: ColumnValue> CrackedColumn<V> {
         self.index.len() + 1
     }
 
+    /// The cracker column's values in their current (cracked) order.
+    pub fn values(&self) -> &[V] {
+        &self.data
+    }
+
+    /// The cracker index as `(boundary value, first position >= boundary)`
+    /// entries, ascending by value — together with [`Self::values`] the
+    /// complete reorganization state, which is what a checkpoint must
+    /// carry for a restart to skip re-cracking.
+    pub fn boundaries(&self) -> Vec<(V, usize)> {
+        self.index.iter().map(|(&v, &p)| (v, p)).collect()
+    }
+
+    /// Rebuilds a cracked column from checkpointed state: `values` in
+    /// cracked order plus the `boundaries` of [`Self::boundaries`], with
+    /// `cracks` restoring the adaptation counter.
+    ///
+    /// # Errors
+    /// Returns a description of the violated invariant when the boundaries
+    /// are not ascending, point outside the data, or do not actually
+    /// partition `values` (every value left of a boundary's position must
+    /// be `<` the boundary, every value at or right of it `>=`).
+    pub fn from_parts(
+        values: Vec<V>,
+        boundaries: Vec<(V, usize)>,
+        cracks: u64,
+    ) -> Result<Self, String> {
+        for w in boundaries.windows(2) {
+            if w[0].0 >= w[1].0 {
+                return Err(format!(
+                    "boundaries not strictly ascending: {:?} then {:?}",
+                    w[0].0, w[1].0
+                ));
+            }
+            if w[0].1 > w[1].1 {
+                return Err(format!(
+                    "boundary positions not monotone: {} then {}",
+                    w[0].1, w[1].1
+                ));
+            }
+        }
+        if let Some(&(_, p)) = boundaries.last() {
+            if p > values.len() {
+                return Err(format!(
+                    "boundary position {p} exceeds column length {}",
+                    values.len()
+                ));
+            }
+        }
+        // Partition invariant: one pass over the data against the piece
+        // each position falls in.
+        let mut piece = 0usize;
+        for (i, v) in values.iter().enumerate() {
+            while piece < boundaries.len() && i >= boundaries[piece].1 {
+                piece += 1;
+            }
+            if piece > 0 && *v < boundaries[piece - 1].0 {
+                return Err(format!(
+                    "value {v:?} at {i} below its piece boundary {:?}",
+                    boundaries[piece - 1].0
+                ));
+            }
+            if piece < boundaries.len() && *v >= boundaries[piece].0 {
+                return Err(format!(
+                    "value {v:?} at {i} at or above the next boundary {:?}",
+                    boundaries[piece].0
+                ));
+            }
+        }
+        let mut restored = CrackedColumn::new(values);
+        restored.index = boundaries.into_iter().collect();
+        restored.cracks = cracks;
+        Ok(restored)
+    }
+
     /// The piece `[start, end)` that a crack at `v` must partition.
     fn piece_of(&self, v: V) -> (usize, usize) {
         let start = self
@@ -138,17 +213,39 @@ impl<V: ColumnValue> CrackedColumn<V> {
         (lo, hi.max(lo))
     }
 
-    /// Sizes of the current pieces in bytes.
-    fn piece_sizes(&self) -> Vec<u64> {
-        let mut bounds: Vec<usize> = Vec::with_capacity(self.index.len() + 2);
-        bounds.push(0);
-        bounds.extend(self.index.values().copied());
-        bounds.push(self.data.len());
-        bounds.sort_unstable();
-        bounds
-            .windows(2)
-            .map(|w| (w[1] - w[0]) as u64 * V::BYTES)
-            .collect()
+    /// The flat pieces as `(value range, stored bytes)` pairs, positionally
+    /// aligned: entry `i` of [`ColumnStrategy::segment_bytes`] must
+    /// describe the same piece as entry `i` of
+    /// [`ColumnStrategy::segment_ranges`]. Boundaries outside the data's
+    /// `[min, max]` delimit empty pieces with no representable range;
+    /// their (zero-byte) spans are folded away on both sides at once so
+    /// the pairing never shifts.
+    fn flat_pieces(&self) -> Vec<(ValueRange<V>, u64)> {
+        let Some((lo, hi)) = self.bounds else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        let mut cur = lo;
+        let mut start_pos = 0usize;
+        for (&b, &p) in &self.index {
+            if b > cur {
+                if let Some(end) = b.pred() {
+                    if let Some(r) = ValueRange::new(cur, end.min(hi)) {
+                        out.push((r, (p - start_pos) as u64 * V::BYTES));
+                    }
+                }
+                cur = b;
+            }
+            // Positions are monotone in the boundary value, so this is the
+            // start of whatever piece `cur` now opens.
+            start_pos = start_pos.max(p);
+        }
+        if cur <= hi {
+            if let Some(r) = ValueRange::new(cur.max(lo), hi) {
+                out.push((r, (self.data.len() - start_pos) as u64 * V::BYTES));
+            }
+        }
+        out
     }
 }
 
@@ -171,6 +268,19 @@ impl<V: ColumnValue> ColumnStrategy<V> for CrackedColumn<V> {
         self.data[lo..hi].to_vec()
     }
 
+    fn peek_collect(&self, q: &ValueRange<V>) -> Vec<V> {
+        // Values in [q.lo, q.hi] can only live between the start of the
+        // piece holding q.lo and the end of the piece holding q.hi; scan
+        // just that window, without cracking.
+        let (start, _) = self.piece_of(q.lo());
+        let (_, end) = self.piece_of(q.hi());
+        self.data[start..end]
+            .iter()
+            .copied()
+            .filter(|v| q.contains(*v))
+            .collect()
+    }
+
     fn storage_bytes(&self) -> u64 {
         self.data.len() as u64 * V::BYTES
     }
@@ -180,34 +290,15 @@ impl<V: ColumnValue> ColumnStrategy<V> for CrackedColumn<V> {
     }
 
     fn segment_bytes(&self) -> Vec<u64> {
-        self.piece_sizes()
+        self.flat_pieces().into_iter().map(|(_, b)| b).collect()
     }
 
     fn segment_ranges(&self) -> Vec<ValueRange<V>> {
-        let Some((lo, hi)) = self.bounds else {
-            return Vec::new();
-        };
         // Crack boundaries partition the value space: piece k holds values
-        // in [boundary_k, boundary_{k+1}). Boundaries outside [lo, hi]
-        // delimit empty pieces and produce no range.
-        let mut out = Vec::new();
-        let mut cur = lo;
-        for &b in self.index.keys() {
-            if b > cur {
-                if let Some(end) = b.pred() {
-                    if let Some(r) = ValueRange::new(cur, end.min(hi)) {
-                        out.push(r);
-                    }
-                }
-                cur = b;
-            }
-        }
-        if cur <= hi {
-            if let Some(r) = ValueRange::new(cur.max(lo), hi) {
-                out.push(r);
-            }
-        }
-        out
+        // in [boundary_k, boundary_{k+1}). Boundaries outside the data's
+        // [min, max] delimit empty pieces and produce no range (and no
+        // paired byte entry).
+        self.flat_pieces().into_iter().map(|(r, _)| r).collect()
     }
 
     fn adaptation(&self) -> crate::strategy::AdaptationStats {
@@ -289,6 +380,61 @@ mod tests {
             assert!(c.data[..p].iter().all(|x| x < v));
             assert!(c.data[p..].iter().all(|x| x >= v));
         }
+    }
+
+    #[test]
+    fn segment_bytes_pair_with_ranges_when_boundaries_fall_outside_the_data() {
+        // Regression: a crack below the data minimum (query lo under every
+        // value) used to leave segment_bytes() with one more entry than
+        // segment_ranges(), shifting every positional pairing downstream
+        // (footprint estimates, placement).
+        let values: Vec<u32> = (100..1100).collect();
+        let mut c = CrackedColumn::new(values);
+        c.select_count(&ValueRange::must(10, 499), &mut NullTracker);
+        let ranges = c.segment_ranges();
+        let bytes = c.segment_bytes();
+        assert_eq!(ranges.len(), bytes.len(), "positional pairing holds");
+        assert_eq!(
+            ranges,
+            vec![ValueRange::must(100, 499), ValueRange::must(500, 1099)]
+        );
+        assert_eq!(bytes, vec![400 * 4, 600 * 4]);
+        assert_eq!(bytes.iter().sum::<u64>(), c.storage_bytes());
+
+        // A crack above the data maximum keeps the pairing too.
+        c.select_count(&ValueRange::must(900, 5_000), &mut NullTracker);
+        let ranges = c.segment_ranges();
+        let bytes = c.segment_bytes();
+        assert_eq!(ranges.len(), bytes.len());
+        assert_eq!(bytes.iter().sum::<u64>(), c.storage_bytes());
+        assert_eq!(*ranges.last().unwrap(), ValueRange::must(900, 1099));
+        assert_eq!(*bytes.last().unwrap(), 200 * 4);
+    }
+
+    #[test]
+    fn from_parts_roundtrips_live_state_and_rejects_invalid() {
+        let mut c = CrackedColumn::new(shuffled(5_000, 9));
+        for k in 0..10u32 {
+            let lo = (k * 997) % 90_000;
+            c.select_count(&ValueRange::must(lo, lo + 5_000), &mut NullTracker);
+        }
+        let restored =
+            CrackedColumn::from_parts(c.values().to_vec(), c.boundaries(), c.cracks()).unwrap();
+        assert_eq!(restored.piece_count(), c.piece_count());
+        assert_eq!(restored.cracks(), c.cracks());
+        // Restored column answers without consulting the original.
+        let q = ValueRange::must(997, 5_997);
+        let expect = c.values().iter().filter(|v| q.contains(**v)).count() as u64;
+        let mut restored = restored;
+        assert_eq!(restored.select_count(&q, &mut NullTracker), expect);
+
+        // Violations are rejected, not absorbed.
+        let err = CrackedColumn::from_parts(vec![5u32, 1], vec![(3, 1)], 1);
+        assert!(err.is_err(), "value 5 left of boundary 3 must fail");
+        let err = CrackedColumn::from_parts(vec![1u32, 5], vec![(3, 9)], 1);
+        assert!(err.is_err(), "position beyond the data must fail");
+        let err = CrackedColumn::from_parts(vec![1u32, 5], vec![(3, 1), (2, 1)], 2);
+        assert!(err.is_err(), "descending boundaries must fail");
     }
 
     #[test]

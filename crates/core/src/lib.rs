@@ -58,6 +58,7 @@ pub mod estimate;
 pub mod merge;
 pub mod meta;
 pub mod model;
+pub mod paired;
 pub mod range;
 pub mod replication;
 pub mod segment;
@@ -77,6 +78,7 @@ pub use model::{
     AdaptivePageModel, AlwaysSplit, AutoTunedApm, GaussianDice, NeverSplit, SegmentationModel,
     SplitDecision, SplitGeometry, Technique, WhichBound,
 };
+pub use paired::{pair_rows, Pair};
 pub use range::ValueRange;
 pub use replication::{AdaptiveReplication, ReplicaTree};
 pub use segment::{SegId, SegIdGen, SegmentData};

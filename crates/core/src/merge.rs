@@ -136,6 +136,10 @@ impl<V: ColumnValue> ColumnStrategy<V> for MergingSegmentation<V> {
         out
     }
 
+    fn peek_collect(&self, q: &ValueRange<V>) -> Vec<V> {
+        self.inner.peek_collect(q)
+    }
+
     fn storage_bytes(&self) -> u64 {
         self.inner.storage_bytes()
     }

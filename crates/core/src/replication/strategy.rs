@@ -209,6 +209,21 @@ impl<V: ColumnValue> ColumnStrategy<V> for AdaptiveReplication<V> {
         out
     }
 
+    fn peek_collect(&self, q: &ValueRange<V>) -> Vec<V> {
+        // The covering set tiles the query with materialized nodes; reading
+        // them answers the query without growing the tree.
+        let mut out = Vec::new();
+        for s in self.tree.covering_set(q) {
+            let values = self
+                .tree
+                .node(s)
+                .values()
+                .expect("covering-set members are materialized");
+            out.extend(values.iter().copied().filter(|v| q.contains(*v)));
+        }
+        out
+    }
+
     fn storage_bytes(&self) -> u64 {
         self.tree.mat_bytes()
     }

@@ -170,6 +170,14 @@ impl<V: ColumnValue> ColumnStrategy<V> for AdaptiveSegmentation<V> {
         out
     }
 
+    fn peek_collect(&self, q: &ValueRange<V>) -> Vec<V> {
+        let mut out = Vec::new();
+        for idx in self.column.overlapping_span(q) {
+            self.column.segments()[idx].collect_in(q, &mut out);
+        }
+        out
+    }
+
     fn storage_bytes(&self) -> u64 {
         // In-place reorganization: storage never exceeds the bare column.
         self.column.total_bytes()

@@ -73,6 +73,30 @@ impl StrategyKind {
     pub fn is_adaptive(self) -> bool {
         !matches!(self, StrategyKind::NoSegm | StrategyKind::FullSort)
     }
+
+    /// The kind's stable lowercase token, used by catalog DDL
+    /// (`ALTER COLUMN … SET STRATEGY <token>`) and experiment output.
+    pub fn token(self) -> &'static str {
+        match self {
+            StrategyKind::NoSegm => "nosegm",
+            StrategyKind::GdSegm => "gd_segm",
+            StrategyKind::GdRepl => "gd_repl",
+            StrategyKind::ApmSegm => "apm_segm",
+            StrategyKind::ApmRepl => "apm_repl",
+            StrategyKind::AutoApmSegm => "auto_apm_segm",
+            StrategyKind::Cracking => "cracking",
+            StrategyKind::FullSort => "fullsort",
+            StrategyKind::GdSegmMerged => "gd_segm_merged",
+        }
+    }
+
+    /// Parses a [`Self::token`] (case-insensitive). `None` for unknown
+    /// names — callers turn that into their own typed error.
+    pub fn from_token(token: &str) -> Option<StrategyKind> {
+        StrategyKind::ALL
+            .into_iter()
+            .find(|k| k.token().eq_ignore_ascii_case(token))
+    }
 }
 
 /// A complete, declarative description of a strategy configuration.
@@ -230,6 +254,21 @@ impl StrategySpec {
                 ))
             }
         })
+    }
+
+    /// Builds the configured strategy over `(oid, value)` rows, organizing
+    /// by value while preserving each row's oid through any reorganization
+    /// (see [`crate::paired::Pair`]). This is the construction the MAL
+    /// `bpm` layer uses, where bats must keep their heads.
+    ///
+    /// # Errors
+    /// As [`Self::build`], when a row's value lies outside `domain`.
+    pub fn build_paired<V: ColumnValue>(
+        &self,
+        domain: ValueRange<V>,
+        rows: Vec<(u64, V)>,
+    ) -> Result<Box<dyn ColumnStrategy<crate::paired::Pair<V>>>, ColumnError> {
+        self.build(domain.paired(), crate::paired::pair_rows(rows))
     }
 }
 

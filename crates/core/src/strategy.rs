@@ -47,6 +47,15 @@ pub trait ColumnStrategy<V: ColumnValue> {
     /// the counting path.
     fn select_collect(&mut self, q: &ValueRange<V>, tracker: &mut dyn AccessTracker) -> Vec<V>;
 
+    /// Read-only variant of [`Self::select_collect`]: returns the values in
+    /// `q` without reorganizing, adapting, or reporting accesses.
+    ///
+    /// This is the extraction path for layers that present a strategy's
+    /// segments as data (the MAL `bpm` module materializes per-segment
+    /// bats, checkpointing reads pieces) — those reads must not perturb
+    /// the self-organization the workload is driving.
+    fn peek_collect(&self, q: &ValueRange<V>) -> Vec<V>;
+
     /// Bytes of materialized segment storage currently held, including the
     /// base column (the "Replica storage" axis of Figures 8–9).
     fn storage_bytes(&self) -> u64;

@@ -1,25 +1,47 @@
 //! The `bpm` (bat partition manager) runtime module of Section 3.1.
 //!
-//! A [`SegmentedBat`] is a bat split into value-ranged pieces. Unlike the
-//! simulator's value-only columns, pieces here keep their `(oid, value)`
-//! pairs, so plans that reconstruct tuples (the `join` in Figure 1) stay
-//! correct — at the price the paper names: heads inside a piece are no
-//! longer positionally ordered.
+//! A [`SegmentedBat`] is a bat organized by one of the unified
+//! self-organizing strategies: a thin `(oid, value)`-pair-preserving
+//! adapter over a boxed [`ColumnStrategy`] from `soc-core`. Rows are
+//! [`Pair`]s — ordered by value, carrying their head oid — so plans that
+//! reconstruct tuples (the `join` in Figure 1) stay correct through any
+//! reorganization, at the price the paper names: heads inside a piece are
+//! no longer positionally ordered.
 //!
-//! Split decisions are delegated to a [`SegmentationModel`] from
-//! `soc-core`; the piece boundaries live in plain `f64` space with
-//! half-open `[start, end)` pieces (the last piece is closed at the
-//! domain's top), which keeps boundary arithmetic exact for both `:int`
-//! and `:dbl` tails.
+//! Because the adapter speaks only the [`ColumnStrategy`] trait, every
+//! strategy the evaluation compares — segmentation, replication, cracking,
+//! the static baselines — is drivable from the MAL/SQL stack: pieces come
+//! from `segment_ranges()`, reorganization is the strategy's own
+//! `select_count` run by [`SegmentedBat::adapt`] (the Section 3.3 hook the
+//! segment optimizer injects), and reorganization accounting flows out of
+//! `adaptation()` uniformly.
 
 use soc_bat::{algebra::Atom, Bat, BatError, Head, Tail};
-use soc_core::model::{SegmentationModel, SplitDecision, SplitGeometry, Technique, WhichBound};
+use soc_core::model::SegmentationModel;
+use soc_core::{
+    AdaptationStats, AdaptiveSegmentation, ColumnError, ColumnStrategy, ColumnValue,
+    CountingTracker, OrdF64, Pair, SegmentedColumn, SizeEstimator, StrategySpec, ValueRange,
+};
 
 /// Errors from segmented-bat operations.
 #[derive(Debug)]
 pub enum BpmError {
     /// The tail type cannot be value-partitioned.
     UnsupportedTail(&'static str),
+    /// A `:dbl` tail holds NaN, which has no place in a value order.
+    NanTail {
+        /// Row index of the offending value.
+        row: usize,
+    },
+    /// The declared domain is empty or not representable in the tail type.
+    EmptyDomain {
+        /// Inclusive lower bound as passed in.
+        lo: f64,
+        /// Exclusive upper bound as passed in.
+        hi_excl: f64,
+    },
+    /// The strategy constructor rejected the rows (value outside domain).
+    Column(ColumnError),
     /// Underlying kernel error.
     Bat(BatError),
     /// Piece index out of range.
@@ -30,6 +52,11 @@ impl std::fmt::Display for BpmError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             BpmError::UnsupportedTail(t) => write!(f, "cannot segment a {t} tail"),
+            BpmError::NanTail { row } => write!(f, "NaN at row {row} cannot be value-ordered"),
+            BpmError::EmptyDomain { lo, hi_excl } => {
+                write!(f, "domain [{lo}, {hi_excl}) is empty for this tail type")
+            }
+            BpmError::Column(e) => write!(f, "strategy construction: {e}"),
             BpmError::Bat(e) => write!(f, "{e}"),
             BpmError::BadPiece(i) => write!(f, "no piece #{i}"),
         }
@@ -44,268 +71,480 @@ impl From<BatError> for BpmError {
     }
 }
 
-/// One value-ranged piece: rows whose tail value lies in `[start, end)`
-/// (the final piece of a bat is closed at the top).
-#[derive(Debug, Clone)]
-pub struct SegPiece {
-    /// Inclusive lower boundary.
-    pub start: f64,
-    /// Exclusive upper boundary.
-    pub end: f64,
-    /// The rows.
-    pub bat: Bat,
+impl From<ColumnError> for BpmError {
+    fn from(e: ColumnError) -> Self {
+        BpmError::Column(e)
+    }
 }
 
-/// A bat organized as a list of adjacent value-ranged pieces.
+/// A tail value type the bpm layer can organize: conversions between the
+/// `f64` boundary space MAL atoms live in and the typed value domain.
+trait TailValue: ColumnValue {
+    /// Rebuilds this type's tail from extracted values.
+    fn make_tail(values: Vec<Self>) -> Tail;
+
+    /// Smallest representable value `>= x`; `None` when no such value
+    /// exists (NaN, or `x` above the type's range) — an empty query.
+    fn bound_lo(x: f64) -> Option<Self>;
+
+    /// Largest representable value `<= x`; `None` when no such value
+    /// exists.
+    fn bound_hi(x: f64) -> Option<Self>;
+
+    /// Largest representable value strictly below `x` — the closed top of
+    /// a half-open `[lo, x)` domain declaration.
+    fn below_excl(x: f64) -> Option<Self>;
+}
+
+impl TailValue for i64 {
+    fn make_tail(values: Vec<Self>) -> Tail {
+        Tail::Int(values)
+    }
+
+    fn bound_lo(x: f64) -> Option<Self> {
+        if x.is_nan() || x > i64::MAX as f64 {
+            return None;
+        }
+        Some(x.ceil().max(i64::MIN as f64) as i64)
+    }
+
+    fn bound_hi(x: f64) -> Option<Self> {
+        if x.is_nan() || x < i64::MIN as f64 {
+            return None;
+        }
+        Some(x.floor().min(i64::MAX as f64) as i64)
+    }
+
+    fn below_excl(x: f64) -> Option<Self> {
+        let f = x.floor();
+        Self::bound_hi(if f == x { x - 1.0 } else { f })
+    }
+}
+
+impl TailValue for u64 {
+    fn make_tail(values: Vec<Self>) -> Tail {
+        Tail::Oid(values)
+    }
+
+    fn bound_lo(x: f64) -> Option<Self> {
+        if x.is_nan() || x > u64::MAX as f64 {
+            return None;
+        }
+        Some(x.ceil().max(0.0) as u64)
+    }
+
+    fn bound_hi(x: f64) -> Option<Self> {
+        if x.is_nan() || x < 0.0 {
+            return None;
+        }
+        Some(x.floor().min(u64::MAX as f64) as u64)
+    }
+
+    fn below_excl(x: f64) -> Option<Self> {
+        let f = x.floor();
+        Self::bound_hi(if f == x { x - 1.0 } else { f })
+    }
+}
+
+impl TailValue for OrdF64 {
+    fn make_tail(values: Vec<Self>) -> Tail {
+        Tail::Dbl(values.into_iter().map(OrdF64::get).collect())
+    }
+
+    fn bound_lo(x: f64) -> Option<Self> {
+        OrdF64::new(x)
+    }
+
+    fn bound_hi(x: f64) -> Option<Self> {
+        OrdF64::new(x)
+    }
+
+    fn below_excl(x: f64) -> Option<Self> {
+        OrdF64::new(x.next_down())
+    }
+}
+
+/// What a strategy constructor yields for one tail type.
+type BuiltStrategy<V> = Result<Box<dyn ColumnStrategy<Pair<V>>>, ColumnError>;
+
+/// One typed column behind the adapter: the boxed strategy plus the
+/// bookkeeping the MAL layer reports upward.
+struct TypedSeg<V: TailValue> {
+    strategy: Box<dyn ColumnStrategy<Pair<V>>>,
+    value_domain: ValueRange<V>,
+    rows: u64,
+    reorg_write_bytes: u64,
+}
+
+impl<V: TailValue> TypedSeg<V> {
+    fn build(
+        rows: Vec<(u64, V)>,
+        domain_lo: f64,
+        domain_hi_excl: f64,
+        make: impl FnOnce(ValueRange<V>, Vec<(u64, V)>) -> BuiltStrategy<V>,
+    ) -> Result<Self, BpmError> {
+        let empty = || BpmError::EmptyDomain {
+            lo: domain_lo,
+            hi_excl: domain_hi_excl,
+        };
+        let lo = V::bound_lo(domain_lo).ok_or_else(empty)?;
+        let hi = V::below_excl(domain_hi_excl).ok_or_else(empty)?;
+        let value_domain = ValueRange::new(lo, hi).ok_or_else(empty)?;
+        let n = rows.len() as u64;
+        let strategy = make(value_domain, rows)?;
+        Ok(TypedSeg {
+            strategy,
+            value_domain,
+            rows: n,
+            reorg_write_bytes: 0,
+        })
+    }
+
+    fn ranges(&self) -> Vec<ValueRange<Pair<V>>> {
+        self.strategy.segment_ranges()
+    }
+
+    /// Indices of the pieces whose value span overlaps the closed query
+    /// `[lo, hi]` (in `f64` boundary space).
+    fn overlapping(&self, lo: f64, hi: f64) -> Vec<usize> {
+        if lo.is_nan() || hi.is_nan() {
+            return Vec::new();
+        }
+        self.ranges()
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.lo().value.to_f64() <= hi && lo <= r.hi().value.to_f64())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    fn footprint_bytes(&self, lo: f64, hi: f64) -> u64 {
+        let bytes = self.strategy.segment_bytes();
+        self.overlapping(lo, hi)
+            .into_iter()
+            .filter_map(|i| bytes.get(i).copied())
+            .sum()
+    }
+
+    fn piece_bat(&self, i: usize) -> Result<Bat, BpmError> {
+        let range = *self.ranges().get(i).ok_or(BpmError::BadPiece(i))?;
+        bat_of_pairs(self.strategy.peek_collect(&range))
+    }
+
+    /// All pieces overlapping the closed query `[lo, hi]`, materialized in
+    /// value order. One `segment_ranges()` build serves every piece — the
+    /// bulk path the interpreter's segment iterator uses.
+    fn piece_bats(&self, lo: f64, hi: f64) -> Result<Vec<Bat>, BpmError> {
+        if lo.is_nan() || hi.is_nan() {
+            return Ok(Vec::new());
+        }
+        self.ranges()
+            .into_iter()
+            .filter(|r| r.lo().value.to_f64() <= hi && lo <= r.hi().value.to_f64())
+            .map(|r| bat_of_pairs(self.strategy.peek_collect(&r)))
+            .collect()
+    }
+
+    fn pack(&self) -> Result<Bat, BpmError> {
+        bat_of_pairs(self.strategy.peek_collect(&self.value_domain.paired()))
+    }
+
+    /// The typed pair query for closed `f64` bounds, clipped to the
+    /// domain; `None` means the query selects nothing.
+    fn query(&self, lo: f64, hi: f64) -> Option<ValueRange<Pair<V>>> {
+        let lo_v = V::bound_lo(lo)?;
+        let hi_v = V::bound_hi(hi)?;
+        Some(
+            ValueRange::new(lo_v, hi_v)?
+                .intersect(&self.value_domain)?
+                .paired(),
+        )
+    }
+
+    /// One self-organization pass for the closed query `[lo, hi]`: the
+    /// strategy's own `select_count` with its integral reorganization
+    /// (Algorithm 1 / Algorithm 2 at the bpm level). Returns the number of
+    /// adaptation operations performed; bytes written by reorganization
+    /// accumulate in [`Self::reorg_write_bytes`].
+    fn adapt(&mut self, lo: f64, hi: f64) -> u64 {
+        let Some(q) = self.query(lo, hi) else {
+            return 0;
+        };
+        let before = self.strategy.adaptation();
+        let mut tracker = CountingTracker::new();
+        self.strategy.select_count(&q, &mut tracker);
+        self.reorg_write_bytes += tracker.totals().write_bytes;
+        let after = self.strategy.adaptation();
+        (after.splits - before.splits)
+            + (after.merges - before.merges)
+            + (after.replicas_created - before.replicas_created)
+    }
+
+    /// Structural invariant check (tests): pieces disjoint and ascending,
+    /// values in range and domain, rows conserved.
+    fn validate(&self) -> Result<(), String> {
+        let ranges = self.ranges();
+        for w in ranges.windows(2) {
+            if w[0].hi() >= w[1].lo() {
+                return Err(format!("pieces {:?} and {:?} out of order", w[0], w[1]));
+            }
+        }
+        let domain = self.value_domain.paired();
+        let mut total = 0u64;
+        for (i, r) in ranges.iter().enumerate() {
+            for p in self.strategy.peek_collect(r) {
+                if !r.contains(p) {
+                    return Err(format!("piece {i} holds out-of-range row {p:?}"));
+                }
+                if !domain.contains(p) {
+                    return Err(format!("row {p:?} outside the column domain"));
+                }
+                total += 1;
+            }
+        }
+        if total != self.rows {
+            return Err(format!("pieces hold {total} rows, expected {}", self.rows));
+        }
+        Ok(())
+    }
+}
+
+/// Builds a bat from pair rows: explicit oid head, typed tail.
+fn bat_of_pairs<V: TailValue>(pairs: Vec<Pair<V>>) -> Result<Bat, BpmError> {
+    let mut heads = Vec::with_capacity(pairs.len());
+    let mut values = Vec::with_capacity(pairs.len());
+    for p in pairs {
+        heads.push(p.oid);
+        values.push(p.value);
+    }
+    Ok(Bat::new(Head::Oids(heads), V::make_tail(values))?)
+}
+
+enum PairColumn {
+    Int(TypedSeg<i64>),
+    Dbl(TypedSeg<OrdF64>),
+    Oid(TypedSeg<u64>),
+}
+
+/// Runs a generic expression against whichever typed column is inside.
+macro_rules! on_seg {
+    ($col:expr, $seg:ident => $body:expr) => {
+        match $col {
+            PairColumn::Int($seg) => $body,
+            PairColumn::Dbl($seg) => $body,
+            PairColumn::Oid($seg) => $body,
+        }
+    };
+}
+
+/// Dispatches construction over the three organizable tail types. `$make`
+/// is token-pasted per arm, so one generic closure expression instantiates
+/// at each tail's `TailValue` type (and moves its captures on exactly one
+/// branch).
+macro_rules! build_column {
+    ($bat:expr, $lo:expr, $hi:expr, $make:expr) => {
+        match $bat.tail() {
+            Tail::Int(v) => PairColumn::Int(TypedSeg::build(int_rows($bat, v), $lo, $hi, $make)?),
+            Tail::Dbl(v) => PairColumn::Dbl(TypedSeg::build(dbl_rows($bat, v)?, $lo, $hi, $make)?),
+            Tail::Oid(v) => PairColumn::Oid(TypedSeg::build(oid_rows($bat, v), $lo, $hi, $make)?),
+            other => return Err(BpmError::UnsupportedTail(other.type_name())),
+        }
+    };
+}
+
+fn int_rows(b: &Bat, v: &[i64]) -> Vec<(u64, i64)> {
+    v.iter()
+        .enumerate()
+        .map(|(i, &x)| (b.head_at(i), x))
+        .collect()
+}
+
+fn oid_rows(b: &Bat, v: &[u64]) -> Vec<(u64, u64)> {
+    v.iter()
+        .enumerate()
+        .map(|(i, &x)| (b.head_at(i), x))
+        .collect()
+}
+
+fn dbl_rows(b: &Bat, v: &[f64]) -> Result<Vec<(u64, OrdF64)>, BpmError> {
+    v.iter()
+        .enumerate()
+        .map(|(i, &x)| match OrdF64::new(x) {
+            Some(ord) => Ok((b.head_at(i), ord)),
+            None => Err(BpmError::NanTail { row: i }),
+        })
+        .collect()
+}
+
+/// A bat organized by a self-organizing [`ColumnStrategy`], preserving
+/// `(oid, value)` pairs across reorganization.
 pub struct SegmentedBat {
-    pieces: Vec<SegPiece>,
-    model: Box<dyn SegmentationModel>,
-    total_bytes: u64,
-    splits: u64,
+    inner: PairColumn,
 }
 
 impl std::fmt::Debug for SegmentedBat {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SegmentedBat")
-            .field("pieces", &self.pieces.len())
-            .field("splits", &self.splits)
+            .field("strategy", &self.strategy_name())
+            .field("pieces", &self.piece_count())
+            .field("rows", &self.rows())
             .finish()
     }
 }
 
-fn tail_value(b: &Bat, i: usize) -> f64 {
-    match b.tail() {
-        Tail::Int(v) => v[i] as f64,
-        Tail::Dbl(v) => v[i],
-        Tail::Oid(v) => v[i] as f64,
-        Tail::Str(_) | Tail::Nil(_) => unreachable!("checked at construction"),
-    }
-}
-
-/// Splits `b` into one bat per boundary interval. `bounds` are the inner
-/// boundaries, ascending; the result has `bounds.len() + 1` bats.
-fn split_by_value(b: &Bat, bounds: &[f64]) -> Vec<Bat> {
-    let k = bounds.len() + 1;
-    let mut heads: Vec<Vec<u64>> = vec![Vec::new(); k];
-    let mut idx: Vec<Vec<usize>> = vec![Vec::new(); k];
-    for i in 0..b.len() {
-        let v = tail_value(b, i);
-        // First interval whose (exclusive) upper boundary is above v.
-        let slot = bounds.partition_point(|&x| x <= v);
-        heads[slot].push(b.head_at(i));
-        idx[slot].push(i);
-    }
-    idx.into_iter()
-        .zip(heads)
-        .map(|(rows, hs)| {
-            let tail = match b.tail() {
-                Tail::Int(v) => Tail::Int(rows.iter().map(|&i| v[i]).collect()),
-                Tail::Dbl(v) => Tail::Dbl(rows.iter().map(|&i| v[i]).collect()),
-                Tail::Oid(v) => Tail::Oid(rows.iter().map(|&i| v[i]).collect()),
-                Tail::Str(_) | Tail::Nil(_) => unreachable!("checked at construction"),
-            };
-            Bat::new(Head::Oids(hs), tail).expect("lengths match")
-        })
-        .collect()
-}
-
 impl SegmentedBat {
-    /// Wraps `bat` as a single piece covering `[domain_lo, domain_hi)` —
-    /// pass an exclusive upper bound (for `:int` tails, `max + 1`).
+    /// Organizes `bat` under the strategy `spec` describes — the unified
+    /// construction path every execution layer shares. The domain is
+    /// half-open `[domain_lo, domain_hi_excl)` (for `:int` tails pass
+    /// `max + 1`), matching the optimizer-level knowledge the paper's
+    /// meta-index carries.
+    ///
+    /// # Errors
+    /// [`BpmError::UnsupportedTail`] for `:str`/`:nil` tails,
+    /// [`BpmError::NanTail`] for NaN in a `:dbl` tail,
+    /// [`BpmError::EmptyDomain`] when the domain has no representable
+    /// value, and [`BpmError::Column`] when a value lies outside it.
+    pub fn from_spec(
+        bat: Bat,
+        domain_lo: f64,
+        domain_hi_excl: f64,
+        spec: &StrategySpec,
+    ) -> Result<Self, BpmError> {
+        let inner = build_column!(&bat, domain_lo, domain_hi_excl, |d, rows| spec
+            .build_paired(d, rows));
+        Ok(SegmentedBat { inner })
+    }
+
+    /// Organizes `bat` under adaptive segmentation driven by a raw
+    /// [`SegmentationModel`] — the deterministic hook tests and benches
+    /// use (e.g. `AlwaysSplit`). Still routed through the unified
+    /// [`ColumnStrategy`] layer; production call sites go through
+    /// [`Self::from_spec`].
     pub fn new(
         bat: Bat,
         domain_lo: f64,
-        domain_hi: f64,
+        domain_hi_excl: f64,
         model: Box<dyn SegmentationModel>,
     ) -> Result<Self, BpmError> {
-        match bat.tail() {
-            Tail::Int(_) | Tail::Dbl(_) | Tail::Oid(_) => {}
-            other => return Err(BpmError::UnsupportedTail(other.type_name())),
+        fn seg_make<V: TailValue>(
+            model: Box<dyn SegmentationModel>,
+        ) -> impl FnOnce(ValueRange<V>, Vec<(u64, V)>) -> BuiltStrategy<V> {
+            |domain, rows| {
+                let column = SegmentedColumn::new(domain.paired(), soc_core::pair_rows(rows))?;
+                Ok(Box::new(AdaptiveSegmentation::new(
+                    column,
+                    model,
+                    SizeEstimator::Uniform,
+                )))
+            }
         }
-        let total_bytes = bat.bytes();
-        Ok(SegmentedBat {
-            pieces: vec![SegPiece {
-                start: domain_lo,
-                end: domain_hi,
-                bat,
-            }],
-            model,
-            total_bytes,
-            splits: 0,
-        })
+        let inner = build_column!(&bat, domain_lo, domain_hi_excl, seg_make(model));
+        Ok(SegmentedBat { inner })
     }
 
-    /// Number of pieces.
+    /// Number of placeable pieces (the strategy's flat segment partition).
     pub fn piece_count(&self) -> usize {
-        self.pieces.len()
+        on_seg!(&self.inner, s => s.ranges().len())
     }
 
-    /// The pieces in value order.
-    pub fn pieces(&self) -> &[SegPiece] {
-        &self.pieces
+    /// Row count of the whole column.
+    pub fn rows(&self) -> u64 {
+        on_seg!(&self.inner, s => s.rows)
     }
 
-    /// Splits performed so far.
+    /// The underlying strategy's display name ("APM Segm", "Cracking", …).
+    pub fn strategy_name(&self) -> String {
+        on_seg!(&self.inner, s => s.strategy.name())
+    }
+
+    /// Splits (or cracks) performed so far.
     pub fn splits(&self) -> u64 {
-        self.splits
+        self.adaptation().splits
     }
 
-    /// Piece `i`'s rows (cloned — MAL materializes intermediates).
+    /// The strategy's uniform adaptation counters.
+    pub fn adaptation(&self) -> AdaptationStats {
+        on_seg!(&self.inner, s => s.strategy.adaptation())
+    }
+
+    /// Bytes written by reorganization across all [`Self::adapt`] calls
+    /// (plus any rebuild cost carried in by the catalog's strategy
+    /// switch) — the reorganization bill SQL-level ablations report.
+    pub fn reorg_write_bytes(&self) -> u64 {
+        on_seg!(&self.inner, s => s.reorg_write_bytes)
+    }
+
+    /// Charges externally-incurred reorganization writes to this column's
+    /// cumulative bill. `Catalog::set_strategy` uses this to carry the old
+    /// column's history forward and to account the full-column rewrite the
+    /// switch performs — mirroring how the sharded executor charges
+    /// re-placement migration bytes.
+    pub(crate) fn add_reorg_write_bytes(&mut self, bytes: u64) {
+        on_seg!(&mut self.inner, s => s.reorg_write_bytes += bytes);
+    }
+
+    /// Materialized storage held by the strategy (replication exceeds the
+    /// bare column; in-place strategies equal it).
+    pub fn storage_bytes(&self) -> u64 {
+        on_seg!(&self.inner, s => s.strategy.storage_bytes())
+    }
+
+    /// Closed value spans of the pieces, projected to `f64` — the
+    /// meta-index view diagnostics and tests read.
+    pub fn piece_spans(&self) -> Vec<(f64, f64)> {
+        on_seg!(&self.inner, s => s
+            .ranges()
+            .iter()
+            .map(|r| (r.lo().value.to_f64(), r.hi().value.to_f64()))
+            .collect())
+    }
+
+    /// Piece `i`'s rows as a bat (materialized — MAL materializes
+    /// intermediates). The read is strategy-state-preserving.
     pub fn piece_bat(&self, i: usize) -> Result<Bat, BpmError> {
-        self.pieces
-            .get(i)
-            .map(|p| p.bat.clone())
-            .ok_or(BpmError::BadPiece(i))
+        on_seg!(&self.inner, s => s.piece_bat(i))
+    }
+
+    /// All pieces overlapping the closed query `[lo, hi]`, in value
+    /// order — the bulk form of [`Self::piece_bat`] the interpreter's
+    /// segment iterator uses (one piece-range computation for the whole
+    /// set instead of one per piece).
+    pub fn piece_bats(&self, lo: f64, hi: f64) -> Result<Vec<Bat>, BpmError> {
+        on_seg!(&self.inner, s => s.piece_bats(lo, hi))
     }
 
     /// Indices of the pieces overlapping the closed query `[lo, hi]`.
     pub fn overlapping(&self, lo: f64, hi: f64) -> Vec<usize> {
-        self.pieces
-            .iter()
-            .enumerate()
-            .filter(|(_, p)| p.start <= hi && lo < p.end)
-            .map(|(i, _)| i)
-            .collect()
+        on_seg!(&self.inner, s => s.overlapping(lo, hi))
     }
 
     /// Estimated bytes a query over `[lo, hi]` must touch — the plan
     /// memory-footprint estimate of Section 3.1.
     pub fn footprint_bytes(&self, lo: f64, hi: f64) -> u64 {
-        self.overlapping(lo, hi)
-            .into_iter()
-            .map(|i| self.pieces[i].bat.bytes())
-            .sum()
+        on_seg!(&self.inner, s => s.footprint_bytes(lo, hi))
     }
 
-    /// Reconstructs the whole bat by appending all pieces (the fallback
-    /// for plans that were not segment-optimized).
+    /// Reconstructs the whole bat from the pieces (the fallback for plans
+    /// that were not segment-optimized).
     pub fn pack(&self) -> Result<Bat, BpmError> {
-        let mut acc = self.pieces[0].bat.clone();
-        for p in &self.pieces[1..] {
-            acc = soc_bat::algebra::append(&acc, &p.bat)?;
-        }
-        Ok(acc)
+        on_seg!(&self.inner, s => s.pack())
     }
 
-    /// The query's exclusive upper boundary in `f64` space.
-    fn exclusive_hi(hi: &Atom) -> Option<f64> {
-        match hi {
-            Atom::Int(v) => Some((*v as f64) + 1.0),
-            Atom::Oid(v) => Some((*v as f64) + 1.0),
-            Atom::Dbl(v) => Some(v.next_up()),
-            Atom::Str(_) | Atom::Nil => None,
-        }
-    }
-
-    /// Runs one adaptation pass for the closed query `[lo, hi]`: every
-    /// overlapping piece is offered to the segmentation model and split
-    /// where the model approves (Algorithm 1 at the bpm level). Returns the
-    /// number of splits performed.
+    /// Runs one self-organization pass for the closed query `[lo, hi]`:
+    /// the strategy executes the selection with its integral
+    /// reorganization (split, crack, or replicate — Section 3.3 made part
+    /// of query execution). Returns the number of adaptation operations.
     pub fn adapt(&mut self, lo: &Atom, hi: &Atom) -> Result<u64, BpmError> {
-        let (Some(ql), Some(qh_excl)) = (lo.as_f64(), Self::exclusive_hi(hi)) else {
+        let (Some(ql), Some(qh)) = (lo.as_f64(), hi.as_f64()) else {
             return Ok(0);
         };
-        let before = self.splits;
-        for i in self.overlapping(ql, qh_excl.max(ql)).into_iter().rev() {
-            self.adapt_piece(i, ql, qh_excl);
-        }
-        Ok(self.splits - before)
+        Ok(on_seg!(&mut self.inner, s => s.adapt(ql, qh)))
     }
 
-    fn adapt_piece(&mut self, i: usize, ql: f64, qh_excl: f64) {
-        let piece = &self.pieces[i];
-        let lower_in = ql > piece.start && ql < piece.end;
-        let upper_in = qh_excl > piece.start && qh_excl < piece.end;
-        // Count the rows each side of the query bounds.
-        let (mut below, mut inside, mut above) = (0u64, 0u64, 0u64);
-        for r in 0..piece.bat.len() {
-            let v = tail_value(&piece.bat, r);
-            if v < ql {
-                below += 1;
-            } else if v < qh_excl {
-                inside += 1;
-            } else {
-                above += 1;
-            }
-        }
-        let geom = SplitGeometry {
-            segment_bytes: piece.bat.bytes(),
-            total_bytes: self.total_bytes,
-            lower_bytes: lower_in.then_some(below * 8),
-            selected_bytes: inside * 8,
-            upper_bytes: upper_in.then_some(above * 8),
-        };
-        let decision = self.model.decide(&geom, Technique::Segmentation);
-        let bounds: Vec<f64> = match decision {
-            SplitDecision::None => return,
-            SplitDecision::QueryBounds => {
-                let mut b = Vec::new();
-                if lower_in {
-                    b.push(ql);
-                }
-                if upper_in {
-                    b.push(qh_excl);
-                }
-                b
-            }
-            SplitDecision::SingleBound(WhichBound::Lower) if lower_in => vec![ql],
-            SplitDecision::SingleBound(WhichBound::Upper) if upper_in => vec![qh_excl],
-            SplitDecision::SingleBound(_) => return,
-            SplitDecision::Mean => {
-                let mid = piece.start + (piece.end - piece.start) * 0.5;
-                if mid <= piece.start || mid >= piece.end {
-                    return;
-                }
-                vec![mid]
-            }
-        };
-        if bounds.is_empty() {
-            return;
-        }
-        let piece = self.pieces.remove(i);
-        let bats = split_by_value(&piece.bat, &bounds);
-        let mut starts = Vec::with_capacity(bats.len() + 1);
-        starts.push(piece.start);
-        starts.extend(&bounds);
-        starts.push(piece.end);
-        let replacements: Vec<SegPiece> = bats
-            .into_iter()
-            .enumerate()
-            .map(|(k, bat)| SegPiece {
-                start: starts[k],
-                end: starts[k + 1],
-                bat,
-            })
-            .collect();
-        self.pieces.splice(i..i, replacements);
-        self.splits += 1;
-    }
-
-    /// Structural invariant check (tests): pieces adjacent, values in
-    /// range, rows conserved.
+    /// Structural invariant check (tests): pieces disjoint and ascending,
+    /// values in range, rows conserved.
     pub fn validate(&self) -> Result<(), String> {
-        if self.pieces.is_empty() {
-            return Err("no pieces".into());
-        }
-        for w in self.pieces.windows(2) {
-            if w[0].end != w[1].start {
-                return Err(format!("gap between {} and {}", w[0].end, w[1].start));
-            }
-        }
-        for (i, p) in self.pieces.iter().enumerate() {
-            if p.start >= p.end {
-                return Err(format!("piece {i} has empty range"));
-            }
-            let last = i == self.pieces.len() - 1;
-            for r in 0..p.bat.len() {
-                let v = tail_value(&p.bat, r);
-                let ok = v >= p.start && (v < p.end || (last && v <= p.end));
-                if !ok {
-                    return Err(format!("piece {i} holds out-of-range value {v}"));
-                }
-            }
-        }
-        Ok(())
+        on_seg!(&self.inner, s => s.validate())
     }
 }
 
@@ -313,6 +552,7 @@ impl SegmentedBat {
 mod tests {
     use super::*;
     use soc_core::model::AlwaysSplit;
+    use soc_core::StrategyKind;
 
     fn seg_bat() -> SegmentedBat {
         // 1000 int rows, value == oid, domain [0, 1000).
@@ -331,7 +571,28 @@ mod tests {
     #[test]
     fn rejects_string_tails() {
         let bat = Bat::new(Head::Void { base: 0 }, Tail::Str(vec!["a".into()])).unwrap();
-        assert!(SegmentedBat::new(bat, 0.0, 1.0, Box::new(AlwaysSplit)).is_err());
+        assert!(matches!(
+            SegmentedBat::new(bat, 0.0, 1.0, Box::new(AlwaysSplit)),
+            Err(BpmError::UnsupportedTail("str"))
+        ));
+    }
+
+    #[test]
+    fn rejects_nan_dbl_tails() {
+        let bat = Bat::dense_dbl(vec![1.0, f64::NAN]);
+        assert!(matches!(
+            SegmentedBat::new(bat, 0.0, 10.0, Box::new(AlwaysSplit)),
+            Err(BpmError::NanTail { row: 1 })
+        ));
+    }
+
+    #[test]
+    fn rejects_empty_domains() {
+        let bat = Bat::dense_int(vec![]);
+        assert!(matches!(
+            SegmentedBat::new(bat, 5.0, 5.0, Box::new(AlwaysSplit)),
+            Err(BpmError::EmptyDomain { .. })
+        ));
     }
 
     #[test]
@@ -346,27 +607,31 @@ mod tests {
         assert_eq!(mid.len(), 200);
         assert_eq!(mid.head_at(0), 400);
         // Row count is conserved.
-        let total: usize = s.pieces().iter().map(|p| p.bat.len()).sum();
+        assert_eq!(s.rows(), 1000);
+        let total: usize = (0..s.piece_count())
+            .map(|i| s.piece_bat(i).unwrap().len())
+            .sum();
         assert_eq!(total, 1000);
     }
 
     #[test]
-    fn overlapping_respects_half_open_pieces() {
+    fn overlapping_respects_piece_boundaries() {
         let mut s = seg_bat();
         s.adapt(&Atom::Int(400), &Atom::Int(599)).unwrap();
-        // Query [600, 700] must not touch the [400, 600) piece.
+        // Pieces are [0,399], [400,599], [600,999].
         assert_eq!(s.overlapping(600.0, 700.0), vec![2]);
-        // Query [599, 599] lies wholly inside the middle piece.
         assert_eq!(s.overlapping(599.0, 599.0), vec![1]);
         assert_eq!(s.overlapping(0.0, 1000.0), vec![0, 1, 2]);
+        // Fractional bounds between pieces touch nothing extra.
+        assert_eq!(s.overlapping(599.5, 599.9), Vec::<usize>::new());
     }
 
     #[test]
     fn footprint_counts_overlapping_bytes() {
         let mut s = seg_bat();
         s.adapt(&Atom::Int(400), &Atom::Int(599)).unwrap();
-        let mid_bytes = s.piece_bat(1).unwrap().bytes();
-        assert_eq!(s.footprint_bytes(450.0, 550.0), mid_bytes);
+        // 200 rows × (8-byte value + 8-byte oid).
+        assert_eq!(s.footprint_bytes(450.0, 550.0), 200 * 16);
     }
 
     #[test]
@@ -401,5 +666,57 @@ mod tests {
             SegmentedBat::new(bat, 0.0, 100.0, Box::new(soc_core::model::NeverSplit)).unwrap();
         assert_eq!(s.adapt(&Atom::Int(10), &Atom::Int(20)).unwrap(), 0);
         assert_eq!(s.piece_count(), 1);
+    }
+
+    #[test]
+    fn every_strategy_kind_drives_a_segmented_bat() {
+        // The tentpole claim at the unit level: each of the nine kinds
+        // organizes a bat, answers piece reads identically, and keeps the
+        // pairing intact under adaptation.
+        let values: Vec<i64> = (0..2_000).map(|i| (i * 7919) % 1000).collect();
+        for kind in StrategyKind::ALL {
+            let spec = StrategySpec::new(kind)
+                .with_apm_bounds(256, 1024)
+                .with_model_seed(7);
+            let mut s = SegmentedBat::from_spec(Bat::dense_int(values.clone()), 0.0, 1000.0, &spec)
+                .unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+            for k in 0..8 {
+                let lo = (k * 117) % 800;
+                s.adapt(&Atom::Int(lo), &Atom::Int(lo + 150)).unwrap();
+            }
+            s.validate().unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+            let packed = s.pack().unwrap();
+            assert_eq!(packed.len(), 2_000, "{kind:?}");
+            let mut oids = packed.head_oids();
+            oids.sort_unstable();
+            assert_eq!(oids, (0..2_000u64).collect::<Vec<_>>(), "{kind:?}");
+            if kind.is_adaptive() {
+                let a = s.adaptation();
+                assert!(
+                    a.splits + a.merges + a.replicas_created > 0,
+                    "{kind:?} reported no adaptation"
+                );
+                assert!(s.reorg_write_bytes() > 0, "{kind:?} wrote nothing");
+            }
+        }
+    }
+
+    #[test]
+    fn replication_pieces_are_the_flat_covering_partition() {
+        let spec = StrategySpec::new(StrategyKind::ApmRepl).with_apm_bounds(256, 1024);
+        let values: Vec<i64> = (0..2_000).map(|i| (i * 31) % 1000).collect();
+        let mut s = SegmentedBat::from_spec(Bat::dense_int(values), 0.0, 1000.0, &spec).unwrap();
+        for k in 0..10 {
+            let lo = (k * 97) % 800;
+            s.adapt(&Atom::Int(lo), &Atom::Int(lo + 100)).unwrap();
+        }
+        s.validate().unwrap();
+        // Replication holds more storage than the logical column, but the
+        // pieces tile it exactly once.
+        assert!(s.storage_bytes() >= 2_000 * 16);
+        let total: usize = (0..s.piece_count())
+            .map(|i| s.piece_bat(i).unwrap().len())
+            .sum();
+        assert_eq!(total, 2_000);
     }
 }

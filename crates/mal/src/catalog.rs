@@ -6,13 +6,63 @@
 //! applications with few large bulk loads and prevailing read-only
 //! queries" (Section 7), which is exactly MonetDB's delta scheme: updates
 //! accumulate beside the immutable base column.
+//!
+//! A segmented column is registered with a [`StrategySpec`] — the one
+//! physical-design currency shared with the simulator and the storage
+//! layer — so SQL queries can drive any of the nine strategy kinds, not
+//! just segmentation. [`Catalog::set_strategy`] re-organizes a live
+//! column under a different kind (the `ALTER COLUMN … SET STRATEGY` DDL
+//! hook), preserving its rows and pending deltas.
 
 use std::collections::HashMap;
 
-use soc_bat::{algebra::Atom, Bat, Head, Oid, Tail};
+use soc_bat::{algebra::Atom, Bat, BatError, Head, Oid, Tail};
 use soc_core::model::SegmentationModel;
+use soc_core::{StrategyKind, StrategySpec};
 
 use crate::bpm::{BpmError, SegmentedBat};
+
+/// Typed catalog failures (no panics on query paths).
+#[derive(Debug)]
+pub enum CatalogError {
+    /// No column registered under this key.
+    UnknownColumn(String),
+    /// The column exists but is not segmented (no strategy to change).
+    NotSegmented(String),
+    /// The requested strategy name is not a known [`StrategyKind`] token.
+    UnknownStrategy(String),
+    /// Re-organizing the column under the new strategy failed.
+    Bpm(BpmError),
+    /// A delta bat could not be materialized (malformed pending changes).
+    MalformedDelta {
+        /// The column key.
+        key: String,
+        /// The kernel's complaint.
+        source: BatError,
+    },
+}
+
+impl std::fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CatalogError::UnknownColumn(k) => write!(f, "unknown column {k}"),
+            CatalogError::NotSegmented(k) => write!(f, "column {k} is not segmented"),
+            CatalogError::UnknownStrategy(s) => write!(f, "unknown strategy {s:?}"),
+            CatalogError::Bpm(e) => write!(f, "strategy change: {e}"),
+            CatalogError::MalformedDelta { key, source } => {
+                write!(f, "delta bat for {key}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}
+
+impl From<BpmError> for CatalogError {
+    fn from(e: BpmError) -> Self {
+        CatalogError::Bpm(e)
+    }
+}
 
 /// Pending changes against one column.
 #[derive(Debug, Default, Clone)]
@@ -25,7 +75,7 @@ struct ColumnDeltas {
     update_vals: Vec<Atom>,
 }
 
-fn atoms_to_bat(heads: &[Oid], vals: &[Atom], like: &Bat) -> Bat {
+fn atoms_to_bat(key: &str, heads: &[Oid], vals: &[Atom], like: &Bat) -> Result<Bat, CatalogError> {
     let tail = match like.tail() {
         Tail::Int(_) => Tail::Int(
             vals.iter()
@@ -61,7 +111,20 @@ fn atoms_to_bat(heads: &[Oid], vals: &[Atom], like: &Bat) -> Bat {
         ),
         Tail::Nil(_) => Tail::Nil(vals.len()),
     };
-    Bat::new(Head::Oids(heads.to_vec()), tail).expect("lengths match")
+    Bat::new(Head::Oids(heads.to_vec()), tail).map_err(|source| CatalogError::MalformedDelta {
+        key: key.to_owned(),
+        source,
+    })
+}
+
+/// The registered domain of a segmented column, kept so the column can be
+/// re-organized under a different strategy later.
+#[derive(Debug, Clone, Copy)]
+struct SegMeta {
+    domain_lo: f64,
+    domain_hi_excl: f64,
+    /// `None` for columns registered through the raw-model test hook.
+    spec: Option<StrategySpec>,
 }
 
 /// Named storage the MAL interpreter binds against.
@@ -69,6 +132,7 @@ fn atoms_to_bat(heads: &[Oid], vals: &[Atom], like: &Bat) -> Bat {
 pub struct Catalog {
     bats: HashMap<String, Bat>,
     segmented: HashMap<String, SegmentedBat>,
+    seg_meta: HashMap<String, SegMeta>,
     deltas: HashMap<String, ColumnDeltas>,
     /// Deleted row oids per `schema.table`.
     deleted: HashMap<String, Vec<Oid>>,
@@ -99,8 +163,8 @@ impl Catalog {
         self.bats.insert(Self::key(schema, table, column), bat);
     }
 
-    /// Registers a column as segmented: the bat is wrapped into a
-    /// single-piece [`SegmentedBat`] governed by `model`.
+    /// Registers a column as self-organizing under the strategy `spec`
+    /// describes — the catalog-level entry of the unified strategy layer.
     ///
     /// `domain_lo`/`domain_hi_excl` bound the attribute domain
     /// (half-open; pass `max + 1` for integer columns).
@@ -113,11 +177,101 @@ impl Catalog {
         bat: Bat,
         domain_lo: f64,
         domain_hi_excl: f64,
+        spec: StrategySpec,
+    ) -> Result<(), BpmError> {
+        let seg = SegmentedBat::from_spec(bat, domain_lo, domain_hi_excl, &spec)?;
+        let key = Self::key(schema, table, column);
+        self.seg_meta.insert(
+            key.clone(),
+            SegMeta {
+                domain_lo,
+                domain_hi_excl,
+                spec: Some(spec),
+            },
+        );
+        self.segmented.insert(key, seg);
+        Ok(())
+    }
+
+    /// Registers a segmented column governed by a raw
+    /// [`SegmentationModel`] — the deterministic hook tests use
+    /// (`AlwaysSplit`/`NeverSplit`); production call sites register a
+    /// [`StrategySpec`] via [`Self::register_segmented`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn register_segmented_with_model(
+        &mut self,
+        schema: &str,
+        table: &str,
+        column: &str,
+        bat: Bat,
+        domain_lo: f64,
+        domain_hi_excl: f64,
         model: Box<dyn SegmentationModel>,
     ) -> Result<(), BpmError> {
         let seg = SegmentedBat::new(bat, domain_lo, domain_hi_excl, model)?;
-        self.segmented.insert(Self::key(schema, table, column), seg);
+        let key = Self::key(schema, table, column);
+        self.seg_meta.insert(
+            key.clone(),
+            SegMeta {
+                domain_lo,
+                domain_hi_excl,
+                spec: None,
+            },
+        );
+        self.segmented.insert(key, seg);
         Ok(())
+    }
+
+    /// Re-organizes a live segmented column under a different strategy
+    /// kind: the rows are extracted (oids intact), the column is rebuilt
+    /// through the spec factory, pending deltas are untouched. This is
+    /// what the `ALTER COLUMN … SET STRATEGY` DDL and the
+    /// `bpm.setStrategy` MAL operator execute.
+    ///
+    /// # Errors
+    /// [`CatalogError::NotSegmented`] (or `UnknownColumn`) when `key` does
+    /// not name a segmented column; [`CatalogError::Bpm`] when the rebuild
+    /// fails (the column is left unchanged in that case).
+    pub fn set_strategy(&mut self, key: &str, kind: StrategyKind) -> Result<(), CatalogError> {
+        let Some(meta) = self.seg_meta.get(key).copied() else {
+            return Err(if self.bats.contains_key(key) {
+                CatalogError::NotSegmented(key.to_owned())
+            } else {
+                CatalogError::UnknownColumn(key.to_owned())
+            });
+        };
+        let Some(seg) = self.segmented.get(key) else {
+            return Err(CatalogError::UnknownColumn(key.to_owned()));
+        };
+        let spec = StrategySpec {
+            kind,
+            ..meta.spec.unwrap_or_else(|| StrategySpec::new(kind))
+        };
+        let packed = seg.pack()?;
+        let rewrite_bytes = packed.bytes();
+        let prior_reorg = seg.reorg_write_bytes();
+        let mut rebuilt =
+            SegmentedBat::from_spec(packed, meta.domain_lo, meta.domain_hi_excl, &spec)?;
+        // Reorganization accounting survives the switch: the column keeps
+        // its accumulated bill, plus the full-column rewrite the rebuild
+        // just performed (adaptation counters restart — they describe the
+        // live strategy's organization, not the column's history).
+        rebuilt.add_reorg_write_bytes(prior_reorg + rewrite_bytes);
+        self.segmented.insert(key.to_owned(), rebuilt);
+        self.seg_meta.insert(
+            key.to_owned(),
+            SegMeta {
+                spec: Some(spec),
+                ..meta
+            },
+        );
+        Ok(())
+    }
+
+    /// The spec a segmented column was registered (or last re-organized)
+    /// with; `None` for plain columns and raw-model registrations.
+    pub fn strategy_spec(&self, key: &str) -> Option<StrategySpec> {
+        self.seg_meta.get(key).and_then(|m| m.spec)
     }
 
     /// Looks up a plain column.
@@ -197,26 +351,29 @@ impl Catalog {
 
     /// The delta bat `sql.bind(schema, table, column, access)` returns for
     /// `access` 1 (inserts) or 2 (updates); typed like the base column.
-    pub(crate) fn delta_bat(&self, key: &str, access: i64, like: &Bat) -> Bat {
+    pub(crate) fn delta_bat(
+        &self,
+        key: &str,
+        access: i64,
+        like: &Bat,
+    ) -> Result<Bat, CatalogError> {
         match self.deltas.get(key) {
-            None => like.empty_like(),
+            None => Ok(like.empty_like()),
             Some(d) => match access {
-                1 => atoms_to_bat(&d.insert_heads, &d.insert_vals, like),
-                2 => atoms_to_bat(&d.update_heads, &d.update_vals, like),
-                _ => like.empty_like(),
+                1 => atoms_to_bat(key, &d.insert_heads, &d.insert_vals, like),
+                2 => atoms_to_bat(key, &d.update_heads, &d.update_vals, like),
+                _ => Ok(like.empty_like()),
             },
         }
     }
 
     /// The deletions bat `sql.bind_dbat` returns: head void, tail = the
     /// deleted oids (Figure 1 reverses it before `kdifference`).
-    pub(crate) fn dbat(&self, schema: &str, table: &str) -> Bat {
-        let deleted = self
-            .deleted
-            .get(&Self::table_key(schema, table))
-            .cloned()
-            .unwrap_or_default();
-        Bat::new(Head::Void { base: 0 }, Tail::Oid(deleted)).expect("void head fits any tail")
+    pub(crate) fn dbat(&self, schema: &str, table: &str) -> Result<Bat, CatalogError> {
+        let key = Self::table_key(schema, table);
+        let deleted = self.deleted.get(&key).cloned().unwrap_or_default();
+        Bat::new(Head::Void { base: 0 }, Tail::Oid(deleted))
+            .map_err(|source| CatalogError::MalformedDelta { key, source })
     }
 }
 
@@ -236,13 +393,17 @@ mod tests {
             Bat::dense_dbl(vec![205.0, 205.1]),
             0.0,
             360.0,
-            Box::new(AlwaysSplit),
+            StrategySpec::new(StrategyKind::ApmSegm),
         )
         .unwrap();
         assert!(c.bat("sys.P.objid").is_some());
         assert!(c.bat("sys.P.ra").is_none());
         assert!(c.is_segmented("sys.P.ra"));
         assert!(!c.is_segmented("sys.P.objid"));
+        assert_eq!(
+            c.strategy_spec("sys.P.ra").map(|s| s.kind),
+            Some(StrategyKind::ApmSegm)
+        );
         assert_eq!(
             c.keys(),
             vec!["sys.P.objid".to_owned(), "sys.P.ra".to_owned()]
@@ -254,8 +415,65 @@ mod tests {
         let mut c = Catalog::new();
         let bat = Bat::new(soc_bat::Head::Void { base: 0 }, soc_bat::Tail::Nil(3)).unwrap();
         assert!(c
-            .register_segmented("s", "t", "c", bat, 0.0, 1.0, Box::new(AlwaysSplit))
+            .register_segmented_with_model("s", "t", "c", bat, 0.0, 1.0, Box::new(AlwaysSplit))
             .is_err());
+    }
+
+    #[test]
+    fn set_strategy_rebuilds_preserving_rows() {
+        let mut c = Catalog::new();
+        let values: Vec<i64> = (0..500).map(|i| (i * 17) % 100).collect();
+        c.register_segmented(
+            "sys",
+            "T",
+            "v",
+            Bat::dense_int(values.clone()),
+            0.0,
+            100.0,
+            StrategySpec::new(StrategyKind::ApmSegm).with_apm_bounds(128, 512),
+        )
+        .unwrap();
+        // Shape the column a bit, then flip it to cracking.
+        c.segmented_mut("sys.T.v")
+            .unwrap()
+            .adapt(&Atom::Int(20), &Atom::Int(40))
+            .unwrap();
+        let reorg_before = c.segmented("sys.T.v").unwrap().reorg_write_bytes();
+        assert!(reorg_before > 0, "the adapt pass must have written");
+        c.set_strategy("sys.T.v", StrategyKind::Cracking).unwrap();
+        assert_eq!(
+            c.strategy_spec("sys.T.v").map(|s| s.kind),
+            Some(StrategyKind::Cracking)
+        );
+        let seg = c.segmented("sys.T.v").unwrap();
+        assert_eq!(seg.strategy_name(), "Cracking");
+        // The switch is itself reorganization: prior bill carried forward
+        // plus the full-column rewrite (500 rows × 16 bytes/pair).
+        assert_eq!(
+            seg.reorg_write_bytes(),
+            reorg_before + 500 * 16,
+            "strategy switch must charge the rebuild, not reset the bill"
+        );
+        // Every row survived with its oid.
+        let packed = seg.pack().unwrap();
+        assert_eq!(packed.len(), 500);
+        let mut oids = packed.head_oids();
+        oids.sort_unstable();
+        assert_eq!(oids, (0..500u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn set_strategy_errors_are_typed() {
+        let mut c = Catalog::new();
+        c.register_bat("sys", "T", "plain", Bat::dense_int(vec![1]));
+        assert!(matches!(
+            c.set_strategy("sys.T.plain", StrategyKind::Cracking),
+            Err(CatalogError::NotSegmented(_))
+        ));
+        assert!(matches!(
+            c.set_strategy("sys.T.nope", StrategyKind::Cracking),
+            Err(CatalogError::UnknownColumn(_))
+        ));
     }
 
     #[test]
@@ -276,7 +494,7 @@ mod tests {
         assert_eq!(a, 3);
         assert_eq!(b, 4);
         let like = Bat::dense_dbl(vec![]);
-        let ins = c.delta_bat("sys.P.ra", 1, &like);
+        let ins = c.delta_bat("sys.P.ra", 1, &like).unwrap();
         assert_eq!(ins.head_oids(), vec![3, 4]);
         assert_eq!(ins.tail(), &Tail::Dbl(vec![4.0, 5.0]));
     }
@@ -288,12 +506,12 @@ mod tests {
         c.update_value("sys", "P", "ra", 1, Atom::Dbl(9.0));
         c.delete_row("sys", "P", 0);
         let like = Bat::dense_dbl(vec![]);
-        let upd = c.delta_bat("sys.P.ra", 2, &like);
+        let upd = c.delta_bat("sys.P.ra", 2, &like).unwrap();
         assert_eq!(upd.head_oids(), vec![1]);
         assert_eq!(upd.tail(), &Tail::Dbl(vec![9.0]));
-        let dbat = c.dbat("sys", "P");
+        let dbat = c.dbat("sys", "P").unwrap();
         assert_eq!(dbat.tail(), &Tail::Oid(vec![0]));
         // Untouched columns still produce empty deltas.
-        assert!(c.delta_bat("sys.P.nope", 1, &like).is_empty());
+        assert!(c.delta_bat("sys.P.nope", 1, &like).unwrap().is_empty());
     }
 }

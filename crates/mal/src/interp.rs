@@ -10,9 +10,11 @@ use std::collections::HashMap;
 
 use soc_bat::{algebra, Atom, Bat, BatError, Head, Tail};
 
+use soc_core::StrategyKind;
+
 use crate::ast::{Arg, Instruction, Program, Stmt};
 use crate::bpm::BpmError;
-use crate::catalog::Catalog;
+use crate::catalog::{Catalog, CatalogError};
 
 /// A runtime value bound to a plan variable.
 #[derive(Debug, Clone)]
@@ -53,8 +55,12 @@ pub enum ExecError {
     Bat(BatError),
     /// Segmented-bat error.
     Bpm(BpmError),
+    /// Catalog failure (delta materialization, strategy change).
+    Catalog(CatalogError),
     /// Catalog miss.
     UnknownColumn(String),
+    /// A `barrier`/`redo` statement without a target variable.
+    MissingTarget(&'static str),
     /// `barrier` without a matching `exit`.
     NoMatchingExit(String),
     /// `redo` outside any open block.
@@ -69,7 +75,9 @@ impl std::fmt::Display for ExecError {
             ExecError::BadArg { call, expected } => write!(f, "{call}: expected {expected}"),
             ExecError::Bat(e) => write!(f, "kernel: {e}"),
             ExecError::Bpm(e) => write!(f, "bpm: {e}"),
+            ExecError::Catalog(e) => write!(f, "catalog: {e}"),
             ExecError::UnknownColumn(k) => write!(f, "unknown column {k}"),
+            ExecError::MissingTarget(s) => write!(f, "{s} statement has no target variable"),
             ExecError::NoMatchingExit(v) => write!(f, "barrier {v} has no exit"),
             ExecError::RedoOutsideBlock(v) => write!(f, "redo {v} outside a block"),
         }
@@ -87,6 +95,12 @@ impl From<BatError> for ExecError {
 impl From<BpmError> for ExecError {
     fn from(e: BpmError) -> Self {
         ExecError::Bpm(e)
+    }
+}
+
+impl From<CatalogError> for ExecError {
+    fn from(e: CatalogError) -> Self {
+        ExecError::Catalog(e)
     }
 }
 
@@ -133,7 +147,10 @@ impl<'a> Interp<'a> {
                     pc += 1;
                 }
                 Stmt::Barrier(i) => {
-                    let target = i.target.clone().expect("barrier has a target");
+                    let target = i
+                        .target
+                        .clone()
+                        .ok_or(ExecError::MissingTarget("barrier"))?;
                     let v = self.exec(i)?;
                     if v.truthy() {
                         self.env.insert(target.clone(), v);
@@ -149,7 +166,7 @@ impl<'a> Interp<'a> {
                     }
                 }
                 Stmt::Redo(i) => {
-                    let target = i.target.clone().expect("redo has a target");
+                    let target = i.target.clone().ok_or(ExecError::MissingTarget("redo"))?;
                     let v = self.exec(i)?;
                     if v.truthy() {
                         let body = open_blocks
@@ -242,6 +259,19 @@ impl<'a> Interp<'a> {
         }
     }
 
+    /// A column reference for the strategy-introspection ops: either a
+    /// `bpm.take` handle or a bare `schema.table.column` key string.
+    fn column_key(&self, i: &Instruction, k: usize) -> Result<String, ExecError> {
+        match self.value(&i.args[k])? {
+            MalValue::SegHandle(h) => Ok(h),
+            MalValue::Atom(Atom::Str(s)) => Ok(s),
+            other => Err(ExecError::BadArg {
+                call: i.qualified(),
+                expected: format!("handle or column key at arg {k}, got {other:?}"),
+            }),
+        }
+    }
+
     fn need_args(&self, i: &Instruction, n: usize) -> Result<(), ExecError> {
         if i.args.len() < n {
             Err(ExecError::BadArg {
@@ -281,14 +311,14 @@ impl<'a> Interp<'a> {
                     } else {
                         return Err(ExecError::UnknownColumn(key));
                     };
-                    Ok(MalValue::Bat(self.catalog.delta_bat(&key, access, &like)))
+                    Ok(MalValue::Bat(self.catalog.delta_bat(&key, access, &like)?))
                 }
             }
             ("sql", "bind_dbat") => {
                 self.need_args(i, 2)?;
                 let schema = self.str_atom(i, 0)?;
                 let table = self.str_atom(i, 1)?;
-                Ok(MalValue::Bat(self.catalog.dbat(&schema, &table)))
+                Ok(MalValue::Bat(self.catalog.dbat(&schema, &table)?))
             }
             ("sql", "resultSet") => {
                 self.need_args(i, 3)?;
@@ -424,11 +454,7 @@ impl<'a> Interp<'a> {
                     .catalog
                     .segmented(&key)
                     .ok_or(ExecError::UnknownColumn(key.clone()))?;
-                let mut queue: std::collections::VecDeque<Bat> = seg
-                    .overlapping(lo, hi)
-                    .into_iter()
-                    .map(|idx| seg.piece_bat(idx).expect("index from overlapping"))
-                    .collect();
+                let mut queue: std::collections::VecDeque<Bat> = seg.piece_bats(lo, hi)?.into();
                 let target = i.target.clone().unwrap_or_else(|| "_iter".to_owned());
                 match queue.pop_front() {
                     Some(first) => {
@@ -526,6 +552,26 @@ impl<'a> Interp<'a> {
                 let splits = seg.adapt(&lo, &hi)?;
                 Ok(MalValue::Atom(Atom::Int(splits as i64)))
             }
+            ("bpm", "strategy") => {
+                // Inspect a column's live strategy.
+                self.need_args(i, 1)?;
+                let key = self.column_key(i, 0)?;
+                let seg = self
+                    .catalog
+                    .segmented(&key)
+                    .ok_or(ExecError::UnknownColumn(key.clone()))?;
+                Ok(MalValue::Atom(Atom::Str(seg.strategy_name())))
+            }
+            ("bpm", "setStrategy") => {
+                // The DDL hook: re-organize a column under another kind.
+                self.need_args(i, 2)?;
+                let key = self.column_key(i, 0)?;
+                let token = self.str_atom(i, 1)?;
+                let kind = StrategyKind::from_token(&token)
+                    .ok_or(ExecError::Catalog(CatalogError::UnknownStrategy(token)))?;
+                self.catalog.set_strategy(&key, kind)?;
+                Ok(MalValue::Atom(Atom::Str(kind.token().to_owned())))
+            }
             ("io", "print") | ("language", "pass") => Ok(MalValue::Nil),
             _ => Err(ExecError::UnknownFunction(i.qualified())),
         }
@@ -544,7 +590,7 @@ mod tests {
         let objid = vec![9000, 9001, 9002, 9003, 9004, 9005];
         let mut c = Catalog::new();
         if segmented_ra {
-            c.register_segmented(
+            c.register_segmented_with_model(
                 "sys",
                 "P",
                 "ra",
@@ -698,6 +744,53 @@ end q;
         };
         assert!(*k > 1, "adaptation must have split the column");
         c.segmented("sys.P.ra").unwrap().validate().unwrap();
+    }
+
+    #[test]
+    fn strategy_is_inspectable_and_switchable_from_mal() {
+        let mut c = Catalog::new();
+        c.register_segmented(
+            "sys",
+            "P",
+            "ra",
+            Bat::dense_dbl(vec![204.9, 205.05, 205.11, 205.13]),
+            204.0,
+            207.0,
+            soc_core::StrategySpec::new(StrategyKind::ApmSegm),
+        )
+        .unwrap();
+        let src = r#"
+    S1 := bpm.strategy("sys.P.ra");
+    K  := bpm.setStrategy("sys.P.ra","cracking");
+    S2 := bpm.strategy("sys.P.ra");
+"#;
+        let prog = parse(src).unwrap();
+        let mut interp = Interp::new(&mut c);
+        interp.run(&prog, &[]).unwrap();
+        let Some(MalValue::Atom(Atom::Str(s1))) = interp.get("S1") else {
+            panic!("S1 must be a string")
+        };
+        assert_eq!(s1, "APM 3K-12K Segm");
+        let Some(MalValue::Atom(Atom::Str(s2))) = interp.get("S2") else {
+            panic!("S2 must be a string")
+        };
+        assert_eq!(s2, "Cracking");
+        assert_eq!(
+            c.strategy_spec("sys.P.ra").map(|s| s.kind),
+            Some(StrategyKind::Cracking)
+        );
+    }
+
+    #[test]
+    fn set_strategy_with_bad_token_is_a_typed_error() {
+        let mut c = catalog(true);
+        let prog = parse(r#"K := bpm.setStrategy("sys.P.ra","btree");"#).unwrap();
+        assert!(matches!(
+            Interp::new(&mut c).run(&prog, &[]),
+            Err(ExecError::Catalog(
+                crate::catalog::CatalogError::UnknownStrategy(_)
+            ))
+        ));
     }
 
     #[test]

@@ -8,6 +8,14 @@
 //! (unrolled for few segments, iterator-based for many), injecting the
 //! `bpm.adapt` reorganization hook of Section 3.3.
 //!
+//! Physical design flows through one currency: the catalog registers a
+//! [`soc_core::StrategySpec`] per segmented column, [`SegmentedBat`] is a
+//! thin `(oid, value)`-pair-preserving adapter over the boxed
+//! [`soc_core::ColumnStrategy`] it builds, and SQL can pick or inspect the
+//! strategy (`ALTER COLUMN … SET STRATEGY`, `bpm.strategy`). All nine
+//! strategy kinds — segmentation, replication, cracking, the baselines —
+//! are therefore drivable from the query layer, not just segmentation.
+//!
 //! The paper's Figure 1 plan parses and runs verbatim; see
 //! `examples/mal_optimizer.rs` for the end-to-end tour.
 
@@ -24,9 +32,12 @@ pub mod parser;
 pub mod sql;
 
 pub use ast::{Arg, Instruction, Program, Stmt};
-pub use bpm::{BpmError, SegPiece, SegmentedBat};
-pub use catalog::Catalog;
+pub use bpm::{BpmError, SegmentedBat};
+pub use catalog::{Catalog, CatalogError};
 pub use interp::{ExecError, Interp, MalValue};
 pub use optimizer::{OptimizerReport, RewriteStrategy, SegmentOptimizer};
 pub use parser::{parse, ParseError};
-pub use sql::{compile_select, parse_select, SelectBetween, SqlError};
+pub use sql::{
+    compile_alter, compile_select, compile_stmt, parse_alter, parse_select, parse_stmt,
+    AlterStrategy, SelectBetween, SqlError, SqlStmt,
+};

@@ -124,7 +124,13 @@ impl SegmentOptimizer {
                 out.push(s.clone());
                 continue;
             };
-            let seg = catalog.segmented(key).expect("checked in pass 1");
+            let Some(seg) = catalog.segmented(key) else {
+                // Registered set changed between passes — leave the
+                // statement alone rather than rewriting against stale
+                // metadata.
+                out.push(s.clone());
+                continue;
+            };
             let lo = i.args[1].clone();
             let hi = i.args[2].clone();
             let strategy = self.expand(
@@ -334,7 +340,7 @@ mod tests {
         let ra: Vec<f64> = (0..1000).map(|i| 200.0 + i as f64 * 0.01).collect();
         let objid: Vec<i64> = (0..1000).map(|i| 9000 + i).collect();
         let mut c = Catalog::new();
-        c.register_segmented(
+        c.register_segmented_with_model(
             "sys",
             "P",
             "ra",

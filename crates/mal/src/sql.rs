@@ -16,8 +16,19 @@
 //! merging, `markT`/`reverse` renumbering, and a positional `join` against
 //! the projected column. It is deliberately *not* segment-aware — that is
 //! the tactical [`crate::SegmentOptimizer`]'s job, downstream.
+//!
+//! Physical design is SQL-visible through one DDL hint:
+//!
+//! ```sql
+//! ALTER COLUMN sys.P.ra SET STRATEGY cracking
+//! ```
+//!
+//! which compiles to a `bpm.setStrategy` call re-organizing the live
+//! column under any [`StrategyKind`] token (see
+//! [`StrategyKind::from_token`]).
 
 use soc_bat::Atom;
+use soc_core::StrategyKind;
 
 use crate::ast::{Arg, Instruction, Program, Stmt};
 
@@ -36,6 +47,29 @@ pub struct SelectBetween {
     pub lo: Option<Atom>,
     /// Upper bound, or `None` for a `?` placeholder.
     pub hi: Option<Atom>,
+}
+
+/// A parsed `ALTER COLUMN … SET STRATEGY` hint: the catalog DDL face of
+/// the unified strategy layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlterStrategy {
+    /// Schema (defaults to `sys`).
+    pub schema: String,
+    /// Table name.
+    pub table: String,
+    /// Column whose physical design changes.
+    pub column: String,
+    /// The strategy to re-organize under.
+    pub kind: StrategyKind,
+}
+
+/// Any statement the SQL front-end accepts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlStmt {
+    /// A Figure-1-class range selection.
+    Select(SelectBetween),
+    /// The physical-design DDL hint.
+    AlterStrategy(AlterStrategy),
 }
 
 /// SQL parse failure.
@@ -127,6 +161,90 @@ fn tokenize(sql: &str) -> Result<Vec<Tok>, SqlError> {
         }
     }
     Ok(toks)
+}
+
+/// Parses `ALTER COLUMN [<schema>.]<table>.<column> SET STRATEGY <kind>`.
+pub fn parse_alter(sql: &str) -> Result<AlterStrategy, SqlError> {
+    let toks = tokenize(sql)?;
+    let kw = |i: usize, want: &str| -> bool {
+        matches!(&toks.get(i), Some(Tok::Word(w)) if w.eq_ignore_ascii_case(want))
+    };
+    let word = |i: usize, what: &str| -> Result<String, SqlError> {
+        match toks.get(i) {
+            Some(Tok::Word(w)) => Ok(w.clone()),
+            other => Err(err(format!("expected {what}, got {other:?}"))),
+        }
+    };
+    if !(kw(0, "alter") && kw(1, "column")) {
+        return Err(err("expected ALTER COLUMN"));
+    }
+    let mut i = 2;
+    let mut parts = vec![word(i, "column reference")?];
+    i += 1;
+    while toks.get(i) == Some(&Tok::Dot) {
+        i += 1;
+        parts.push(word(i, "column reference part")?);
+        i += 1;
+    }
+    let (schema, table, column) = match parts.len() {
+        2 => ("sys".to_owned(), parts.remove(0), parts.remove(0)),
+        3 => (parts.remove(0), parts.remove(0), parts.remove(0)),
+        n => return Err(err(format!("expected table.column, got {n} name part(s)"))),
+    };
+    if !(kw(i, "set") && kw(i + 1, "strategy")) {
+        return Err(err("expected SET STRATEGY"));
+    }
+    i += 2;
+    let token = word(i, "strategy name")?;
+    i += 1;
+    if i != toks.len() {
+        return Err(err("trailing tokens after the strategy name"));
+    }
+    let kind = StrategyKind::from_token(&token)
+        .ok_or_else(|| err(format!("unknown strategy {token:?}")))?;
+    Ok(AlterStrategy {
+        schema,
+        table,
+        column,
+        kind,
+    })
+}
+
+/// Compiles the DDL hint into its one-instruction MAL plan.
+pub fn compile_alter(a: &AlterStrategy) -> Program {
+    let key = format!("{}.{}.{}", a.schema, a.table, a.column);
+    Program {
+        stmts: vec![Stmt::Assign(Instruction::new(
+            Some("X1"),
+            "bpm",
+            "setStrategy",
+            vec![
+                Arg::Const(Atom::Str(key)),
+                Arg::Const(Atom::Str(a.kind.token().to_owned())),
+            ],
+        ))],
+    }
+}
+
+/// Parses any accepted statement: a range selection or the strategy DDL.
+pub fn parse_stmt(sql: &str) -> Result<SqlStmt, SqlError> {
+    let trimmed = sql.trim_start();
+    if trimmed
+        .get(..5)
+        .is_some_and(|w| w.eq_ignore_ascii_case("alter"))
+    {
+        Ok(SqlStmt::AlterStrategy(parse_alter(sql)?))
+    } else {
+        Ok(SqlStmt::Select(parse_select(sql)?))
+    }
+}
+
+/// Compiles any accepted statement to MAL.
+pub fn compile_stmt(stmt: &SqlStmt) -> Program {
+    match stmt {
+        SqlStmt::Select(q) => compile(q),
+        SqlStmt::AlterStrategy(a) => compile_alter(a),
+    }
 }
 
 /// Parses `SELECT <col> FROM [<schema>.]<table> WHERE <col> BETWEEN <b> AND <b>`.
@@ -478,9 +596,70 @@ mod tests {
     }
 
     #[test]
-    fn compiled_plan_composes_with_the_segment_optimizer() {
+    fn alter_strategy_parses_and_compiles() {
+        let a = parse_alter("ALTER COLUMN sys.P.ra SET STRATEGY cracking").unwrap();
+        assert_eq!(a.schema, "sys");
+        assert_eq!(a.table, "P");
+        assert_eq!(a.column, "ra");
+        assert_eq!(a.kind, soc_core::StrategyKind::Cracking);
+        // Unqualified tables default to sys.
+        let b = parse_alter("alter column P.ra set strategy gd_repl").unwrap();
+        assert_eq!(b.schema, "sys");
+        assert_eq!(b.kind, soc_core::StrategyKind::GdRepl);
+        let plan = compile_alter(&a);
+        assert!(plan.render().contains("bpm.setStrategy"));
+        // parse_stmt dispatches on the leading keyword.
+        assert!(matches!(
+            parse_stmt("ALTER COLUMN P.ra SET STRATEGY fullsort"),
+            Ok(SqlStmt::AlterStrategy(_))
+        ));
+        assert!(matches!(
+            parse_stmt("select objid from P where ra between 1 and 2"),
+            Ok(SqlStmt::Select(_))
+        ));
+        for bad in [
+            "ALTER COLUMN ra SET STRATEGY cracking",
+            "ALTER COLUMN P.ra SET STRATEGY btree",
+            "ALTER COLUMN P.ra SET STRATEGY cracking extra",
+            "ALTER TABLE P SET STRATEGY cracking",
+        ] {
+            assert!(parse_alter(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn alter_strategy_executes_end_to_end() {
         let mut c = Catalog::new();
         c.register_segmented(
+            "sys",
+            "P",
+            "ra",
+            Bat::dense_dbl((0..500).map(|i| i as f64 * 0.72).collect()),
+            0.0,
+            360.0,
+            soc_core::StrategySpec::new(soc_core::StrategyKind::ApmSegm),
+        )
+        .unwrap();
+        c.register_bat("sys", "P", "objid", Bat::dense_int((0..500).collect()));
+        let ddl = parse_stmt("ALTER COLUMN sys.P.ra SET STRATEGY gd_repl").unwrap();
+        Interp::new(&mut c)
+            .run(&compile_stmt(&ddl), &[])
+            .expect("DDL executes");
+        assert_eq!(c.segmented("sys.P.ra").unwrap().strategy_name(), "GD Repl");
+        // Queries still answer correctly on the re-organized column.
+        let q = parse_stmt("select objid from P where ra between 90.0 and 180.0").unwrap();
+        let result = Interp::new(&mut c)
+            .run(&compile_stmt(&q), &[])
+            .unwrap()
+            .unwrap();
+        // ra = i * 0.72 in [90, 180] -> i in [125, 250].
+        assert_eq!(result.len(), 126);
+    }
+
+    #[test]
+    fn compiled_plan_composes_with_the_segment_optimizer() {
+        let mut c = Catalog::new();
+        c.register_segmented_with_model(
             "sys",
             "P",
             "ra",

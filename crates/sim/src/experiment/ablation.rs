@@ -17,6 +17,11 @@
 //! * [`sharding_ablation`] — the same policies *executed* on the sharded
 //!   executor: measured fan-out, measured per-node read balance, and the
 //!   byte cost of a mid-run re-placement epoch.
+//! * [`sql_strategy_ablation`] — the Section 3.1 integration measured end
+//!   to end: the same SQL range workload compiled to MAL, segment-
+//!   optimized, and executed against a catalog column registered under
+//!   each of the nine [`StrategyKind`]s, reporting per-query plan
+//!   footprint and reorganization bytes.
 
 use soc_core::{ColumnStrategy as _, NullTracker, SizeEstimator, ValueRange};
 use soc_workload::{uniform_values, zipf_values, WorkloadSpec};
@@ -482,6 +487,104 @@ pub fn sharding_ablation(cfg: &SimConfig, nodes: usize) -> TableOut {
     }
 }
 
+/// The MAL/SQL integration ablation: one SQL range workload — compiled,
+/// segment-optimized, and interpreted — against the same column registered
+/// under every one of the nine strategy kinds.
+///
+/// Per kind the table reports the mean result cardinality (identical
+/// across kinds by construction — the correctness signal), the mean plan
+/// footprint the meta-index estimates for the query (`bpm`'s Section 3.1
+/// memory estimate), total reorganization writes incurred by the injected
+/// `bpm.adapt` hook, total adaptation operations, and the final piece
+/// count. SQL interpretation is per-query work, so the workload is capped
+/// at [`SQL_ABLATION_MAX_QUERIES`] queries.
+pub fn sql_strategy_ablation(cfg: &SimConfig) -> TableOut {
+    use soc_bat::{algebra::Atom, Bat};
+    use soc_core::StrategySpec;
+    use soc_mal::{compile_select, Catalog, Interp, SegmentOptimizer};
+
+    let domain = ValueRange::must(0u32, cfg.domain_hi);
+    let query_count = cfg.query_count.min(SQL_ABLATION_MAX_QUERIES);
+    let queries = WorkloadSpec::uniform(0.05, query_count, cfg.query_seed).generate(&domain);
+    let plan = compile_select("SELECT id FROM sys.T WHERE v BETWEEN ? AND ?")
+        .expect("the ablation's query is in the supported class");
+    let optimizer = SegmentOptimizer::new();
+
+    let mut rows = Vec::new();
+    for kind in StrategyKind::ALL {
+        let values = uniform_values(cfg.column_len, &domain, cfg.data_seed);
+        let base: Vec<i64> = values.iter().map(|&v| v as i64).collect();
+        let ids: Vec<i64> = (0..cfg.column_len as i64).collect();
+
+        let mut catalog = Catalog::new();
+        catalog
+            .register_segmented(
+                "sys",
+                "T",
+                "v",
+                Bat::dense_int(base),
+                0.0,
+                (cfg.domain_hi as f64) + 1.0,
+                StrategySpec::new(kind)
+                    .with_apm_bounds(cfg.mmin, cfg.mmax)
+                    .with_model_seed(cfg.model_seed),
+            )
+            .expect("int column registers under every kind");
+        catalog.register_bat("sys", "T", "id", Bat::dense_int(ids));
+
+        let mut result_rows = 0u64;
+        let mut footprint_bytes = 0u64;
+        for q in &queries {
+            let (lo, hi) = (q.lo() as i64, q.hi() as i64);
+            footprint_bytes += catalog
+                .segmented("sys.T.v")
+                .expect("registered above")
+                .footprint_bytes(lo as f64, hi as f64);
+            let (optimized, _) = optimizer.optimize(&plan, &catalog);
+            let result = Interp::new(&mut catalog)
+                .run(&optimized, &[Atom::Int(lo), Atom::Int(hi)])
+                .expect("plan executes")
+                .expect("plan exports a result");
+            result_rows += result.len() as u64;
+        }
+        let seg = catalog.segmented("sys.T.v").expect("registered above");
+        let a = seg.adaptation();
+        rows.push(vec![
+            seg.strategy_name(),
+            format!("{:.1}", result_rows as f64 / queries.len() as f64),
+            format!(
+                "{:.1}",
+                footprint_bytes as f64 / 1024.0 / queries.len() as f64
+            ),
+            format!("{}", seg.reorg_write_bytes() / 1024),
+            (a.splits + a.merges + a.replicas_created).to_string(),
+            seg.piece_count().to_string(),
+        ]);
+    }
+    TableOut {
+        id: "abl-sql-strategy".to_owned(),
+        title: format!(
+            "Ablation: SQL range workload through the MAL stack, all strategy kinds \
+             ({query_count} queries, sel 0.05)"
+        ),
+        headers: vec![
+            "Strategy".to_owned(),
+            "Mean rows".to_owned(),
+            "Mean footprint (KB)".to_owned(),
+            "Reorg writes (KB)".to_owned(),
+            "Adaptations".to_owned(),
+            "Pieces".to_owned(),
+        ],
+        rows,
+    }
+}
+
+/// Upper bound on queries the SQL ablation interprets per strategy kind:
+/// MAL interpretation materializes intermediates per query, so the full
+/// 10k-query simulation workload would dominate the repro run for no
+/// additional signal.
+pub const SQL_ABLATION_MAX_QUERIES: usize = 400;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -627,6 +730,39 @@ mod tests {
             assert!(f >= 1.0, "{row:?}");
             assert!(imb >= 1.0, "{row:?}");
         }
+    }
+
+    #[test]
+    fn sql_strategy_ablation_all_kinds_agree_on_results() {
+        let t = sql_strategy_ablation(&SimConfig::tiny());
+        assert_eq!(t.rows.len(), 9, "all nine kinds ran");
+        // Every kind must return the same mean result cardinality: the SQL
+        // answer is strategy-independent.
+        let mean_rows: Vec<&str> = t.rows.iter().map(|r| r[1].as_str()).collect();
+        assert!(
+            mean_rows.iter().all(|m| *m == mean_rows[0]),
+            "result cardinality must not depend on the strategy: {mean_rows:?}"
+        );
+        // Adaptive kinds adapted; static baselines did not.
+        for (row, kind) in t.rows.iter().zip(StrategyKind::ALL) {
+            let adaptations: u64 = row[4].parse().unwrap();
+            let reorg_kb: u64 = row[3].parse().unwrap();
+            if kind.is_adaptive() {
+                assert!(adaptations > 0, "{kind:?} must adapt under the workload");
+                assert!(reorg_kb > 0, "{kind:?} must pay reorganization writes");
+            } else {
+                assert_eq!(adaptations, 0, "{kind:?} must stay static");
+            }
+        }
+        // Self-organization shrinks the mean plan footprint below the
+        // full column for the segmenting kinds.
+        let footprint_of = |i: usize| -> f64 { t.rows[i][2].parse().unwrap() };
+        let nosegm = footprint_of(0);
+        let apm = footprint_of(3); // ApmSegm's position in StrategyKind::ALL
+        assert!(
+            apm < nosegm,
+            "APM footprint {apm} must undercut NoSegm {nosegm}"
+        );
     }
 
     #[test]

@@ -6,7 +6,9 @@
 //! * [`skyserver`] — the Section 6.2 SkyServer-style workload: Figures
 //!   10–16 and Table 2.
 //! * [`ablation`] — extensions: database-cracking comparison, APM bound
-//!   sweep, GD merge policy, disk-bound buffer study.
+//!   sweep, GD merge policy, disk-bound buffer study, storage budget,
+//!   auto-APM, estimators, placement/sharding, and the SQL×strategy
+//!   integration sweep.
 
 pub mod ablation;
 pub mod simulation;

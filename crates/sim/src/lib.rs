@@ -11,7 +11,9 @@
 //! * [`cost`] — the 2008-desktop cost model converting byte/seek counters
 //!   into milliseconds (the Section 6.2 time axes);
 //! * [`runner`] — per-query instrumentation of any [`soc_core::ColumnStrategy`];
-//! * [`experiment`] — Figures 5–16, Tables 1–2, and four ablations;
+//! * [`experiment`] — Figures 5–16, Tables 1–2, and the ablations
+//!   (cracking, APM bounds, merging, buffer, budget, auto-APM,
+//!   estimator, placement, sharding, SQL×strategy);
 //! * [`placement`] — segment-to-node assignment policies (the §8 outlook);
 //! * [`shard`] — the sharded executor running one strategy per node and
 //!   routing range selections via the placement plan;

@@ -524,6 +524,17 @@ impl<V: ColumnValue> ColumnStrategy<V> for ShardedColumn<V> {
         out
     }
 
+    fn peek_collect(&self, q: &ValueRange<V>) -> Vec<V> {
+        // Values partition across nodes, so concatenating the routed
+        // nodes' read-only answers is exact. No fan-out/read accounting:
+        // peeks are not queries.
+        let mut out = Vec::new();
+        for i in self.route(q) {
+            out.extend(self.nodes[i].strategy.peek_collect(q));
+        }
+        out
+    }
+
     fn storage_bytes(&self) -> u64 {
         self.nodes.iter().map(|n| n.strategy.storage_bytes()).sum()
     }

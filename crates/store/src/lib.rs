@@ -5,7 +5,11 @@
 //! real: one checksummed file per segment, incremental checkpointing of a
 //! [`soc_core::SegmentedColumn`] (only segments created since the last
 //! checkpoint are written, dropped segments are unlinked — mirroring the
-//! `materialize`/`free` tracker events), and byte-exact restore.
+//! `materialize`/`free` tracker events), and byte-exact restore. Replica
+//! trees round-trip whole through [`save_tree`]/[`load_tree`]; cracked
+//! columns — data in cracked order plus the cracker index — through
+//! [`save_cracked`]/[`load_cracked`], so every strategy family survives a
+//! restart with its reorganization intact.
 //!
 //! ```
 //! use soc_core::{SegmentedColumn, ValueRange};
@@ -28,9 +32,11 @@
 #![deny(unsafe_code)]
 
 pub mod codec;
+pub mod crack;
 pub mod store;
 pub mod tree;
 
 pub use codec::FixedCodec;
+pub use crack::{load_cracked, save_cracked};
 pub use store::{SegmentStore, StoreError};
 pub use tree::{load_tree, save_tree};

@@ -343,3 +343,89 @@ fn tree_file_corruption_is_detected() {
         other => panic!("expected WrongKind, got {other:?}"),
     }
 }
+
+#[test]
+fn cracked_column_checkpoint_restores_the_cracker_index() {
+    use soc_core::CrackedColumn;
+    use soc_store::{load_cracked, save_cracked};
+
+    let dir = TempDir::new("crack");
+    fs::create_dir_all(&dir.0).unwrap();
+    let path = dir.0.join("ra.soccrk");
+
+    // Crack a shuffled column with a handful of queries.
+    let mut rng = SmallRng::seed_from_u64(42);
+    let values: Vec<u32> = (0..20_000).map(|_| rng.gen_range(0..100_000u32)).collect();
+    let reference = values.clone();
+    let mut column = CrackedColumn::new(values);
+    for k in 0..12u32 {
+        let lo = (k * 7_919) % 90_000;
+        column.select_count(&ValueRange::must(lo, lo + 9_999), &mut NullTracker);
+    }
+    let cracks_before = column.cracks();
+    let pieces_before = column.piece_count();
+    assert!(cracks_before > 0);
+
+    // Restart round-trip.
+    save_cracked(&path, &column).unwrap();
+    let mut restored: CrackedColumn<u32> = load_cracked(&path).unwrap();
+    assert_eq!(restored.cracks(), cracks_before);
+    assert_eq!(restored.piece_count(), pieces_before);
+    assert_eq!(restored.values(), column.values());
+    assert_eq!(restored.boundaries(), column.boundaries());
+
+    // The index survived: repeating an already-cracked query performs no
+    // new cracks — the whole point of checkpointing the reorganization.
+    let q = ValueRange::must(7_919, 7_919 + 9_999);
+    let expect = reference.iter().filter(|v| q.contains(**v)).count() as u64;
+    assert_eq!(restored.select_count(&q, &mut NullTracker), expect);
+    assert_eq!(
+        restored.cracks(),
+        cracks_before,
+        "no re-cracking after restore"
+    );
+
+    // Fresh queries still crack and stay correct.
+    let q2 = ValueRange::must(12_345, 23_456);
+    let expect2 = reference.iter().filter(|v| q2.contains(**v)).count() as u64;
+    assert_eq!(restored.select_count(&q2, &mut NullTracker), expect2);
+    assert!(restored.cracks() > cracks_before);
+}
+
+#[test]
+fn cracked_checkpoint_corruption_and_tampering_are_detected() {
+    use soc_core::CrackedColumn;
+    use soc_store::{load_cracked, save_cracked};
+
+    let dir = TempDir::new("crackcorrupt");
+    fs::create_dir_all(&dir.0).unwrap();
+    let path = dir.0.join("c.soccrk");
+    let mut column = CrackedColumn::new((0..1_000u32).rev().collect());
+    column.select_count(&ValueRange::must(200, 599), &mut NullTracker);
+    save_cracked(&path, &column).unwrap();
+
+    // Bit flip in the body.
+    let mut bytes = fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x04;
+    fs::write(&path, &bytes).unwrap();
+    match load_cracked::<u32>(&path) {
+        Err(StoreError::Corrupt { .. })
+        | Err(StoreError::Malformed { .. })
+        | Err(StoreError::BadColumn(_)) => {}
+        other => panic!("expected corruption error, got {other:?}"),
+    }
+
+    // Wrong value type tag.
+    save_cracked(&path, &column).unwrap();
+    match load_cracked::<OrdF64>(&path) {
+        Err(StoreError::WrongKind { .. }) => {}
+        other => panic!("expected WrongKind, got {other:?}"),
+    }
+
+    // Truncation.
+    save_cracked(&path, &column).unwrap();
+    let bytes = fs::read(&path).unwrap();
+    fs::write(&path, &bytes[..bytes.len() - 9]).unwrap();
+    assert!(load_cracked::<u32>(&path).is_err());
+}

@@ -11,7 +11,7 @@
 
 use socdb::bat::{Atom, Bat};
 use socdb::mal::{parse, Catalog, Interp, SegmentOptimizer};
-use socdb::prelude::AdaptivePageModel;
+use socdb::prelude::{StrategyKind, StrategySpec};
 
 const FIGURE1: &str = r#"
 function user.s1_0(A0:dbl,A1:dbl):void;
@@ -60,7 +60,7 @@ fn main() {
             Bat::dense_dbl(ra),
             110.0,
             260.0,
-            Box::new(AdaptivePageModel::new(8 * 1024, 64 * 1024)),
+            StrategySpec::new(StrategyKind::ApmSegm).with_apm_bounds(8 * 1024, 64 * 1024),
         )
         .expect("dbl column segments fine");
     catalog.register_bat("sys", "P", "objid", Bat::dense_int(objid));

@@ -6,8 +6,8 @@
 //! ```
 
 use socdb::bat::{Atom, Bat};
-use socdb::mal::{compile_select, Catalog, Interp, SegmentOptimizer};
-use socdb::prelude::AdaptivePageModel;
+use socdb::mal::{compile_select, compile_stmt, parse_stmt, Catalog, Interp, SegmentOptimizer};
+use socdb::prelude::{StrategyKind, StrategySpec};
 
 fn main() {
     // sys.P: 100k photo objects with clustered ra.
@@ -26,7 +26,7 @@ fn main() {
             Bat::dense_dbl(ra),
             110.0,
             260.0,
-            Box::new(AdaptivePageModel::new(16 * 1024, 128 * 1024)),
+            StrategySpec::new(StrategyKind::ApmSegm).with_apm_bounds(16 * 1024, 128 * 1024),
         )
         .expect("ra registers");
     catalog.register_bat("sys", "P", "objid", Bat::dense_int(objid));
@@ -71,4 +71,29 @@ fn main() {
     println!("\nEvery execution ran the injected bpm.adapt hook: the column");
     println!("reorganized itself around the query bounds, fully transparent");
     println!("to the SQL text — the Section 3.1 design goal.");
+
+    // 3. Physical design is SQL-visible: switch the live column to a
+    //    different self-organizing strategy and keep querying.
+    let ddl = "ALTER COLUMN sys.P.ra SET STRATEGY cracking";
+    println!("\nSQL> {ddl}\n");
+    let stmt = parse_stmt(ddl).expect("DDL parses");
+    Interp::new(&mut catalog)
+        .run(&compile_stmt(&stmt), &[])
+        .expect("DDL executes");
+    println!(
+        "ra now runs under {:?}",
+        catalog.segmented("sys.P.ra").unwrap().strategy_name()
+    );
+    let plan = compile_select("SELECT objid FROM sys.P WHERE ra BETWEEN 205.1 AND 205.12")
+        .expect("select compiles");
+    let (optimized, _) = SegmentOptimizer::new().optimize(&plan, &catalog);
+    let result = Interp::new(&mut catalog)
+        .run(&optimized, &[])
+        .expect("plan runs")
+        .expect("plan exports");
+    println!(
+        "-> same query, {} objids, served by the cracked column ({} pieces)",
+        result.len(),
+        catalog.segmented("sys.P.ra").unwrap().piece_count()
+    );
 }

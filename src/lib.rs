@@ -55,10 +55,11 @@ pub use soc_workload as workload;
 /// The most commonly used types, re-exported flat.
 pub mod prelude {
     pub use soc_core::{
-        AccessTracker, AdaptationStats, AdaptivePageModel, AdaptiveReplication,
+        pair_rows, AccessTracker, AdaptationStats, AdaptivePageModel, AdaptiveReplication,
         AdaptiveSegmentation, ColumnStrategy, ColumnValue, CountingTracker, CrackedColumn,
-        FullySorted, GaussianDice, MergePolicy, NonSegmented, NullTracker, OrdF64, ReplicaTree,
-        SegmentationModel, SegmentedColumn, SizeEstimator, StrategyKind, StrategySpec, ValueRange,
+        FullySorted, GaussianDice, MergePolicy, NonSegmented, NullTracker, OrdF64, Pair,
+        ReplicaTree, SegmentationModel, SegmentedColumn, SizeEstimator, StrategyKind, StrategySpec,
+        ValueRange,
     };
     pub use soc_sim::{
         build_strategy, run_queries, CostModel, MigrationReport, Placement, PlacementError,

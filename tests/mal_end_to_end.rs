@@ -3,7 +3,7 @@
 
 use socdb::bat::{Atom, Bat, Tail};
 use socdb::mal::{parse, Catalog, Interp, MalValue, RewriteStrategy, SegmentOptimizer};
-use socdb::prelude::{AdaptivePageModel, GaussianDice};
+use socdb::prelude::{StrategyKind, StrategySpec};
 
 const FIGURE1: &str = r#"
 function user.s1_0(A0:dbl,A1:dbl):void;
@@ -50,7 +50,7 @@ fn catalog(n: usize, segmented: bool) -> Catalog {
             Bat::dense_dbl(ra),
             110.0,
             260.0,
-            Box::new(AdaptivePageModel::new(1024, 8 * 1024)),
+            StrategySpec::new(StrategyKind::ApmSegm).with_apm_bounds(1024, 8 * 1024),
         )
         .unwrap();
     } else {
@@ -139,7 +139,7 @@ fn gd_model_works_at_the_mal_level_too() {
         Bat::dense_dbl(ra),
         0.0,
         360.0,
-        Box::new(GaussianDice::new(5)),
+        StrategySpec::new(StrategyKind::GdSegm).with_model_seed(5),
     )
     .unwrap();
     c.register_bat("sys", "P", "objid", Bat::dense_int((0..10_000).collect()));
