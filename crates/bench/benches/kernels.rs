@@ -1,10 +1,12 @@
 //! Kernel micro-benches: full-column scan vs segment-pruned selection —
-//! the mechanism behind every read-size figure in the paper.
+//! the mechanism behind every read-size figure in the paper — plus the
+//! branchless chunked kernels of `soc_core::kernels` against the naive
+//! per-element filters they replaced.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 use soc_core::{
-    AdaptivePageModel, AdaptiveSegmentation, ColumnStrategy, NonSegmented, NullTracker,
+    kernels, AdaptivePageModel, AdaptiveSegmentation, ColumnStrategy, NonSegmented, NullTracker,
     SegmentedColumn, SizeEstimator, ValueRange,
 };
 use soc_workload::{uniform_values, WorkloadSpec};
@@ -72,5 +74,53 @@ fn bench_overlap_lookup(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_select, bench_overlap_lookup);
+/// The raw scan kernels against the tuple-at-a-time loops they replaced —
+/// one benchmark per kernel, same data, same query, elements/sec reported.
+fn bench_scan_kernels(c: &mut Criterion) {
+    const N: usize = 1_000_000;
+    let values = uniform_values(N, &domain(), 5);
+    let q = ValueRange::must(200_000, 599_999); // ~40% selectivity
+    let mut group = c.benchmark_group("scan_kernels");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(N as u64));
+
+    group.bench_function(BenchmarkId::new("count_naive_filter", N), |b| {
+        b.iter(|| black_box(values.iter().filter(|v| q.contains(**v)).count() as u64))
+    });
+    group.bench_function(BenchmarkId::new("count_branchless", N), |b| {
+        b.iter(|| black_box(kernels::count_range(&values, &q)))
+    });
+
+    group.bench_function(BenchmarkId::new("collect_naive_filter", N), |b| {
+        b.iter(|| {
+            let out: Vec<u32> = values.iter().copied().filter(|v| q.contains(*v)).collect();
+            black_box(out.len())
+        })
+    });
+    group.bench_function(BenchmarkId::new("collect_chunked", N), |b| {
+        b.iter(|| {
+            let mut out = Vec::new();
+            kernels::collect_range(&values, &q, &mut out);
+            black_box(out.len())
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("partition_branchless", N), |b| {
+        b.iter(|| black_box(kernels::count_partition(&values, &q)))
+    });
+
+    let mut sorted = values.clone();
+    sorted.sort_unstable();
+    group.bench_function(BenchmarkId::new("sorted_run_binary_search", N), |b| {
+        b.iter(|| black_box(kernels::sorted_run(&sorted, &q)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_select,
+    bench_overlap_lookup,
+    bench_scan_kernels
+);
 criterion_main!(benches);

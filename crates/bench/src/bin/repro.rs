@@ -10,16 +10,22 @@
 //! fig10–fig16, tab2 (SkyServer); ablation-cracking, ablation-apm,
 //! ablation-merge, ablation-buffer, ablation-budget, ablation-auto-apm,
 //! ablation-estimator, ablation-placement, ablation-sharding,
-//! ablation-sql-strategy; or the groups `simulation`, `skyserver`,
-//! `ablation`, `all`.
+//! ablation-sql-strategy; perf-sharded, perf-kernels (wall-clock
+//! measurements of the parallel executor and the scan kernels); or the
+//! groups `simulation`, `skyserver`, `ablation`, `perf`, `all`.
 //!
 //! Each figure/table is printed (tables verbatim, figures as sparkline
 //! summaries) and written as CSV under `--out` (default `results/`).
+//! With `--json`, a machine-readable perf baseline — per-experiment wall
+//! time, bytes scanned, serial-vs-parallel speedup — is additionally
+//! written to `<out>/BENCH_PR4.json` (CI uploads it as an artifact).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
 use soc_bench::fig2;
+use soc_bench::perf::{kernel_count_perf, sharded_scan_perf, write_bench_json, PerfEntry};
 use soc_sim::experiment::ablation;
 use soc_sim::experiment::simulation::{run_simulation_matrix, SimConfig, SimulationMatrix};
 use soc_sim::experiment::skyserver::{
@@ -32,6 +38,7 @@ struct Opts {
     experiment: String,
     out: PathBuf,
     quick: bool,
+    json: bool,
     scale: usize,
 }
 
@@ -40,6 +47,7 @@ fn parse_args() -> Result<Opts, String> {
         experiment: "all".to_owned(),
         out: PathBuf::from("results"),
         quick: false,
+        json: false,
         scale: 1,
     };
     let mut args = std::env::args().skip(1);
@@ -52,6 +60,7 @@ fn parse_args() -> Result<Opts, String> {
                 opts.out = PathBuf::from(args.next().ok_or("--out needs a value")?);
             }
             "--quick" => opts.quick = true,
+            "--json" => opts.json = true,
             "--scale" => {
                 opts.scale = args
                     .next()
@@ -61,7 +70,8 @@ fn parse_args() -> Result<Opts, String> {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--experiment <id|group|all>] [--out DIR] [--quick] [--scale N]"
+                    "usage: repro [--experiment <id|group|all>] [--out DIR] [--quick] \
+                     [--json] [--scale N]"
                 );
                 std::process::exit(0);
             }
@@ -98,6 +108,15 @@ fn wants(experiment: &str, id: &str, group: &str) -> bool {
     experiment == "all" || experiment == id || experiment == group
 }
 
+/// Runs `f` and appends its wall time to the perf baseline under `id`,
+/// passing the closure's value through.
+fn timed<T, F: FnOnce() -> T>(perf: &mut Vec<PerfEntry>, id: &str, f: F) -> T {
+    let t0 = Instant::now();
+    let out = f();
+    perf.push(PerfEntry::section(id, t0.elapsed().as_secs_f64() * 1e3));
+    out
+}
+
 fn main() -> ExitCode {
     let opts = match parse_args() {
         Ok(o) => o,
@@ -111,9 +130,10 @@ fn main() -> ExitCode {
         written: Vec::new(),
     };
     let e = opts.experiment.as_str();
+    let mut perf: Vec<PerfEntry> = Vec::new();
 
     if wants(e, "fig2", "simulation") {
-        em.figure(&fig2());
+        timed(&mut perf, "fig2", || em.figure(&fig2()));
     }
 
     // ---- Section 6.1 simulation ----------------------------------------
@@ -132,7 +152,9 @@ fn main() -> ExitCode {
             "running simulation matrix ({} values, {} queries, 16 runs)…",
             cfg.column_len, cfg.query_count
         );
-        let m: SimulationMatrix = run_simulation_matrix(&cfg);
+        let m: SimulationMatrix = timed(&mut perf, "simulation-matrix", || {
+            run_simulation_matrix(&cfg)
+        });
         if wants(e, "fig5", "simulation") {
             for f in m.fig5() {
                 em.figure(&f);
@@ -179,7 +201,7 @@ fn main() -> ExitCode {
             cfg.column_len * 8 / (1024 * 1024),
             cfg.query_count
         );
-        let r: SkyServerResults = run_skyserver(&cfg);
+        let r: SkyServerResults = timed(&mut perf, "skyserver-grid", || run_skyserver(&cfg));
         if wants(e, "fig10", "skyserver") {
             em.table(&r.fig10());
         }
@@ -245,43 +267,104 @@ fn main() -> ExitCode {
             }
         };
         if wants(e, "ablation-cracking", "ablation") {
-            em.table(&ablation::cracking_comparison(&cfg));
+            timed(&mut perf, "ablation-cracking", || {
+                em.table(&ablation::cracking_comparison(&cfg))
+            });
         }
         if wants(e, "ablation-apm", "ablation") {
-            em.table(&ablation::apm_bound_sweep(&cfg));
+            timed(&mut perf, "ablation-apm", || {
+                em.table(&ablation::apm_bound_sweep(&cfg))
+            });
         }
         if wants(e, "ablation-merge", "ablation") {
-            em.table(&ablation::merge_ablation(&cfg));
+            timed(&mut perf, "ablation-merge", || {
+                em.table(&ablation::merge_ablation(&cfg))
+            });
         }
         if wants(e, "ablation-buffer", "ablation") {
-            em.table(&ablation::buffer_ablation(&cfg));
+            timed(&mut perf, "ablation-buffer", || {
+                em.table(&ablation::buffer_ablation(&cfg))
+            });
         }
         if wants(e, "ablation-budget", "ablation") {
-            em.table(&ablation::budget_ablation(&cfg));
+            timed(&mut perf, "ablation-budget", || {
+                em.table(&ablation::budget_ablation(&cfg))
+            });
         }
         if wants(e, "ablation-auto-apm", "ablation") {
-            em.table(&ablation::auto_apm_ablation(&cfg));
+            timed(&mut perf, "ablation-auto-apm", || {
+                em.table(&ablation::auto_apm_ablation(&cfg))
+            });
         }
         if wants(e, "ablation-estimator", "ablation") {
-            em.table(&ablation::estimator_ablation(&cfg));
+            timed(&mut perf, "ablation-estimator", || {
+                em.table(&ablation::estimator_ablation(&cfg))
+            });
         }
         if wants(e, "ablation-placement", "ablation") {
-            em.table(&ablation::placement_ablation(&cfg, 8));
+            timed(&mut perf, "ablation-placement", || {
+                em.table(&ablation::placement_ablation(&cfg, 8))
+            });
         }
         if wants(e, "ablation-sharding", "ablation") {
-            em.table(&ablation::sharding_ablation(&cfg, 8));
+            timed(&mut perf, "ablation-sharding", || {
+                em.table(&ablation::sharding_ablation(&cfg, 8))
+            });
         }
         if wants(e, "ablation-sql-strategy", "ablation") {
-            em.table(&ablation::sql_strategy_ablation(&cfg));
+            timed(&mut perf, "ablation-sql-strategy", || {
+                em.table(&ablation::sql_strategy_ablation(&cfg))
+            });
         }
     }
 
-    if em.written.is_empty() {
+    // ---- Wall-clock perf: parallel executor & scan kernels ---------------
+    let mut ran_perf = false;
+    if wants(e, "perf-sharded", "perf") {
+        for nodes in [1usize, 4, 16] {
+            eprintln!("measuring sharded serial-vs-parallel scan at {nodes} node(s)…");
+            let entry = sharded_scan_perf(nodes, opts.quick);
+            println!(
+                "{}: serial {:.2} ms, parallel {:.2} ms, speedup {:.2}x, {} KB scanned",
+                entry.id,
+                entry.serial_ms.unwrap_or(0.0),
+                entry.parallel_ms.unwrap_or(0.0),
+                entry.speedup.unwrap_or(0.0),
+                entry.bytes_scanned.unwrap_or(0) / 1024,
+            );
+            perf.push(entry);
+            ran_perf = true;
+        }
+    }
+    if wants(e, "perf-kernels", "perf") {
+        eprintln!("measuring branchless scan kernel vs naive filter…");
+        let entry = kernel_count_perf(opts.quick);
+        println!(
+            "{}: naive {:.3} ms, kernel {:.3} ms, speedup {:.2}x",
+            entry.id,
+            entry.serial_ms.unwrap_or(0.0),
+            entry.parallel_ms.unwrap_or(0.0),
+            entry.speedup.unwrap_or(0.0),
+        );
+        perf.push(entry);
+        ran_perf = true;
+    }
+
+    if em.written.is_empty() && !ran_perf {
         eprintln!(
             "error: no experiment matched {e:?}; try fig2, fig5..fig16, tab1, tab2, \
-             simulation, skyserver, ablation-*, or all"
+             simulation, skyserver, ablation-*, perf-sharded, perf-kernels, or all"
         );
         return ExitCode::FAILURE;
+    }
+    if opts.json {
+        match write_bench_json(&opts.out, opts.quick, &perf) {
+            Ok(path) => eprintln!("wrote perf baseline {}", path.display()),
+            Err(err) => {
+                eprintln!("error: could not write BENCH_PR4.json: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
     eprintln!(
         "wrote {} CSV file(s) under {}",

@@ -8,11 +8,14 @@
 //! vendors this minimal implementation (see the workspace `Cargo.toml`).
 //! Each benchmark runs a warm-up/calibration phase (caches hot, an
 //! iteration count sized so one sample takes a few milliseconds), then
-//! `sample_size` independently timed samples; the printed line reports the
-//! **min** (the least-noise estimate of the true cost) and **median**
-//! (the robust central tendency) per-iteration times. No outlier
-//! rejection, confidence intervals, or HTML reports — upgrade to real
-//! criterion when a networked build is available.
+//! `sample_size` independently timed samples. When five or more samples
+//! were taken the top and bottom sample are trimmed (simple outlier
+//! rejection against scheduler blips on both tails) and the printed line
+//! reports the **min** (the least-noise estimate of the true cost) and
+//! **median** (the robust central tendency) of the surviving samples; with
+//! a [`Throughput`] configured it also derives **elements (or bytes) per
+//! second** from the median. No confidence intervals or HTML reports —
+//! upgrade to real criterion when a networked build is available.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -36,6 +39,27 @@ pub enum BatchSize {
     NumBatches(u64),
     /// A fixed number of iterations per batch.
     NumIterations(u64),
+}
+
+/// How much work one benchmark iteration performs, for derived
+/// throughput reporting (`group.throughput(Throughput::Elements(n))`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// One iteration processes this many elements.
+    Elements(u64),
+    /// One iteration processes this many bytes.
+    Bytes(u64),
+}
+
+impl Throughput {
+    /// Renders the rate implied by `secs` seconds per iteration.
+    fn rate(self, secs: f64) -> String {
+        let per_sec = |n: u64| n as f64 / secs.max(1e-12);
+        match self {
+            Throughput::Elements(n) => format!("{} elem/s", human_count(per_sec(n))),
+            Throughput::Bytes(n) => format!("{}B/s", human_count(per_sec(n))),
+        }
+    }
 }
 
 /// Identifies one benchmark within a group: a function name plus a
@@ -131,12 +155,20 @@ pub struct BenchmarkGroup<'a> {
     criterion: &'a mut Criterion,
     name: String,
     sample_size: usize,
+    throughput: Option<Throughput>,
 }
 
 impl BenchmarkGroup<'_> {
     /// Sets how many measured iterations each benchmark runs.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         self.sample_size = n;
+        self
+    }
+
+    /// Declares the work one iteration performs; subsequent benchmarks of
+    /// the group report a derived rate next to the timings.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
         self
     }
 
@@ -152,7 +184,8 @@ impl BenchmarkGroup<'_> {
         f: F,
     ) -> &mut Self {
         let full = format!("{}/{}", self.name, id.into_benchmark_id());
-        self.criterion.run_one(&full, self.sample_size, f);
+        self.criterion
+            .run_one(&full, self.sample_size, self.throughput, f);
         self
     }
 
@@ -205,7 +238,7 @@ impl Criterion {
     /// Runs a single stand-alone benchmark.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
         let sample_size = self.default_sample_size;
-        self.run_one(name, sample_size, f);
+        self.run_one(name, sample_size, None, f);
         self
     }
 
@@ -216,13 +249,20 @@ impl Criterion {
             criterion: self,
             name: name.into(),
             sample_size,
+            throughput: None,
         }
     }
 
     /// Prints the final summary (no-op in the shim).
     pub fn final_summary(&self) {}
 
-    fn run_one<F: FnMut(&mut Bencher)>(&mut self, name: &str, sample_size: usize, mut f: F) {
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        sample_size: usize,
+        throughput: Option<Throughput>,
+        mut f: F,
+    ) {
         if let Some(filter) = &self.filter {
             if !name.contains(filter.as_str()) {
                 return;
@@ -270,13 +310,38 @@ impl Criterion {
             })
             .collect();
         means.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
-        let min = means[0];
-        let median = means[means.len() / 2];
+        // Simple outlier trimming: with enough samples, drop the extreme
+        // sample on each tail (a too-fast sample is usually timer
+        // granularity, a too-slow one a scheduler blip), keeping >= 3.
+        let trimmed = if means.len() >= 5 {
+            &means[1..means.len() - 1]
+        } else {
+            &means[..]
+        };
+        let min = trimmed[0];
+        let median = trimmed[trimmed.len() / 2];
+        let rate = throughput
+            .map(|t| format!(", {}", t.rate(median)))
+            .unwrap_or_default();
         println!(
-            "{name}: {samples} samples x {iters} iters, min {}, median {}",
+            "{name}: {samples} samples x {iters} iters ({} trimmed), min {}, median {}{rate}",
+            means.len() - trimmed.len(),
             human_time(min),
             human_time(median)
         );
+    }
+}
+
+/// `12_345_678.0` → `"12.35 M"` (SI magnitude, for rate reporting).
+fn human_count(x: f64) -> String {
+    if x >= 1e9 {
+        format!("{:.2} G", x / 1e9)
+    } else if x >= 1e6 {
+        format!("{:.2} M", x / 1e6)
+    } else if x >= 1e3 {
+        format!("{:.2} K", x / 1e3)
+    } else {
+        format!("{x:.1} ")
     }
 }
 
@@ -330,6 +395,27 @@ mod tests {
         let mut count = 0u64;
         c.bench_function("count", |b| b.iter(|| count += 1));
         assert!(count >= 10);
+    }
+
+    #[test]
+    fn throughput_configures_and_benchmark_still_runs() {
+        let mut c = Criterion::default();
+        let mut ran = 0u64;
+        let mut group = c.benchmark_group("g");
+        group.sample_size(7); // >= 5: trimming kicks in
+        group.throughput(Throughput::Elements(1_000));
+        group.bench_function("t", |b| b.iter(|| ran += 1));
+        group.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn rate_rendering_uses_si_magnitudes() {
+        assert_eq!(Throughput::Elements(2_000_000).rate(1.0), "2.00 M elem/s");
+        assert_eq!(Throughput::Bytes(500).rate(1.0), "500.0 B/s");
+        assert_eq!(Throughput::Elements(3_000).rate(1.0), "3.00 K elem/s");
+        // Sub-second iterations scale the rate up.
+        assert_eq!(Throughput::Elements(1_000).rate(1e-6), "1.00 G elem/s");
     }
 
     #[test]

@@ -103,12 +103,10 @@ impl<V: ColumnValue> FullySorted<V> {
         }
     }
 
-    /// Positions `[start, end)` of the qualifying run.
+    /// Positions `[start, end)` of the qualifying run
+    /// ([`crate::kernels::sorted_run`]'s binary-search fast path).
     fn run_of(&self, q: &ValueRange<V>) -> (usize, usize) {
-        let v = self.segment.values();
-        let start = v.partition_point(|x| *x < q.lo());
-        let end = v.partition_point(|x| *x <= q.hi());
-        (start, end.max(start))
+        crate::kernels::sorted_run(self.segment.values(), q)
     }
 
     fn charge_sort(&mut self, tracker: &mut dyn AccessTracker) {

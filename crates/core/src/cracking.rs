@@ -36,15 +36,39 @@ pub struct CrackedColumn<V> {
 }
 
 impl<V: ColumnValue> CrackedColumn<V> {
-    /// Takes ownership of the column copy to crack.
+    /// Takes ownership of the column copy to crack, computing the data's
+    /// `(min, max)` with one fold. Callers that already know the bounds
+    /// (a checkpoint restore, a loader that tracked them) should use
+    /// [`Self::with_bounds`] and skip the pass.
     pub fn new(values: Vec<V>) -> Self {
-        let mut ids = SegIdGen::new();
         let bounds = values
             .iter()
             .fold(None, |acc: Option<(V, V)>, &v| match acc {
                 None => Some((v, v)),
                 Some((lo, hi)) => Some((lo.min(v), hi.max(v))),
             });
+        Self::with_bounds(values, bounds)
+    }
+
+    /// As [`Self::new`] but with the data's `(min, max)` supplied by the
+    /// caller instead of recomputed by a per-element fold — `None` iff
+    /// `values` is empty. The bounds are invariant under cracking (which
+    /// only permutes values in place), so a restore path that persisted
+    /// the data can pass what it already validated.
+    ///
+    /// Debug builds verify the claim; release builds trust it.
+    pub fn with_bounds(values: Vec<V>, bounds: Option<(V, V)>) -> Self {
+        debug_assert_eq!(
+            bounds,
+            values
+                .iter()
+                .fold(None, |acc: Option<(V, V)>, &v| match acc {
+                    None => Some((v, v)),
+                    Some((lo, hi)) => Some((lo.min(v), hi.max(v))),
+                }),
+            "supplied bounds must be the data's (min, max)"
+        );
+        let mut ids = SegIdGen::new();
         CrackedColumn {
             id: ids.fresh(),
             data: values,
@@ -124,8 +148,10 @@ impl<V: ColumnValue> CrackedColumn<V> {
             }
         }
         // Partition invariant: one pass over the data against the piece
-        // each position falls in.
+        // each position falls in. The same pass derives the data's
+        // `(min, max)`, so the restore avoids `new`'s extra fold.
         let mut piece = 0usize;
+        let mut bounds: Option<(V, V)> = None;
         for (i, v) in values.iter().enumerate() {
             while piece < boundaries.len() && i >= boundaries[piece].1 {
                 piece += 1;
@@ -142,8 +168,12 @@ impl<V: ColumnValue> CrackedColumn<V> {
                     boundaries[piece].0
                 ));
             }
+            bounds = Some(match bounds {
+                None => (*v, *v),
+                Some((lo, hi)) => (lo.min(*v), hi.max(*v)),
+            });
         }
-        let mut restored = CrackedColumn::new(values);
+        let mut restored = CrackedColumn::with_bounds(values, bounds);
         restored.index = boundaries.into_iter().collect();
         restored.cracks = cracks;
         Ok(restored)
@@ -271,14 +301,22 @@ impl<V: ColumnValue> ColumnStrategy<V> for CrackedColumn<V> {
     fn peek_collect(&self, q: &ValueRange<V>) -> Vec<V> {
         // Values in [q.lo, q.hi] can only live between the start of the
         // piece holding q.lo and the end of the piece holding q.hi; scan
-        // just that window, without cracking.
-        let (start, _) = self.piece_of(q.lo());
-        let (_, end) = self.piece_of(q.hi());
-        self.data[start..end]
-            .iter()
-            .copied()
-            .filter(|v| q.contains(*v))
-            .collect()
+        // just that window, without cracking. Only the two boundary pieces
+        // can contain non-qualifying values: every piece strictly between
+        // them spans boundary values inside (q.lo, q.hi], so its slice is
+        // copied wholesale — the cracked analogue of the `covers` fast
+        // path — and the boundary pieces go through the branchless kernel.
+        let (lo_start, lo_end) = self.piece_of(q.lo());
+        let (hi_start, hi_end) = self.piece_of(q.hi());
+        let mut out = Vec::new();
+        if lo_start == hi_start {
+            crate::kernels::collect_range(&self.data[lo_start..lo_end], q, &mut out);
+            return out;
+        }
+        crate::kernels::collect_range(&self.data[lo_start..lo_end], q, &mut out);
+        out.extend_from_slice(&self.data[lo_end..hi_start]);
+        crate::kernels::collect_range(&self.data[hi_start..hi_end], q, &mut out);
+        out
     }
 
     fn storage_bytes(&self) -> u64 {

@@ -68,20 +68,7 @@ pub fn exact_pieces<V: ColumnValue>(
 ) -> Option<PieceLens> {
     let (below, mid, above) = seg_range.partition_by(q);
     mid?;
-    let mut below_n = 0u64;
-    let mut mid_n = 0u64;
-    let mut above_n = 0u64;
-    let q_lo = q.lo();
-    let q_hi = q.hi();
-    for v in values {
-        if *v < q_lo {
-            below_n += 1;
-        } else if *v > q_hi {
-            above_n += 1;
-        } else {
-            mid_n += 1;
-        }
-    }
+    let (below_n, mid_n, above_n) = crate::kernels::count_partition(values, q);
     Some((below.map(|_| below_n), mid_n, above.map(|_| above_n)))
 }
 

@@ -55,6 +55,7 @@ pub mod baseline;
 pub mod column;
 pub mod cracking;
 pub mod estimate;
+pub mod kernels;
 pub mod merge;
 pub mod meta;
 pub mod model;
@@ -85,5 +86,7 @@ pub use segment::{SegId, SegIdGen, SegmentData};
 pub use segmentation::AdaptiveSegmentation;
 pub use spec::{StrategyKind, StrategySpec};
 pub use strategy::{AdaptationStats, ColumnStrategy};
-pub use tracker::{AccessTracker, CountingTracker, NullTracker, QueryStats};
+pub use tracker::{
+    AccessTracker, CountingTracker, EventLog, NullTracker, QueryStats, TrackerEvent,
+};
 pub use value::{ColumnValue, OrdF64};

@@ -108,7 +108,12 @@ impl SplitGeometry {
 ///
 /// `&mut self` because the Gaussian Dice consumes randomness; decisions may
 /// therefore differ between calls with identical geometry.
-pub trait SegmentationModel {
+///
+/// `Send + Sync` because models live inside [`crate::ColumnStrategy`]
+/// objects, which carry the same bound so per-node strategy instances can
+/// run on worker threads (decisions stay single-threaded: `decide` takes
+/// `&mut self` through the owning strategy's exclusive borrow).
+pub trait SegmentationModel: Send + Sync {
     /// Short display name ("GD", "APM 1-25", …) used in experiment output.
     fn name(&self) -> String;
 

@@ -123,23 +123,19 @@ impl<V: ColumnValue> AdaptiveReplication<V> {
             let values = node
                 .values()
                 .expect("covering-set members are materialized");
-            let mut matched = 0u64;
-            if let Some(out) = out {
+            let matched = if let Some(out) = out {
                 let before = out.len();
-                out.extend(values.iter().copied().filter(|v| q.contains(*v)));
-                matched = (out.len() - before) as u64;
+                crate::kernels::collect_range(values, q, out);
+                (out.len() - before) as u64
             } else {
-                for v in values {
-                    if q.contains(*v) {
-                        matched += 1;
-                    }
-                }
-            }
+                crate::kernels::count_range(values, q)
+            };
             let fills: Vec<(NodeId, Vec<V>)> = m_list
                 .iter()
                 .map(|&n| {
                     let r = self.tree.node(n).range;
-                    let vals: Vec<V> = values.iter().copied().filter(|v| r.contains(*v)).collect();
+                    let mut vals = Vec::new();
+                    crate::kernels::collect_range(values, &r, &mut vals);
                     (n, vals)
                 })
                 .collect();
@@ -219,7 +215,7 @@ impl<V: ColumnValue> ColumnStrategy<V> for AdaptiveReplication<V> {
                 .node(s)
                 .values()
                 .expect("covering-set members are materialized");
-            out.extend(values.iter().copied().filter(|v| q.contains(*v)));
+            crate::kernels::collect_range(values, q, &mut out);
         }
         out
     }

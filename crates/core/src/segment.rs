@@ -102,20 +102,28 @@ impl<V: ColumnValue> SegmentData<V> {
     }
 
     /// Counts the stored values inside `q` without materializing them.
+    ///
+    /// A query covering the whole segment range is answered from the length
+    /// alone; otherwise the branchless [`crate::kernels::count_range`]
+    /// kernel does the scan.
     pub fn count_in(&self, q: &ValueRange<V>) -> u64 {
         if q.covers(&self.range) {
             return self.len();
         }
-        self.values.iter().filter(|v| q.contains(**v)).count() as u64
+        crate::kernels::count_range(&self.values, q)
     }
 
     /// Copies the stored values inside `q` into `out`.
+    ///
+    /// A covering query degenerates to one `extend_from_slice`; partial
+    /// overlap goes through the chunked
+    /// [`crate::kernels::collect_range`] kernel.
     pub fn collect_in(&self, q: &ValueRange<V>, out: &mut Vec<V>) {
         if q.covers(&self.range) {
             out.extend_from_slice(&self.values);
             return;
         }
-        out.extend(self.values.iter().copied().filter(|v| q.contains(*v)));
+        crate::kernels::collect_range(&self.values, q, out);
     }
 
     /// Splits the segment's values across an ordered list of sub-ranges that

@@ -33,7 +33,29 @@ pub struct AdaptationStats {
 /// A column organization that can answer range selections and may
 /// reorganize itself as a side effect (the paper's "reorganization decisions
 /// … made an integral part of query execution").
-pub trait ColumnStrategy<V: ColumnValue> {
+///
+/// # Thread-safety contract
+///
+/// Every strategy is `Send + Sync`, so `Box<dyn ColumnStrategy<V>>` (what
+/// [`crate::spec::StrategySpec::build`] produces) can be owned by, and
+/// handed between, worker threads — the contract the parallel sharded
+/// executor in `soc-sim` relies on when it runs one strategy per node on
+/// scoped threads. Concretely:
+///
+/// * the **mutating** methods ([`Self::select_count`],
+///   [`Self::select_collect`]) take `&mut self`, so they are exclusive per
+///   strategy *instance*; concurrency comes from running *distinct*
+///   instances (one per shard node) in parallel, never from sharing one;
+/// * the **read-only** methods ([`Self::peek_collect`],
+///   [`Self::storage_bytes`], [`Self::segment_count`],
+///   [`Self::segment_bytes`], [`Self::segment_ranges`],
+///   [`Self::adaptation`]) take `&self` and may be called concurrently
+///   from multiple threads on one instance (`Sync`); implementations must
+///   not use interior mutability for them;
+/// * per-thread accounting goes to a private [`AccessTracker`] (e.g. an
+///   event log) merged deterministically afterwards — see the merge
+///   contract on [`crate::tracker::AccessTracker`].
+pub trait ColumnStrategy<V: ColumnValue>: Send + Sync {
     /// Display name for experiment output ("GD Segm", "APM Repl", …).
     fn name(&self) -> String;
 

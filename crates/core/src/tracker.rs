@@ -13,6 +13,22 @@ use crate::segment::SegId;
 ///
 /// Implementations range from plain counters ([`CountingTracker`]) to the
 /// buffer-managed, cost-modelled simulator in `soc-sim`.
+///
+/// # Merge contract (parallel execution)
+///
+/// Trackers are deliberately *not* shared across threads. A parallel
+/// executor gives each worker a private tracker — an [`EventLog`] when the
+/// caller's tracker must see every individual event (buffer simulation,
+/// per-segment cost models), or a [`CountingTracker`] when only totals
+/// matter — and merges the per-worker state into the caller's tracker
+/// *after* joining, in a deterministic order (ascending node index, which
+/// is exactly the order the serial executor visits nodes). Under that
+/// discipline a parallel run reports byte-for-byte the same totals, and
+/// replays byte-for-byte the same event sequence, as its serial
+/// counterpart: the three callbacks are pure accumulation, so regrouping
+/// them per worker and concatenating in serial order is exact. The merge
+/// primitives are [`EventLog::replay_into`] and
+/// [`CountingTracker::absorb`].
 pub trait AccessTracker {
     /// A full sequential scan of segment `seg` (`bytes` = its footprint).
     ///
@@ -93,6 +109,18 @@ impl CountingTracker {
     pub fn totals(&self) -> QueryStats {
         self.total
     }
+
+    /// Merges another tracker's counters into this one: `other`'s lifetime
+    /// totals into our totals and `other`'s current epoch into our current
+    /// epoch. This is the merge half of the [`AccessTracker`] contract for
+    /// parallel executors whose workers count into private
+    /// `CountingTracker`s: absorbing the workers in ascending node order
+    /// yields exactly the counters a serial run would have produced,
+    /// because every field is a sum.
+    pub fn absorb(&mut self, other: &CountingTracker) {
+        self.total.absorb(&other.total);
+        self.current.absorb(&other.current);
+    }
 }
 
 impl AccessTracker for CountingTracker {
@@ -113,6 +141,73 @@ impl AccessTracker for CountingTracker {
     fn free(&mut self, _seg: SegId, bytes: u64) {
         self.current.freed_bytes += bytes;
         self.total.freed_bytes += bytes;
+    }
+}
+
+/// One recorded [`AccessTracker`] callback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrackerEvent {
+    /// A [`AccessTracker::scan`] of `bytes` on segment `seg`.
+    Scan(SegId, u64),
+    /// A [`AccessTracker::materialize`] of `bytes` as segment `seg`.
+    Materialize(SegId, u64),
+    /// A [`AccessTracker::free`] of `bytes` from segment `seg`.
+    Free(SegId, u64),
+}
+
+/// A tracker that records every event verbatim for later replay.
+///
+/// This is the exactness half of the [`AccessTracker`] merge contract:
+/// a worker thread counts into its own `EventLog`, and after the join the
+/// coordinator replays the logs into the caller's real tracker in
+/// deterministic (serial-execution) order. Because the individual events —
+/// segment identities, byte counts, ordering within a worker — are all
+/// preserved, even stateful trackers (the buffer-pool simulator keyed on
+/// [`SegId`]) observe a parallel run exactly as they would the serial one.
+#[derive(Debug, Default, Clone)]
+pub struct EventLog {
+    events: Vec<TrackerEvent>,
+}
+
+impl EventLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The recorded events in arrival order.
+    pub fn events(&self) -> &[TrackerEvent] {
+        &self.events
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Re-fires every recorded event, in order, at `target`.
+    pub fn replay_into(&self, target: &mut dyn AccessTracker) {
+        for e in &self.events {
+            match *e {
+                TrackerEvent::Scan(seg, bytes) => target.scan(seg, bytes),
+                TrackerEvent::Materialize(seg, bytes) => target.materialize(seg, bytes),
+                TrackerEvent::Free(seg, bytes) => target.free(seg, bytes),
+            }
+        }
+    }
+}
+
+impl AccessTracker for EventLog {
+    fn scan(&mut self, seg: SegId, bytes: u64) {
+        self.events.push(TrackerEvent::Scan(seg, bytes));
+    }
+
+    fn materialize(&mut self, seg: SegId, bytes: u64) {
+        self.events.push(TrackerEvent::Materialize(seg, bytes));
+    }
+
+    fn free(&mut self, seg: SegId, bytes: u64) {
+        self.events.push(TrackerEvent::Free(seg, bytes));
     }
 }
 
@@ -167,6 +262,60 @@ mod tests {
         b.absorb(&a);
         assert_eq!(b.read_bytes, 2);
         assert_eq!(b.segments_materialized, 10);
+    }
+
+    #[test]
+    fn absorb_merges_totals_and_current_epoch() {
+        // One tracker observing a serial event stream…
+        let mut serial = CountingTracker::new();
+        serial.begin_query();
+        serial.scan(SegId(1), 100);
+        serial.materialize(SegId(2), 40);
+        serial.scan(SegId(3), 7);
+        serial.free(SegId(1), 100);
+
+        // …must equal two per-worker trackers absorbed in worker order.
+        let mut a = CountingTracker::new();
+        a.begin_query();
+        a.scan(SegId(1), 100);
+        a.materialize(SegId(2), 40);
+        let mut b = CountingTracker::new();
+        b.begin_query();
+        b.scan(SegId(3), 7);
+        b.free(SegId(1), 100);
+        let mut merged = CountingTracker::new();
+        merged.begin_query();
+        merged.absorb(&a);
+        merged.absorb(&b);
+
+        assert_eq!(merged.totals(), serial.totals());
+        assert_eq!(merged.query_stats(), serial.query_stats());
+    }
+
+    #[test]
+    fn event_log_replays_verbatim() {
+        let mut log = EventLog::new();
+        assert!(log.is_empty());
+        log.scan(SegId(5), 64);
+        log.materialize(SegId(6), 32);
+        log.free(SegId(5), 64);
+        assert_eq!(
+            log.events(),
+            &[
+                TrackerEvent::Scan(SegId(5), 64),
+                TrackerEvent::Materialize(SegId(6), 32),
+                TrackerEvent::Free(SegId(5), 64),
+            ]
+        );
+
+        // Replaying into a CountingTracker gives the direct-observation counters.
+        let mut direct = CountingTracker::new();
+        direct.scan(SegId(5), 64);
+        direct.materialize(SegId(6), 32);
+        direct.free(SegId(5), 64);
+        let mut replayed = CountingTracker::new();
+        log.replay_into(&mut replayed);
+        assert_eq!(replayed.totals(), direct.totals());
     }
 
     #[test]

@@ -23,10 +23,26 @@
 //! `segment_ranges()`, a fresh plan is computed, and segments migrate to
 //! their new homes with the moved bytes charged to the tracker as
 //! reorganization cost.
+//!
+//! # Parallel execution
+//!
+//! Routed scans are independent by construction (the nodes partition the
+//! values), so in the default [`ExecMode::Parallel`] the executor overlaps
+//! them on scoped worker threads (`std::thread::scope`) — one thread per
+//! routed node, each counting into a private [`soc_core::EventLog`] that is
+//! replayed into the caller's tracker in ascending node order after the
+//! join. That merge discipline (see the contract on
+//! [`soc_core::AccessTracker`]) makes a parallel run *bit-identical* to the
+//! serial one: same counts, same collected multisets (concatenated in node
+//! order), same tracker event sequence. [`ExecMode::Serial`] keeps the
+//! single-threaded path for comparison and for measuring the executor's own
+//! overhead; [`ShardedColumn::select_count_batch`] amortizes the thread
+//! spawns over a whole query batch (one worker per node drains that node's
+//! routed queries), which is the shape the throughput benchmarks measure.
 
 use soc_core::{
-    AccessTracker, AdaptationStats, ColumnError, ColumnStrategy, ColumnValue, SegId, SegIdGen,
-    StrategySpec, ValueRange,
+    AccessTracker, AdaptationStats, ColumnError, ColumnStrategy, ColumnValue, EventLog, SegId,
+    SegIdGen, StrategySpec, ValueRange,
 };
 
 use crate::placement::{overlapping_span, Placement, PlacementError, PlacementPolicy};
@@ -74,6 +90,23 @@ pub struct MigrationReport {
     pub moved_bytes: u64,
 }
 
+/// How [`ShardedColumn`] executes the per-node scans of a routed selection.
+///
+/// Both modes produce bit-identical results and tracker accounting; they
+/// differ only in wall-clock behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Visit the routed nodes one after another on the calling thread —
+    /// the reference execution and the baseline the benchmarks compare
+    /// against.
+    Serial,
+    /// Overlap the routed nodes' scans on scoped worker threads, merging
+    /// per-node event logs into the caller's tracker in node order after
+    /// the join (the default).
+    #[default]
+    Parallel,
+}
+
 /// One simulated node: its own strategy instance plus the value ranges it
 /// owns and its lifetime read counters.
 struct ShardNode<V> {
@@ -82,6 +115,40 @@ struct ShardNode<V> {
     assigned: Vec<ValueRange<V>>,
     read_bytes: u64,
     queries_touched: u64,
+}
+
+/// One node's share of one routed selection: scan through a [`NodeIo`] so
+/// read bytes stay attributed to the node, bump its counters, and return
+/// the count (plus the materialized part when `collect`).
+///
+/// A free function (not a method) so worker threads can call it on the
+/// `&mut ShardNode` they own without borrowing the whole column.
+fn scan_node<V: ColumnValue>(
+    node: &mut ShardNode<V>,
+    q: &ValueRange<V>,
+    tracker: &mut dyn AccessTracker,
+    collect: bool,
+) -> (u64, Vec<V>) {
+    let mut io = NodeIo {
+        inner: tracker,
+        read_bytes: 0,
+    };
+    let (matched, part) = if collect {
+        let part = node.strategy.select_collect(q, &mut io);
+        (part.len() as u64, part)
+    } else {
+        (node.strategy.select_count(q, &mut io), Vec::new())
+    };
+    node.read_bytes += io.read_bytes;
+    node.queries_touched += 1;
+    (matched, part)
+}
+
+/// Joins a scoped handle, forwarding a worker panic to the caller.
+fn join_worker<T>(handle: std::thread::ScopedJoinHandle<'_, T>) -> T {
+    handle
+        .join()
+        .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
 }
 
 /// Forwards all accounting to the run's tracker while attributing read
@@ -134,6 +201,7 @@ impl AccessTracker for NodeIo<'_> {
 pub struct ShardedColumn<V> {
     spec: StrategySpec,
     policy: PlacementPolicy,
+    exec: ExecMode,
     domain: ValueRange<V>,
     nodes: Vec<ShardNode<V>>,
     /// The placement-grain partition `(range, bytes)` of the current plan,
@@ -247,6 +315,7 @@ impl<V: ColumnValue> ShardedColumn<V> {
         let mut shard = ShardedColumn {
             spec,
             policy,
+            exec: ExecMode::default(),
             domain,
             nodes: Vec::with_capacity(nodes),
             partition: seed_ranges.iter().copied().zip(sizes).collect(),
@@ -308,6 +377,24 @@ impl<V: ColumnValue> ShardedColumn<V> {
             .collect()
     }
 
+    /// The routed nodes as exclusive borrows, in ascending node order.
+    /// `routed` must be ascending (as [`Self::route`] produces).
+    fn routed_nodes(&mut self, routed: &[usize]) -> Vec<&mut ShardNode<V>> {
+        let mut want = routed.iter().copied().peekable();
+        self.nodes
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(i, node)| {
+                if want.peek() == Some(&i) {
+                    want.next();
+                    Some(node)
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
     fn run_select(
         &mut self,
         q: &ValueRange<V>,
@@ -317,25 +404,134 @@ impl<V: ColumnValue> ShardedColumn<V> {
         let routed = self.route(q);
         self.queries += 1;
         self.fanout_sum += routed.len() as u64;
+        let collect = out.is_some();
         let mut matched = 0u64;
-        for i in routed {
-            let node = &mut self.nodes[i];
-            let mut io = NodeIo {
-                inner: tracker,
-                read_bytes: 0,
-            };
-            match out.as_deref_mut() {
-                Some(out) => {
-                    let mut part = node.strategy.select_collect(q, &mut io);
-                    matched += part.len() as u64;
-                    out.append(&mut part);
+        match self.exec {
+            ExecMode::Parallel if routed.len() > 1 => {
+                // One scoped worker per routed node, each scanning into a
+                // private event log; logs are replayed into the caller's
+                // tracker in node order, so the observable event sequence
+                // is exactly the serial one.
+                let nodes = self.routed_nodes(&routed);
+                let results: Vec<(u64, Vec<V>, EventLog)> = std::thread::scope(|s| {
+                    let handles: Vec<_> = nodes
+                        .into_iter()
+                        .map(|node| {
+                            s.spawn(move || {
+                                let mut log = EventLog::new();
+                                let (m, part) = scan_node(node, q, &mut log, collect);
+                                (m, part, log)
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(join_worker).collect()
+                });
+                for (m, mut part, log) in results {
+                    log.replay_into(tracker);
+                    matched += m;
+                    if let Some(out) = out.as_deref_mut() {
+                        out.append(&mut part);
+                    }
                 }
-                None => matched += node.strategy.select_count(q, &mut io),
             }
-            node.read_bytes += io.read_bytes;
-            node.queries_touched += 1;
+            _ => {
+                for i in routed {
+                    let (m, mut part) = scan_node(&mut self.nodes[i], q, tracker, collect);
+                    matched += m;
+                    if let Some(out) = out.as_deref_mut() {
+                        out.append(&mut part);
+                    }
+                }
+            }
         }
         matched
+    }
+
+    /// Executes a whole batch of counting range selections, returning one
+    /// count per query (same order).
+    ///
+    /// Serial mode runs the queries one by one, exactly like repeated
+    /// [`ColumnStrategy::select_count`] calls. Parallel mode spawns **one
+    /// worker per node for the whole batch** — each worker drains the
+    /// queries routed to its node in order — so the thread-spawn cost
+    /// amortizes over the batch instead of recurring per query; this is
+    /// the shape a distributed coordinator dispatching a query stream to
+    /// node workers takes, and the one the `sharded_scan` benchmark
+    /// measures. Per-(node, query) event logs are replayed into `tracker`
+    /// in serial order (query-major, then ascending node), so counts,
+    /// per-node read attribution, fan-out statistics, and the tracker's
+    /// event sequence are all bit-identical to the serial run.
+    pub fn select_count_batch(
+        &mut self,
+        queries: &[ValueRange<V>],
+        tracker: &mut dyn AccessTracker,
+    ) -> Vec<u64> {
+        let routes: Vec<Vec<usize>> = queries.iter().map(|q| self.route(q)).collect();
+        self.queries += queries.len() as u64;
+        self.fanout_sum += routes.iter().map(|r| r.len() as u64).sum::<u64>();
+        let mut counts = vec![0u64; queries.len()];
+        match self.exec {
+            ExecMode::Serial => {
+                for ((q, routed), count) in queries.iter().zip(&routes).zip(&mut counts) {
+                    for &i in routed {
+                        *count += scan_node(&mut self.nodes[i], q, tracker, false).0;
+                    }
+                }
+            }
+            ExecMode::Parallel => {
+                // Per-node worklists of query indices (ascending by
+                // construction, since routes are visited in query order).
+                let mut work: Vec<Vec<usize>> = vec![Vec::new(); self.nodes.len()];
+                for (qi, routed) in routes.iter().enumerate() {
+                    for &i in routed {
+                        work[i].push(qi);
+                    }
+                }
+                let mut per_node: Vec<Vec<(u64, EventLog)>> =
+                    (0..self.nodes.len()).map(|_| Vec::new()).collect();
+                let node_results: Vec<(usize, Vec<(u64, EventLog)>)> = std::thread::scope(|s| {
+                    let handles: Vec<_> = self
+                        .nodes
+                        .iter_mut()
+                        .enumerate()
+                        .zip(&work)
+                        .filter(|(_, w)| !w.is_empty())
+                        .map(|((i, node), w)| {
+                            let handle = s.spawn(move || {
+                                w.iter()
+                                    .map(|&qi| {
+                                        let mut log = EventLog::new();
+                                        let (m, _) = scan_node(node, &queries[qi], &mut log, false);
+                                        (m, log)
+                                    })
+                                    .collect::<Vec<_>>()
+                            });
+                            (i, handle)
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|(i, h)| (i, join_worker(h)))
+                        .collect()
+                });
+                for (i, results) in node_results {
+                    per_node[i] = results;
+                }
+                // Deterministic merge in serial order: query-major, then
+                // ascending node index. Each node's results are in its
+                // worklist (= query) order, so a cursor per node suffices.
+                let mut cursor = vec![0usize; self.nodes.len()];
+                for (routed, count) in routes.iter().zip(&mut counts) {
+                    for &i in routed {
+                        let (m, log) = &per_node[i][cursor[i]];
+                        cursor[i] += 1;
+                        log.replay_into(tracker);
+                        *count += m;
+                    }
+                }
+            }
+        }
+        counts
     }
 
     /// Re-placement epoch: collects the live (self-organized) partitioning
@@ -447,6 +643,24 @@ impl<V: ColumnValue> ShardedColumn<V> {
         self.policy
     }
 
+    /// The execution mode in force.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.exec
+    }
+
+    /// Sets the execution mode (builder form).
+    #[must_use]
+    pub fn with_exec_mode(mut self, mode: ExecMode) -> Self {
+        self.exec = mode;
+        self
+    }
+
+    /// Sets the execution mode in place — the benchmarks toggle one shard
+    /// between serial and parallel so both modes measure identical state.
+    pub fn set_exec_mode(&mut self, mode: ExecMode) {
+        self.exec = mode;
+    }
+
     /// Lifetime read bytes per node — measured balance, not an estimate.
     pub fn node_read_bytes(&self) -> Vec<u64> {
         self.nodes.iter().map(|n| n.read_bytes).collect()
@@ -526,10 +740,31 @@ impl<V: ColumnValue> ColumnStrategy<V> for ShardedColumn<V> {
 
     fn peek_collect(&self, q: &ValueRange<V>) -> Vec<V> {
         // Values partition across nodes, so concatenating the routed
-        // nodes' read-only answers is exact. No fan-out/read accounting:
-        // peeks are not queries.
+        // nodes' read-only answers (in node order) is exact. No
+        // fan-out/read accounting: peeks are not queries. The fan-out is
+        // read-only (`peek_collect` takes `&self`, and strategies are
+        // `Sync`), so parallel mode overlaps it on scoped threads with no
+        // event logs to merge.
+        let routed = self.route(q);
+        if self.exec == ExecMode::Parallel && routed.len() > 1 {
+            let parts: Vec<Vec<V>> = std::thread::scope(|s| {
+                let handles: Vec<_> = routed
+                    .iter()
+                    .map(|&i| {
+                        let node = &self.nodes[i];
+                        s.spawn(move || node.strategy.peek_collect(q))
+                    })
+                    .collect();
+                handles.into_iter().map(join_worker).collect()
+            });
+            let mut out = Vec::with_capacity(parts.iter().map(Vec::len).sum());
+            for mut part in parts {
+                out.append(&mut part);
+            }
+            return out;
+        }
         let mut out = Vec::new();
-        for i in self.route(q) {
+        for i in routed {
             out.extend(self.nodes[i].strategy.peek_collect(q));
         }
         out
@@ -857,6 +1092,133 @@ mod tests {
         assert!(reads.iter().all(|&r| r > 0), "all nodes served reads");
         assert!(sharded.read_imbalance() >= 1.0);
         assert!(sharded.mean_measured_fanout() >= 1.0);
+    }
+
+    /// Two identically built shards, one per exec mode.
+    fn shard_pair(
+        kind: StrategyKind,
+        policy: PlacementPolicy,
+        nodes: usize,
+        values: &[u32],
+    ) -> (ShardedColumn<u32>, ShardedColumn<u32>) {
+        let serial = ShardedColumn::new(spec(kind), policy, nodes, domain(), values.to_vec())
+            .expect("shard construction")
+            .with_exec_mode(ExecMode::Serial);
+        let parallel = ShardedColumn::new(spec(kind), policy, nodes, domain(), values.to_vec())
+            .expect("shard construction")
+            .with_exec_mode(ExecMode::Parallel);
+        (serial, parallel)
+    }
+
+    #[test]
+    fn parallel_execution_is_bit_identical_to_serial() {
+        // Counts, collected multisets, per-node attribution, and the full
+        // tracker byte totals must agree between the two modes — the
+        // deterministic-merge guarantee of the parallel executor.
+        let values = uniform_values(10_000, &domain(), 29);
+        let queries = workload(120, 30);
+        for kind in [
+            StrategyKind::ApmSegm,
+            StrategyKind::GdRepl,
+            StrategyKind::Cracking,
+            StrategyKind::NoSegm,
+        ] {
+            let (mut serial, mut parallel) =
+                shard_pair(kind, PlacementPolicy::RangeContiguous, 6, &values);
+            let mut t_serial = CountingTracker::new();
+            let mut t_parallel = CountingTracker::new();
+            for q in &queries {
+                assert_eq!(
+                    serial.select_count(q, &mut t_serial),
+                    parallel.select_count(q, &mut t_parallel),
+                    "{kind:?} count diverged on {q:?}"
+                );
+            }
+            assert_eq!(
+                t_serial.totals(),
+                t_parallel.totals(),
+                "{kind:?}: merged tracker totals must match serial"
+            );
+            assert_eq!(serial.node_read_bytes(), parallel.node_read_bytes());
+            assert_eq!(
+                serial.node_queries_touched(),
+                parallel.node_queries_touched()
+            );
+            assert_eq!(
+                serial.mean_measured_fanout(),
+                parallel.mean_measured_fanout()
+            );
+
+            // Collect returns the same value sequence (node-order merge).
+            let q = ValueRange::must(15_000, 84_999);
+            assert_eq!(
+                serial.select_collect(&q, &mut NullTracker),
+                parallel.select_collect(&q, &mut NullTracker),
+                "{kind:?} collect diverged"
+            );
+            assert_eq!(serial.peek_collect(&q), parallel.peek_collect(&q));
+        }
+    }
+
+    #[test]
+    fn batch_execution_matches_per_query_execution_in_both_modes() {
+        let values = uniform_values(9_000, &domain(), 31);
+        let queries = workload(80, 32);
+        for mode in [ExecMode::Serial, ExecMode::Parallel] {
+            let mut one_by_one = ShardedColumn::new(
+                spec(StrategyKind::ApmSegm),
+                PlacementPolicy::RoundRobin,
+                5,
+                domain(),
+                values.clone(),
+            )
+            .expect("shard construction")
+            .with_exec_mode(ExecMode::Serial);
+            let mut batched = ShardedColumn::new(
+                spec(StrategyKind::ApmSegm),
+                PlacementPolicy::RoundRobin,
+                5,
+                domain(),
+                values.clone(),
+            )
+            .expect("shard construction")
+            .with_exec_mode(mode);
+            let mut t_one = CountingTracker::new();
+            let mut t_batch = CountingTracker::new();
+            let expect: Vec<u64> = queries
+                .iter()
+                .map(|q| one_by_one.select_count(q, &mut t_one))
+                .collect();
+            let got = batched.select_count_batch(&queries, &mut t_batch);
+            assert_eq!(got, expect, "{mode:?}");
+            assert_eq!(t_batch.totals(), t_one.totals(), "{mode:?}");
+            assert_eq!(batched.node_read_bytes(), one_by_one.node_read_bytes());
+            assert_eq!(
+                batched.mean_measured_fanout(),
+                one_by_one.mean_measured_fanout()
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_replay_preserves_event_order_for_stateful_trackers() {
+        // An EventLog (itself a tracker) downstream of the merge must see
+        // the exact serial event sequence, not just equal totals.
+        let values = uniform_values(6_000, &domain(), 33);
+        let queries = workload(40, 34);
+        let (mut serial, mut parallel) = shard_pair(
+            StrategyKind::GdSegm,
+            PlacementPolicy::SizeBalanced,
+            4,
+            &values,
+        );
+        let mut log_serial = soc_core::EventLog::new();
+        let mut log_parallel = soc_core::EventLog::new();
+        for q in &queries {
+            serial.select_count(q, &mut log_serial);
+            parallel.select_count(q, &mut log_parallel);
+        }
+        assert_eq!(log_serial.events(), log_parallel.events());
     }
 
     #[test]

@@ -57,13 +57,13 @@ pub mod prelude {
     pub use soc_core::{
         pair_rows, AccessTracker, AdaptationStats, AdaptivePageModel, AdaptiveReplication,
         AdaptiveSegmentation, ColumnStrategy, ColumnValue, CountingTracker, CrackedColumn,
-        FullySorted, GaussianDice, MergePolicy, NonSegmented, NullTracker, OrdF64, Pair,
+        EventLog, FullySorted, GaussianDice, MergePolicy, NonSegmented, NullTracker, OrdF64, Pair,
         ReplicaTree, SegmentationModel, SegmentedColumn, SizeEstimator, StrategyKind, StrategySpec,
-        ValueRange,
+        TrackerEvent, ValueRange,
     };
     pub use soc_sim::{
-        build_strategy, run_queries, CostModel, MigrationReport, Placement, PlacementError,
-        PlacementPolicy, RunResult, ShardError, ShardedColumn, SimTracker,
+        build_strategy, run_queries, CostModel, ExecMode, MigrationReport, Placement,
+        PlacementError, PlacementPolicy, RunResult, ShardError, ShardedColumn, SimTracker,
     };
     pub use soc_workload::{skyserver_domain, skyserver_ra, uniform_values, WorkloadSpec};
 }

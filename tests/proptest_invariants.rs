@@ -210,6 +210,81 @@ proptest! {
     }
 
     #[test]
+    fn parallel_sharded_execution_is_bit_identical_to_serial_and_single_node(
+        values in arb_values(),
+        queries in vec((0..=DOMAIN_HI, 0..=DOMAIN_HI), 1..12),
+        nodes in 2usize..6,
+        seed in any::<u64>(),
+    ) {
+        // The parallel executor's determinism contract, as a property over
+        // arbitrary columns and query sequences: for every strategy kind
+        // and placement policy, parallel execution returns the same counts
+        // and collected multisets as serial execution and as a plain
+        // single-node strategy, and the per-node event logs merged into
+        // the caller's tracker reproduce the serial byte totals exactly —
+        // before and after a re-placement epoch.
+        let domain = ValueRange::must(0u32, DOMAIN_HI);
+        let whole = ValueRange::must(0u32, DOMAIN_HI);
+        for kind in StrategyKind::ALL {
+            let spec = StrategySpec::new(kind)
+                .with_apm_bounds(128, 512)
+                .with_model_seed(seed);
+            for policy in PlacementPolicy::ALL {
+                let mut single = spec.build(domain, values.clone())
+                    .map_err(TestCaseError::fail)?;
+                let mut serial = ShardedColumn::new(
+                    spec, policy, nodes, domain, values.clone(),
+                ).map_err(TestCaseError::fail)?.with_exec_mode(ExecMode::Serial);
+                let mut parallel = ShardedColumn::new(
+                    spec, policy, nodes, domain, values.clone(),
+                ).map_err(TestCaseError::fail)?.with_exec_mode(ExecMode::Parallel);
+                let mut t_serial = CountingTracker::new();
+                let mut t_parallel = CountingTracker::new();
+
+                for epoch in 0..2 {
+                    for (lo, hi) in &queries {
+                        let q = to_range(*lo, *hi);
+                        let expect = single.select_count(&q, &mut NullTracker);
+                        let got_serial = serial.select_count(&q, &mut t_serial);
+                        let got_parallel = parallel.select_count(&q, &mut t_parallel);
+                        prop_assert_eq!(
+                            got_serial, expect,
+                            "serial vs single-node: {:?}/{:?} epoch {} query {:?}",
+                            kind, policy, epoch, q
+                        );
+                        prop_assert_eq!(
+                            got_parallel, expect,
+                            "parallel vs single-node: {:?}/{:?} epoch {} query {:?}",
+                            kind, policy, epoch, q
+                        );
+                    }
+                    // Collected multisets agree (node-order merge makes the
+                    // sequences — not just the multisets — comparable
+                    // between the two shard modes).
+                    let mut from_serial = serial.select_collect(&whole, &mut t_serial);
+                    let from_parallel = parallel.select_collect(&whole, &mut t_parallel);
+                    prop_assert_eq!(&from_serial, &from_parallel, "{:?}/{:?}", kind, policy);
+                    let mut from_single = single.select_collect(&whole, &mut NullTracker);
+                    from_serial.sort_unstable();
+                    from_single.sort_unstable();
+                    prop_assert_eq!(from_serial, from_single, "{:?}/{:?}", kind, policy);
+                    // Merged per-node accounting is exact, not just close.
+                    prop_assert_eq!(
+                        t_serial.totals(), t_parallel.totals(),
+                        "tracker totals: {:?}/{:?} epoch {}", kind, policy, epoch
+                    );
+                    prop_assert_eq!(serial.node_read_bytes(), parallel.node_read_bytes());
+
+                    if epoch == 0 {
+                        serial.replace(&mut t_serial).map_err(TestCaseError::fail)?;
+                        parallel.replace(&mut t_parallel).map_err(TestCaseError::fail)?;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn workload_generators_stay_in_domain(
         sel in 0.001f64..1.0,
         count in 1usize..200,
