@@ -1,0 +1,94 @@
+//! Mixed reader/reorganizer throughput: the epoch-snapshot read path
+//! (`soc_core::ConcurrentColumn`) against the serial `&mut` baseline.
+//!
+//! Three shapes per column size:
+//! * `serial_mut` — the paper's integrated path: every query reads *and*
+//!   reorganizes on the calling thread (`&mut select_count`);
+//! * `snapshot_reader` — one reader thread answering from published
+//!   epochs while the writer folds the same reorganizations off-path;
+//! * `readers_x4` — four reader threads sharing one column, the shape the
+//!   ROADMAP's "heavy traffic" north star cares about (scales with cores;
+//!   on one core it measures pure coordination overhead).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use soc_core::{ConcurrentColumn, NullTracker, StrategyKind, StrategySpec, ValueRange};
+use soc_workload::{uniform_values, WorkloadSpec};
+
+const QUERIES: usize = 64;
+
+fn setup(
+    n: usize,
+) -> (
+    StrategySpec,
+    ValueRange<u32>,
+    Vec<u32>,
+    Vec<ValueRange<u32>>,
+) {
+    let domain = ValueRange::must(0u32, 999_999);
+    let values = uniform_values(n, &domain, 51);
+    let queries = WorkloadSpec::uniform(0.02, QUERIES, 52).generate(&domain);
+    let spec = StrategySpec::new(StrategyKind::ApmSegm).with_apm_bounds(16 * 1024, 64 * 1024);
+    (spec, domain, values, queries)
+}
+
+fn bench_concurrent_read(c: &mut Criterion) {
+    let mut group = c.benchmark_group("concurrent_read");
+    group.sample_size(10);
+    for n in [100_000usize, 400_000] {
+        let (spec, domain, values, queries) = setup(n);
+        group.throughput(Throughput::Elements(QUERIES as u64));
+
+        let mut serial = spec
+            .build(domain, values.clone())
+            .expect("values in domain");
+        group.bench_function(BenchmarkId::new("serial_mut", n), |b| {
+            b.iter(|| {
+                let mut total = 0u64;
+                for q in &queries {
+                    total += serial.select_count(q, &mut NullTracker);
+                }
+                total
+            })
+        });
+
+        let concurrent =
+            ConcurrentColumn::from_spec(&spec, domain, values.clone()).expect("values in domain");
+        group.bench_function(BenchmarkId::new("snapshot_reader", n), |b| {
+            b.iter(|| {
+                let mut total = 0u64;
+                for q in &queries {
+                    total += concurrent.select_count(q, &mut NullTracker);
+                }
+                total
+            })
+        });
+
+        group.throughput(Throughput::Elements(4 * QUERIES as u64));
+        group.bench_function(BenchmarkId::new("readers_x4", n), |b| {
+            b.iter(|| {
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = (0..4)
+                        .map(|_| {
+                            s.spawn(|| {
+                                let mut total = 0u64;
+                                for q in &queries {
+                                    total += concurrent.select_count(q, &mut NullTracker);
+                                }
+                                total
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("reader thread"))
+                        .sum::<u64>()
+                })
+            })
+        });
+        concurrent.quiesce();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_concurrent_read);
+criterion_main!(benches);

@@ -10,22 +10,27 @@
 //! fig10–fig16, tab2 (SkyServer); ablation-cracking, ablation-apm,
 //! ablation-merge, ablation-buffer, ablation-budget, ablation-auto-apm,
 //! ablation-estimator, ablation-placement, ablation-sharding,
-//! ablation-sql-strategy; perf-sharded, perf-kernels (wall-clock
-//! measurements of the parallel executor and the scan kernels); or the
-//! groups `simulation`, `skyserver`, `ablation`, `perf`, `all`.
+//! ablation-sql-strategy; perf-sharded, perf-kernels, perf-concurrent
+//! (wall-clock measurements of the parallel executor, the scan kernels,
+//! and the epoch-snapshot concurrent read path); or the groups
+//! `simulation`, `skyserver`, `ablation`, `perf`, `all`.
 //!
 //! Each figure/table is printed (tables verbatim, figures as sparkline
 //! summaries) and written as CSV under `--out` (default `results/`).
 //! With `--json`, a machine-readable perf baseline — per-experiment wall
 //! time, bytes scanned, serial-vs-parallel speedup — is additionally
-//! written to `<out>/BENCH_PR4.json` (CI uploads it as an artifact).
+//! written to `<out>/BENCH_PR4.json`, and the epoch-read-path experiments
+//! to `<out>/BENCH_PR5.json` (CI uploads both as artifacts).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
 use soc_bench::fig2;
-use soc_bench::perf::{kernel_count_perf, sharded_scan_perf, write_bench_json, PerfEntry};
+use soc_bench::perf::{
+    concurrent_migration_perf, concurrent_read_perf, kernel_count_perf, sharded_scan_perf,
+    write_bench_json_named, PerfEntry,
+};
 use soc_sim::experiment::ablation;
 use soc_sim::experiment::simulation::{run_simulation_matrix, SimConfig, SimulationMatrix};
 use soc_sim::experiment::skyserver::{
@@ -349,6 +354,30 @@ fn main() -> ExitCode {
         perf.push(entry);
         ran_perf = true;
     }
+    let mut perf5: Vec<PerfEntry> = Vec::new();
+    if wants(e, "perf-concurrent", "perf") {
+        eprintln!("measuring concurrent snapshot readers vs the serial &mut path…");
+        let entry = concurrent_read_perf(opts.quick);
+        println!(
+            "{}: serial &mut {:.2} ms, concurrent {:.2} ms, speedup {:.2}x",
+            entry.id,
+            entry.serial_ms.unwrap_or(0.0),
+            entry.parallel_ms.unwrap_or(0.0),
+            entry.speedup.unwrap_or(0.0),
+        );
+        perf5.push(entry);
+        eprintln!("measuring reads during background strategy migrations…");
+        let entry = concurrent_migration_perf(opts.quick);
+        println!(
+            "{}: quiet reads {:.2} ms, during migrations {:.2} ms (ratio {:.2})",
+            entry.id,
+            entry.serial_ms.unwrap_or(0.0),
+            entry.parallel_ms.unwrap_or(0.0),
+            entry.speedup.unwrap_or(0.0),
+        );
+        perf5.push(entry);
+        ran_perf = true;
+    }
 
     if em.written.is_empty() && !ran_perf {
         eprintln!(
@@ -358,11 +387,23 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     if opts.json {
-        match write_bench_json(&opts.out, opts.quick, &perf) {
-            Ok(path) => eprintln!("wrote perf baseline {}", path.display()),
-            Err(err) => {
-                eprintln!("error: could not write BENCH_PR4.json: {err}");
-                return ExitCode::FAILURE;
+        // Only write a baseline that has content: a filtered run (e.g.
+        // `--experiment perf-sharded --json`) must not clobber the other
+        // file's previous, valid baseline with an empty experiments list.
+        for (file, schema, entries) in [
+            ("BENCH_PR4.json", "soc-bench-pr4", &perf),
+            ("BENCH_PR5.json", "soc-bench-pr5", &perf5),
+        ] {
+            if entries.is_empty() {
+                eprintln!("skipping {file}: no matching experiments ran");
+                continue;
+            }
+            match write_bench_json_named(&opts.out, file, schema, opts.quick, entries) {
+                Ok(path) => eprintln!("wrote perf baseline {}", path.display()),
+                Err(err) => {
+                    eprintln!("error: could not write {file}: {err}");
+                    return ExitCode::FAILURE;
+                }
             }
         }
     }

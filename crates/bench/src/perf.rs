@@ -14,7 +14,9 @@ use std::io;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
-use soc_core::{CountingTracker, StrategyKind, StrategySpec, ValueRange};
+use soc_core::{
+    ConcurrentColumn, CountingTracker, NullTracker, StrategyKind, StrategySpec, ValueRange,
+};
 use soc_sim::{ExecMode, PlacementPolicy, ShardedColumn};
 use soc_workload::{uniform_values, WorkloadSpec};
 
@@ -165,6 +167,154 @@ pub fn kernel_count_perf(quick: bool) -> PerfEntry {
     }
 }
 
+/// Workload of the epoch-read-path perf experiments: a self-organizing
+/// column under a query stream that keeps reorganizing it.
+fn concurrent_setup(
+    quick: bool,
+) -> (
+    StrategySpec,
+    ValueRange<u32>,
+    Vec<u32>,
+    Vec<ValueRange<u32>>,
+) {
+    let column_len = if quick { 100_000 } else { 400_000 };
+    let domain = ValueRange::must(0u32, 999_999);
+    let values = uniform_values(column_len, &domain, 47);
+    let queries = WorkloadSpec::uniform(0.02, 96, 48).generate(&domain);
+    let spec = StrategySpec::new(StrategyKind::ApmSegm).with_apm_bounds(16 * 1024, 64 * 1024);
+    (spec, domain, values, queries)
+}
+
+/// Measures the epoch-snapshot read path against the serial `&mut` path
+/// (`perf-concurrent-readers`): `R` reader threads hammer one
+/// [`ConcurrentColumn`] while its writer folds the reorganizations in the
+/// background, versus the same total query count executed serially on the
+/// bare strategy (every query paying reads *and* reorganization inline).
+///
+/// `serial_ms` is the `&mut` baseline, `parallel_ms` the concurrent wall
+/// clock for the identical workload; on a single-core container the
+/// speedup degenerates to ~1.0 (overhead only), while any multi-core
+/// machine overlaps the readers directly.
+pub fn concurrent_read_perf(quick: bool) -> PerfEntry {
+    let section_start = Instant::now();
+    let (spec, domain, values, queries) = concurrent_setup(quick);
+    let readers = std::thread::available_parallelism()
+        .map(|n| n.get().min(4))
+        .unwrap_or(2)
+        .max(2);
+    let expect: Vec<u64> = queries
+        .iter()
+        .map(|q| values.iter().filter(|v| q.contains(**v)).count() as u64)
+        .collect();
+
+    // Serial &mut baseline: R passes over the query stream, one after the
+    // other, reorganization folded inline as the paper prescribes.
+    let mut serial = spec
+        .build(domain, values.clone())
+        .expect("values in domain");
+    let t0 = Instant::now();
+    for _ in 0..readers {
+        for (q, &e) in queries.iter().zip(&expect) {
+            assert_eq!(serial.select_count(q, &mut NullTracker), e);
+        }
+    }
+    let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // Concurrent: the same R passes, one reader thread each, against the
+    // published snapshots; the single writer folds reorganizations off
+    // the read path.
+    let concurrent =
+        ConcurrentColumn::from_spec(&spec, domain, values.clone()).expect("values in domain");
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..readers {
+            s.spawn(|| {
+                for (q, &e) in queries.iter().zip(&expect) {
+                    assert_eq!(concurrent.select_count(q, &mut NullTracker), e);
+                }
+            });
+        }
+    });
+    let parallel_ms = t0.elapsed().as_secs_f64() * 1e3;
+    concurrent.quiesce();
+    let bytes = concurrent.snapshot().storage_bytes() * readers as u64;
+
+    PerfEntry {
+        id: "perf-concurrent-readers".to_owned(),
+        wall_ms: section_start.elapsed().as_secs_f64() * 1e3,
+        bytes_scanned: Some(bytes),
+        serial_ms: Some(serial_ms),
+        parallel_ms: Some(parallel_ms),
+        speedup: Some(serial_ms / parallel_ms.max(1e-9)),
+    }
+}
+
+/// Proves `set_strategy` migrations never block readers
+/// (`perf-concurrent-migrate`): read latency over a quiet column versus
+/// the same reads issued while background migrations are continuously
+/// rebuilding the column. The ratio (`speedup` field: quiet / during)
+/// should hover near 1.0 — the readers keep answering from published
+/// epochs while the writer rebuilds.
+pub fn concurrent_migration_perf(quick: bool) -> PerfEntry {
+    let section_start = Instant::now();
+    let (spec, domain, values, queries) = concurrent_setup(quick);
+    let expect: Vec<u64> = queries
+        .iter()
+        .map(|q| values.iter().filter(|v| q.contains(**v)).count() as u64)
+        .collect();
+    let concurrent =
+        ConcurrentColumn::from_spec(&spec, domain, values.clone()).expect("values in domain");
+
+    concurrent.quiesce();
+    let t0 = Instant::now();
+    for _ in 0..2 {
+        for (q, &e) in queries.iter().zip(&expect) {
+            assert_eq!(concurrent.select_count(q, &mut NullTracker), e);
+        }
+    }
+    let quiet_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // The busy pass re-enqueues a full-column rebuild every few queries,
+    // cycling strategy kinds, so the writer is rebuilding for the whole
+    // measured window — not just at its start (a single up-front burst
+    // can drain before the first read on a fast box, which would measure
+    // a quiet column and prove nothing).
+    const MIGRATION_KINDS: [StrategyKind; 4] = [
+        StrategyKind::FullSort,
+        StrategyKind::Cracking,
+        StrategyKind::GdSegm,
+        StrategyKind::ApmSegm,
+    ];
+    let mut fired = 0usize;
+    let t0 = Instant::now();
+    for _ in 0..2 {
+        for (i, (q, &e)) in queries.iter().zip(&expect).enumerate() {
+            if i % 8 == 0 {
+                let kind = MIGRATION_KINDS[fired % MIGRATION_KINDS.len()];
+                concurrent.set_strategy(StrategySpec { kind, ..spec });
+                fired += 1;
+            }
+            assert_eq!(concurrent.select_count(q, &mut NullTracker), e);
+        }
+    }
+    let busy_ms = t0.elapsed().as_secs_f64() * 1e3;
+    concurrent.quiesce();
+    assert_eq!(
+        concurrent.snapshot().failed_migrations(),
+        0,
+        "migrations must land"
+    );
+
+    PerfEntry {
+        id: "perf-concurrent-migrate".to_owned(),
+        wall_ms: section_start.elapsed().as_secs_f64() * 1e3,
+        bytes_scanned: Some(values.len() as u64 * 4 * 2),
+        serial_ms: Some(quiet_ms),
+        parallel_ms: Some(busy_ms),
+        speedup: Some(quiet_ms / busy_ms.max(1e-9)),
+    }
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
@@ -181,8 +331,25 @@ fn push_field(buf: &mut String, key: &str, value: Option<String>) {
 /// # Errors
 /// Propagates filesystem errors creating `dir` or writing the file.
 pub fn write_bench_json(dir: &Path, quick: bool, entries: &[PerfEntry]) -> io::Result<PathBuf> {
+    write_bench_json_named(dir, "BENCH_PR4.json", "soc-bench-pr4", quick, entries)
+}
+
+/// As [`write_bench_json`] but with an explicit file name and schema tag —
+/// each PR's perf baseline lives in its own artifact (`BENCH_PR5.json`
+/// carries the epoch-read-path experiments next to PR 4's executor
+/// baseline).
+///
+/// # Errors
+/// Propagates filesystem errors creating `dir` or writing the file.
+pub fn write_bench_json_named(
+    dir: &Path,
+    file: &str,
+    schema: &str,
+    quick: bool,
+    entries: &[PerfEntry],
+) -> io::Result<PathBuf> {
     std::fs::create_dir_all(dir)?;
-    let mut body = String::from("{\n  \"schema\": \"soc-bench-pr4\",\n");
+    let mut body = format!("{{\n  \"schema\": \"{}\",\n", json_escape(schema));
     body.push_str(&format!("  \"quick\": {quick},\n"));
     body.push_str("  \"experiments\": [\n");
     for (i, e) in entries.iter().enumerate() {
@@ -215,7 +382,7 @@ pub fn write_bench_json(dir: &Path, quick: bool, entries: &[PerfEntry]) -> io::R
         body.push_str(&line);
     }
     body.push_str("  ]\n}\n");
-    let path = dir.join("BENCH_PR4.json");
+    let path = dir.join(file);
     std::fs::write(&path, body)?;
     Ok(path)
 }
@@ -241,6 +408,34 @@ mod tests {
         let e = kernel_count_perf(true);
         assert_eq!(e.bytes_scanned.unwrap(), 800_000);
         assert!(e.speedup.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn concurrent_perf_validates_against_expected_counts() {
+        let e = concurrent_read_perf(true);
+        assert_eq!(e.id, "perf-concurrent-readers");
+        assert!(e.serial_ms.unwrap() > 0.0 && e.parallel_ms.unwrap() > 0.0);
+        let speedup = e.speedup.unwrap();
+        assert!(speedup > 0.0 && speedup.is_finite());
+    }
+
+    #[test]
+    fn migration_perf_reads_never_fail_mid_rebuild() {
+        let e = concurrent_migration_perf(true);
+        assert_eq!(e.id, "perf-concurrent-migrate");
+        assert!(e.serial_ms.unwrap() > 0.0 && e.parallel_ms.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn named_json_writer_carries_its_schema() {
+        let dir = std::env::temp_dir().join("soc_bench_json5_test");
+        let entries = vec![PerfEntry::section("perf-concurrent-readers", 1.0)];
+        let path = write_bench_json_named(&dir, "BENCH_PR5.json", "soc-bench-pr5", true, &entries)
+            .unwrap();
+        assert!(path.ends_with("BENCH_PR5.json"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"schema\": \"soc-bench-pr5\""));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -320,16 +320,36 @@ impl Criterion {
         };
         let min = trimmed[0];
         let median = trimmed[trimmed.len() / 2];
+        let (stddev, ci95) = spread(trimmed);
         let rate = throughput
             .map(|t| format!(", {}", t.rate(median)))
             .unwrap_or_default();
         println!(
-            "{name}: {samples} samples x {iters} iters ({} trimmed), min {}, median {}{rate}",
+            "{name}: {samples} samples x {iters} iters ({} trimmed), min {}, \
+             median {} ± {} (95% CI, σ {}){rate}",
             means.len() - trimmed.len(),
             human_time(min),
-            human_time(median)
+            human_time(median),
+            human_time(ci95),
+            human_time(stddev),
         );
     }
+}
+
+/// Sample standard deviation and a ±95% confidence half-width over the
+/// trimmed per-iteration means: `σ = sqrt(Σ(x-x̄)²/(n-1))`,
+/// `ci = 1.96·σ/√n` (the normal-approximation interval; with the shim's
+/// small sample counts this slightly understates a t-interval, which is
+/// the honest trade against vendoring a t-table).
+fn spread(samples: &[f64]) -> (f64, f64) {
+    let n = samples.len();
+    if n < 2 {
+        return (0.0, 0.0);
+    }
+    let mean = samples.iter().sum::<f64>() / n as f64;
+    let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64;
+    let stddev = var.sqrt();
+    (stddev, 1.96 * stddev / (n as f64).sqrt())
 }
 
 /// `12_345_678.0` → `"12.35 M"` (SI magnitude, for rate reporting).
@@ -416,6 +436,19 @@ mod tests {
         assert_eq!(Throughput::Elements(3_000).rate(1.0), "3.00 K elem/s");
         // Sub-second iterations scale the rate up.
         assert_eq!(Throughput::Elements(1_000).rate(1e-6), "1.00 G elem/s");
+    }
+
+    #[test]
+    fn spread_matches_hand_computation() {
+        // Samples 1..=5: mean 3, sample variance 2.5, σ = sqrt(2.5).
+        let (stddev, ci) = spread(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert!((stddev - 2.5f64.sqrt()).abs() < 1e-12);
+        assert!((ci - 1.96 * stddev / 5f64.sqrt()).abs() < 1e-12);
+        // Degenerate inputs report zero spread instead of NaN.
+        assert_eq!(spread(&[7.0]), (0.0, 0.0));
+        assert_eq!(spread(&[]), (0.0, 0.0));
+        let (s, c) = spread(&[4.0, 4.0, 4.0]);
+        assert_eq!((s, c), (0.0, 0.0));
     }
 
     #[test]

@@ -1,0 +1,809 @@
+//! Epoch-snapshot read path: concurrent readers during reorganization.
+//!
+//! The paper makes reorganization "an integral part of query execution",
+//! which is why every mutating `select_*` on [`ColumnStrategy`] takes
+//! `&mut self` — and why, without this module, a single reorganizing query
+//! would block every other reader on the column. This module splits the two
+//! roles the way production systems do (Hyrise's automatic clustering runs
+//! reorganization as a background job against a consistent snapshot):
+//!
+//! * [`StrategySnapshot`] is an **immutable, `Arc`-published epoch** of the
+//!   column's physical organization: the strategy's live piece partition,
+//!   each piece's values frozen in ascending order. Any number of threads
+//!   read one snapshot concurrently; a snapshot never changes.
+//! * [`ConcurrentColumn`] owns the actual (mutable) strategy on a **single
+//!   writer thread**. Readers answer `select_count` / `select_collect` /
+//!   `peek_collect` against the current snapshot and merely *enqueue* the
+//!   query for the writer, which folds the strategy's own reorganization
+//!   (split, crack, replicate — Algorithm 1/2 unchanged) off the read path
+//!   and publishes the next epoch. Publishing swaps one `Arc` under a
+//!   short-lived write lock; readers never wait for reorganization or for
+//!   a [`ConcurrentColumn::set_strategy`] migration.
+//!
+//! Epochs share structure: a piece whose value range is unchanged between
+//! two epochs holds byte-identical content (reorganization is purely
+//! physical — the logical column never changes), so the new snapshot reuses
+//! the old piece's `Arc` instead of re-extracting it. A crack that splits
+//! one piece re-materializes only that piece's successors.
+//!
+//! # Equivalence to the serial `&mut` path
+//!
+//! `select_count` results are *bit-identical* to serial execution: counts
+//! depend only on the logical content, which reorganization never touches
+//! (the transparency claim of Section 3.1). `select_collect` returns the
+//! qualifying values in **canonical ascending order** — the physical order
+//! a serial `select_collect` exposes is an epoch-dependent artifact, so the
+//! concurrent column normalizes it; sorting the serial result yields the
+//! identical sequence. The property tests in `tests/` prove both, for all
+//! nine strategy kinds, under concurrent readers racing the writer.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, RwLock};
+use std::thread;
+
+use crate::column::ColumnError;
+use crate::kernels;
+use crate::range::ValueRange;
+use crate::segment::{SegId, SegIdGen};
+use crate::spec::StrategySpec;
+use crate::strategy::{AdaptationStats, ColumnStrategy};
+use crate::tracker::{AccessTracker, CountingTracker, QueryStats};
+use crate::value::ColumnValue;
+
+/// One frozen piece of a snapshot: a value range and the column's values
+/// inside it, in ascending order, shared across epochs while the range
+/// survives reorganization.
+struct SnapshotPiece<V> {
+    range: ValueRange<V>,
+    /// Ascending values; `Arc` so unchanged pieces ride into the next
+    /// epoch without copying.
+    values: Arc<Vec<V>>,
+    /// Stable scan-attribution id: reused along with the values, so a
+    /// downstream tracker (buffer simulation) sees the same segment
+    /// identity for the same physical piece across epochs.
+    id: SegId,
+    bytes: u64,
+}
+
+impl<V: ColumnValue> SnapshotPiece<V> {
+    fn extract(strategy: &dyn ColumnStrategy<V>, range: ValueRange<V>, id: SegId) -> Self {
+        let mut values = strategy.peek_collect(&range);
+        values.sort_unstable();
+        let bytes = values.len() as u64 * V::BYTES;
+        SnapshotPiece {
+            range,
+            values: Arc::new(values),
+            id,
+            bytes,
+        }
+    }
+}
+
+/// An immutable epoch of a column's physical organization.
+///
+/// Produced and published by [`ConcurrentColumn`]'s writer; shared by
+/// readers through an `Arc`. All read methods take `&self` and are safe to
+/// call from any number of threads at once.
+pub struct StrategySnapshot<V: ColumnValue> {
+    /// Monotonic epoch number; 0 is the construction snapshot.
+    epoch: u64,
+    /// Sorted, disjoint pieces tiling the domain.
+    pieces: Vec<SnapshotPiece<V>>,
+    domain: ValueRange<V>,
+    name: String,
+    storage_bytes: u64,
+    segment_count: usize,
+    adaptation: AdaptationStats,
+    /// The writer's cumulative reorganization accounting at publish time
+    /// (reads at the old layout, writes of split/crack/replica products and
+    /// migration rebuilds) — the tracker merge each epoch carries out.
+    reorg: QueryStats,
+    /// Background `set_strategy` migrations whose rebuild failed (the old
+    /// strategy stays in force; diagnosable, never a panic on a reader).
+    failed_migrations: u64,
+}
+
+impl<V: ColumnValue> std::fmt::Debug for StrategySnapshot<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StrategySnapshot")
+            .field("epoch", &self.epoch)
+            .field("strategy", &self.name)
+            .field("pieces", &self.pieces.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Extends `live` (a strategy's sorted, disjoint `segment_ranges()`) into a
+/// partition tiling all of `domain`: gaps between pieces — cracking omits
+/// empty boundary pieces, some strategies do not pad to the domain edges —
+/// become explicit ranges so no value can fall between pieces.
+fn tile_domain<V: ColumnValue>(
+    domain: ValueRange<V>,
+    live: Vec<ValueRange<V>>,
+) -> Vec<ValueRange<V>> {
+    let mut out = Vec::with_capacity(live.len() + 2);
+    let mut cursor = Some(domain.lo());
+    for r in live {
+        let Some(r) = r.intersect(&domain) else {
+            continue;
+        };
+        match cursor {
+            Some(c) if c < r.lo() => {
+                let gap_hi = r.lo().pred().expect("c < r.lo() implies a predecessor");
+                out.push(ValueRange::new(c, gap_hi).expect("c <= gap_hi"));
+            }
+            _ => {}
+        }
+        out.push(r);
+        cursor = r.hi().succ();
+    }
+    if let Some(c) = cursor {
+        if c <= domain.hi() {
+            out.push(ValueRange::new(c, domain.hi()).expect("c <= domain.hi()"));
+        }
+    }
+    if out.is_empty() {
+        out.push(domain);
+    }
+    out
+}
+
+impl<V: ColumnValue> StrategySnapshot<V> {
+    /// Freezes `strategy`'s current organization, reusing the pieces of
+    /// `prev` whose value range is unchanged (their content is a pure
+    /// function of the range — the logical column never changes).
+    #[allow(clippy::too_many_arguments)]
+    fn capture(
+        strategy: &dyn ColumnStrategy<V>,
+        domain: ValueRange<V>,
+        prev: Option<&StrategySnapshot<V>>,
+        ids: &mut SegIdGen,
+        epoch: u64,
+        retired: AdaptationStats,
+        reorg: QueryStats,
+        failed_migrations: u64,
+    ) -> Self {
+        let pieces = tile_domain(domain, strategy.segment_ranges())
+            .into_iter()
+            .map(|range| {
+                if let Some(p) = prev.and_then(|s| s.piece_with_range(&range)) {
+                    SnapshotPiece {
+                        range,
+                        values: Arc::clone(&p.values),
+                        id: p.id,
+                        bytes: p.bytes,
+                    }
+                } else {
+                    SnapshotPiece::extract(strategy, range, ids.fresh())
+                }
+            })
+            .collect();
+        let mut adaptation = strategy.adaptation();
+        adaptation.splits += retired.splits;
+        adaptation.merges += retired.merges;
+        adaptation.replicas_created += retired.replicas_created;
+        adaptation.drops += retired.drops;
+        adaptation.budget_declines += retired.budget_declines;
+        StrategySnapshot {
+            epoch,
+            pieces,
+            domain,
+            name: strategy.name(),
+            storage_bytes: strategy.storage_bytes(),
+            segment_count: strategy.segment_count(),
+            adaptation,
+            reorg,
+            failed_migrations,
+        }
+    }
+
+    fn piece_with_range(&self, range: &ValueRange<V>) -> Option<&SnapshotPiece<V>> {
+        let i = self.pieces.partition_point(|p| p.range.lo() < range.lo());
+        self.pieces.get(i).filter(|p| p.range == *range)
+    }
+
+    /// Index of the first piece that can overlap `q`, for an in-order walk.
+    fn first_overlapping(&self, q: &ValueRange<V>) -> usize {
+        self.pieces.partition_point(|p| p.range.hi() < q.lo())
+    }
+
+    /// Pieces overlapping `q`, in value order.
+    fn overlapping<'a>(
+        &'a self,
+        q: &'a ValueRange<V>,
+    ) -> impl Iterator<Item = &'a SnapshotPiece<V>> {
+        self.pieces[self.first_overlapping(q)..]
+            .iter()
+            .take_while(move |p| p.range.lo() <= q.hi())
+    }
+
+    /// Counts the values in `q`, reporting one scan per overlapping piece
+    /// to `tracker` — the same segment-granularity accounting the serial
+    /// strategies emit.
+    pub fn select_count(&self, q: &ValueRange<V>, tracker: &mut dyn AccessTracker) -> u64 {
+        let mut n = 0;
+        for p in self.overlapping(q) {
+            tracker.scan(p.id, p.bytes);
+            if q.covers(&p.range) {
+                n += p.values.len() as u64;
+            } else {
+                let (s, e) = kernels::sorted_run(&p.values, q);
+                n += (e - s) as u64;
+            }
+        }
+        n
+    }
+
+    /// Materializes the values in `q`, ascending (the canonical order — see
+    /// the module docs), reporting scans like [`Self::select_count`].
+    pub fn select_collect(&self, q: &ValueRange<V>, tracker: &mut dyn AccessTracker) -> Vec<V> {
+        let mut out = Vec::new();
+        for p in self.overlapping(q) {
+            tracker.scan(p.id, p.bytes);
+            let (s, e) = kernels::sorted_run(&p.values, q);
+            out.extend_from_slice(&p.values[s..e]);
+        }
+        out
+    }
+
+    /// The epoch number (0 = the construction snapshot).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The frozen strategy's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The domain the snapshot tiles.
+    pub fn domain(&self) -> ValueRange<V> {
+        self.domain
+    }
+
+    /// Value ranges of the snapshot pieces (sorted, disjoint, tiling the
+    /// domain).
+    pub fn piece_ranges(&self) -> Vec<ValueRange<V>> {
+        self.pieces.iter().map(|p| p.range).collect()
+    }
+
+    /// Total rows frozen in this snapshot.
+    pub fn total_rows(&self) -> u64 {
+        self.pieces.iter().map(|p| p.values.len() as u64).sum()
+    }
+
+    /// The strategy's materialized storage at capture time.
+    pub fn storage_bytes(&self) -> u64 {
+        self.storage_bytes
+    }
+
+    /// The strategy's segment count at capture time.
+    pub fn segment_count(&self) -> usize {
+        self.segment_count
+    }
+
+    /// Cumulative adaptation (including strategies retired by migrations).
+    pub fn adaptation(&self) -> AdaptationStats {
+        self.adaptation
+    }
+
+    /// The writer's cumulative reorganization accounting at publish time.
+    pub fn reorg_totals(&self) -> QueryStats {
+        self.reorg
+    }
+
+    /// Background migrations whose rebuild failed so far.
+    pub fn failed_migrations(&self) -> u64 {
+        self.failed_migrations
+    }
+
+    /// Structural invariants (tests): pieces sorted, disjoint, tiling the
+    /// domain; values ascending and inside their piece's range.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.pieces.is_empty() {
+            return Err("snapshot has no pieces".into());
+        }
+        if self.pieces[0].range.lo() != self.domain.lo()
+            || self.pieces[self.pieces.len() - 1].range.hi() != self.domain.hi()
+        {
+            return Err("pieces do not span the domain".into());
+        }
+        for w in self.pieces.windows(2) {
+            if !w[0].range.adjacent_before(&w[1].range) {
+                return Err(format!(
+                    "pieces {:?} and {:?} are not adjacent",
+                    w[0].range, w[1].range
+                ));
+            }
+        }
+        for p in &self.pieces {
+            if !p.values.windows(2).all(|w| w[0] <= w[1]) {
+                return Err(format!("piece {:?} is not sorted", p.range));
+            }
+            if !p.values.iter().all(|v| p.range.contains(*v)) {
+                return Err(format!("piece {:?} holds out-of-range values", p.range));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The published-snapshot cell readers load from: an `Arc` swapped under a
+/// write lock the writer holds only for the O(1) pointer exchange, so a
+/// reader's `load` is never blocked by reorganization work.
+struct SnapshotCell<V: ColumnValue> {
+    snap: RwLock<Arc<StrategySnapshot<V>>>,
+    epoch: AtomicU64,
+}
+
+impl<V: ColumnValue> SnapshotCell<V> {
+    fn load(&self) -> Arc<StrategySnapshot<V>> {
+        Arc::clone(&self.snap.read().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    fn publish(&self, snap: StrategySnapshot<V>) {
+        let epoch = snap.epoch;
+        *self.snap.write().unwrap_or_else(|e| e.into_inner()) = Arc::new(snap);
+        self.epoch.store(epoch, Ordering::Release);
+    }
+}
+
+enum WriterCmd<V: ColumnValue> {
+    /// Fold one query's reorganization into the strategy.
+    Reorganize(ValueRange<V>),
+    /// Rebuild the column under a different spec from a content snapshot,
+    /// then swap — the background migration behind `set_strategy`.
+    Migrate(StrategySpec),
+    /// Reply once every command sent before this one has been folded and
+    /// the resulting epoch published.
+    Sync(mpsc::SyncSender<()>),
+}
+
+/// The writer thread's state: the one place the strategy is mutated.
+struct Writer<V: ColumnValue> {
+    strategy: Box<dyn ColumnStrategy<V>>,
+    domain: ValueRange<V>,
+    cell: Arc<SnapshotCell<V>>,
+    ids: SegIdGen,
+    epoch: u64,
+    /// Adaptation performed by strategies retired by past migrations.
+    retired: AdaptationStats,
+    /// Cumulative reorganization accounting (folded queries + migrations).
+    reorg: CountingTracker,
+    failed_migrations: u64,
+}
+
+impl<V: ColumnValue> Writer<V> {
+    fn run(mut self, rx: mpsc::Receiver<WriterCmd<V>>) -> Box<dyn ColumnStrategy<V>> {
+        while let Ok(first) = rx.recv() {
+            // Fold the whole pending batch into one published epoch: the
+            // "single writer that folds reorganizations" of the design.
+            let mut dirty = false;
+            let mut syncs: Vec<mpsc::SyncSender<()>> = Vec::new();
+            let mut next = Some(first);
+            loop {
+                let Some(cmd) = next else { break };
+                match cmd {
+                    WriterCmd::Reorganize(q) => {
+                        self.strategy.select_count(&q, &mut self.reorg);
+                        dirty = true;
+                    }
+                    WriterCmd::Migrate(spec) => {
+                        self.migrate(spec);
+                        dirty = true;
+                    }
+                    WriterCmd::Sync(reply) => syncs.push(reply),
+                }
+                next = rx.try_recv().ok();
+            }
+            if dirty {
+                self.publish();
+            }
+            for reply in syncs {
+                let _ = reply.send(());
+            }
+        }
+        self.strategy
+    }
+
+    fn migrate(&mut self, spec: StrategySpec) {
+        // Content snapshot off the live strategy (a read-only peek), then
+        // a fresh organization under the new spec. The values came out of
+        // the column, so the rebuild cannot leave the domain; a failure
+        // (only reachable through a pathological custom strategy) keeps
+        // the old strategy serving.
+        let rows = self.strategy.peek_collect(&self.domain);
+        let bytes = rows.len() as u64 * V::BYTES;
+        match spec.build(self.domain, rows) {
+            Ok(rebuilt) => {
+                let a = self.strategy.adaptation();
+                self.retired.splits += a.splits;
+                self.retired.merges += a.merges;
+                self.retired.replicas_created += a.replicas_created;
+                self.retired.drops += a.drops;
+                self.retired.budget_declines += a.budget_declines;
+                // The migration is itself reorganization: one full read of
+                // the old layout, one full write of the new.
+                let seg = self.ids.fresh();
+                self.reorg.scan(seg, bytes);
+                self.reorg.materialize(seg, bytes);
+                self.strategy = rebuilt;
+            }
+            Err(_) => self.failed_migrations += 1,
+        }
+    }
+
+    fn publish(&mut self) {
+        self.epoch += 1;
+        let prev = self.cell.load();
+        let snap = StrategySnapshot::capture(
+            self.strategy.as_ref(),
+            self.domain,
+            Some(&prev),
+            &mut self.ids,
+            self.epoch,
+            self.retired,
+            self.reorg.totals(),
+            self.failed_migrations,
+        );
+        self.cell.publish(snap);
+    }
+}
+
+/// A column any number of threads read while a single writer thread folds
+/// reorganizations and publishes epochs.
+///
+/// ```
+/// use soc_core::{ConcurrentColumn, CountingTracker, StrategyKind, StrategySpec, ValueRange};
+///
+/// let domain = ValueRange::must(0u32, 99_999);
+/// let values: Vec<u32> = (0..20_000u32).map(|i| (i * 13) % 100_000).collect();
+/// let column = ConcurrentColumn::from_spec(
+///     &StrategySpec::new(StrategyKind::ApmSegm).with_apm_bounds(1024, 4096),
+///     domain,
+///     values.clone(),
+/// )
+/// .unwrap();
+/// let q = ValueRange::must(10_000, 19_999);
+/// let expect = values.iter().filter(|v| q.contains(**v)).count() as u64;
+/// let mut tracker = CountingTracker::new();
+/// // Readers are `&self`: share the column across threads freely.
+/// assert_eq!(column.select_count(&q, &mut tracker), expect);
+/// column.quiesce(); // the folded reorganization published a new epoch
+/// assert!(column.epoch() >= 1);
+/// ```
+pub struct ConcurrentColumn<V: ColumnValue> {
+    cell: Arc<SnapshotCell<V>>,
+    tx: Option<mpsc::Sender<WriterCmd<V>>>,
+    writer: Option<thread::JoinHandle<Box<dyn ColumnStrategy<V>>>>,
+}
+
+impl<V: ColumnValue> std::fmt::Debug for ConcurrentColumn<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConcurrentColumn")
+            .field("snapshot", &*self.snapshot())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<V: ColumnValue> ConcurrentColumn<V> {
+    /// Wraps an already-built strategy (any of the nine kinds, or a whole
+    /// sharded column — anything implementing the trait), spawning the
+    /// writer thread. `domain` must cover the strategy's values; it is the
+    /// range migrations rebuild over.
+    pub fn new(strategy: Box<dyn ColumnStrategy<V>>, domain: ValueRange<V>) -> Self {
+        let mut ids = SegIdGen::new();
+        let initial = StrategySnapshot::capture(
+            strategy.as_ref(),
+            domain,
+            None,
+            &mut ids,
+            0,
+            AdaptationStats::default(),
+            QueryStats::default(),
+            0,
+        );
+        let cell = Arc::new(SnapshotCell {
+            snap: RwLock::new(Arc::new(initial)),
+            epoch: AtomicU64::new(0),
+        });
+        let (tx, rx) = mpsc::channel();
+        let writer_state = Writer {
+            strategy,
+            domain,
+            cell: Arc::clone(&cell),
+            ids,
+            epoch: 0,
+            retired: AdaptationStats::default(),
+            reorg: CountingTracker::new(),
+            failed_migrations: 0,
+        };
+        let writer = thread::Builder::new()
+            .name("soc-epoch-writer".into())
+            .spawn(move || writer_state.run(rx))
+            .expect("spawn epoch writer thread");
+        ConcurrentColumn {
+            cell,
+            tx: Some(tx),
+            writer: Some(writer),
+        }
+    }
+
+    /// Builds the spec's strategy over `values` and wraps it.
+    ///
+    /// # Errors
+    /// The [`ColumnError`] of the underlying constructor when a value lies
+    /// outside `domain`.
+    pub fn from_spec(
+        spec: &StrategySpec,
+        domain: ValueRange<V>,
+        values: Vec<V>,
+    ) -> Result<Self, ColumnError> {
+        Ok(Self::new(spec.build(domain, values)?, domain))
+    }
+
+    fn sender(&self) -> &mpsc::Sender<WriterCmd<V>> {
+        self.tx
+            .as_ref()
+            .expect("writer channel lives as long as self")
+    }
+
+    /// The current epoch's snapshot. Holding the `Arc` pins that epoch for
+    /// as long as the caller likes; later epochs publish alongside it.
+    pub fn snapshot(&self) -> Arc<StrategySnapshot<V>> {
+        self.cell.load()
+    }
+
+    /// The latest published epoch number.
+    pub fn epoch(&self) -> u64 {
+        self.cell.epoch.load(Ordering::Acquire)
+    }
+
+    /// Counts the values in `q` against the current snapshot and enqueues
+    /// the query for background reorganization. Never blocks on the
+    /// writer; bit-identical to the serial `&mut` path.
+    pub fn select_count(&self, q: &ValueRange<V>, tracker: &mut dyn AccessTracker) -> u64 {
+        let n = self.snapshot().select_count(q, tracker);
+        let _ = self.sender().send(WriterCmd::Reorganize(*q));
+        n
+    }
+
+    /// Materializes the values in `q` (ascending — the canonical order)
+    /// against the current snapshot and enqueues the query for background
+    /// reorganization.
+    pub fn select_collect(&self, q: &ValueRange<V>, tracker: &mut dyn AccessTracker) -> Vec<V> {
+        let out = self.snapshot().select_collect(q, tracker);
+        let _ = self.sender().send(WriterCmd::Reorganize(*q));
+        out
+    }
+
+    /// Read-only materialization: like [`Self::select_collect`] but with
+    /// no tracker reporting and no reorganization enqueued.
+    pub fn peek_collect(&self, q: &ValueRange<V>) -> Vec<V> {
+        self.snapshot()
+            .select_collect(q, &mut crate::tracker::NullTracker)
+    }
+
+    /// Starts a background migration to the strategy `spec` describes: the
+    /// writer rebuilds the column from a content snapshot and publishes
+    /// the swap as the next epoch, while readers keep answering from the
+    /// old organization. Returns immediately; [`Self::quiesce`] is the
+    /// explicit completion barrier.
+    pub fn set_strategy(&self, spec: StrategySpec) {
+        let _ = self.sender().send(WriterCmd::Migrate(spec));
+    }
+
+    /// Blocks until every command enqueued before this call has been
+    /// folded and its epoch published — the determinism barrier tests and
+    /// benchmarks use; readers never need it.
+    pub fn quiesce(&self) {
+        let (reply, done) = mpsc::sync_channel(1);
+        if self.sender().send(WriterCmd::Sync(reply)).is_ok() {
+            let _ = done.recv();
+        }
+    }
+
+    /// Shuts the writer down and hands the (fully folded) strategy back —
+    /// the hand-off layers use to move a column between execution modes.
+    pub fn into_strategy(mut self) -> Box<dyn ColumnStrategy<V>> {
+        self.tx.take();
+        let writer = self.writer.take().expect("writer joined exactly once");
+        match writer.join() {
+            Ok(strategy) => strategy,
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+}
+
+impl<V: ColumnValue> Drop for ConcurrentColumn<V> {
+    fn drop(&mut self) {
+        self.tx.take(); // closes the channel; the writer drains and exits
+        if let Some(writer) = self.writer.take() {
+            let _ = writer.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::StrategyKind;
+    use crate::tracker::NullTracker;
+
+    fn domain() -> ValueRange<u32> {
+        ValueRange::must(0, 9_999)
+    }
+
+    fn values() -> Vec<u32> {
+        (0..6_000u32).map(|i| (i * 7919) % 10_000).collect()
+    }
+
+    fn queries() -> Vec<ValueRange<u32>> {
+        (0..40)
+            .map(|i| {
+                let lo = (i * 577) % 9_000;
+                ValueRange::must(lo, lo + 750)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn counts_match_serial_for_every_kind() {
+        for kind in StrategyKind::ALL {
+            let spec = StrategySpec::new(kind)
+                .with_apm_bounds(256, 1024)
+                .with_model_seed(5);
+            let mut serial = spec.build(domain(), values()).expect("values in domain");
+            let concurrent =
+                ConcurrentColumn::from_spec(&spec, domain(), values()).expect("values in domain");
+            for q in queries() {
+                let expect = serial.select_count(&q, &mut NullTracker);
+                assert_eq!(
+                    concurrent.select_count(&q, &mut NullTracker),
+                    expect,
+                    "{kind:?} diverged on {q:?}"
+                );
+            }
+            concurrent.quiesce();
+            let snap = concurrent.snapshot();
+            snap.validate().unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+            assert_eq!(snap.total_rows(), 6_000, "{kind:?} lost rows");
+        }
+    }
+
+    #[test]
+    fn collect_is_the_sorted_serial_result() {
+        let spec = StrategySpec::new(StrategyKind::Cracking);
+        let mut serial = spec.build(domain(), values()).expect("values in domain");
+        let concurrent =
+            ConcurrentColumn::from_spec(&spec, domain(), values()).expect("values in domain");
+        for q in queries() {
+            let mut expect = serial.select_collect(&q, &mut NullTracker);
+            expect.sort_unstable();
+            assert_eq!(concurrent.select_collect(&q, &mut NullTracker), expect);
+        }
+    }
+
+    #[test]
+    fn reorganization_folds_in_the_background() {
+        let spec = StrategySpec::new(StrategyKind::ApmSegm).with_apm_bounds(256, 1024);
+        let concurrent =
+            ConcurrentColumn::from_spec(&spec, domain(), values()).expect("values in domain");
+        assert_eq!(concurrent.epoch(), 0);
+        assert_eq!(concurrent.snapshot().adaptation(), Default::default());
+        for q in queries() {
+            concurrent.select_count(&q, &mut NullTracker);
+        }
+        concurrent.quiesce();
+        let snap = concurrent.snapshot();
+        assert!(snap.epoch() >= 1, "folding must have published epochs");
+        assert!(snap.adaptation().splits > 0, "the workload must split");
+        assert!(
+            snap.reorg_totals().write_bytes > 0,
+            "reorganization writes must be accounted"
+        );
+        // The folded strategy is the serial one: handing it back and
+        // re-running the queries serially changes nothing.
+        let mut strategy = concurrent.into_strategy();
+        for q in queries() {
+            let expect = values().iter().filter(|v| q.contains(**v)).count() as u64;
+            assert_eq!(strategy.select_count(&q, &mut NullTracker), expect);
+        }
+    }
+
+    #[test]
+    fn epochs_share_unchanged_pieces() {
+        let spec = StrategySpec::new(StrategyKind::Cracking);
+        let concurrent =
+            ConcurrentColumn::from_spec(&spec, domain(), values()).expect("values in domain");
+        concurrent.select_count(&ValueRange::must(4_000, 5_999), &mut NullTracker);
+        concurrent.quiesce();
+        let before = concurrent.snapshot();
+        // A second crack inside [0, 3999] cannot touch the [6000, 9999]
+        // side: its pieces must ride into the new epoch as the same Arcs.
+        concurrent.select_count(&ValueRange::must(1_000, 1_999), &mut NullTracker);
+        concurrent.quiesce();
+        let after = concurrent.snapshot();
+        assert!(after.epoch() > before.epoch());
+        let shared = after
+            .pieces
+            .iter()
+            .filter(|p| {
+                before
+                    .piece_with_range(&p.range)
+                    .is_some_and(|old| Arc::ptr_eq(&old.values, &p.values))
+            })
+            .count();
+        assert!(
+            shared > 0,
+            "unchanged pieces must be structurally shared across epochs"
+        );
+    }
+
+    #[test]
+    fn set_strategy_migrates_in_the_background() {
+        let spec = StrategySpec::new(StrategyKind::ApmSegm).with_apm_bounds(256, 1024);
+        let concurrent =
+            ConcurrentColumn::from_spec(&spec, domain(), values()).expect("values in domain");
+        for q in queries().into_iter().take(10) {
+            concurrent.select_count(&q, &mut NullTracker);
+        }
+        concurrent.quiesce();
+        let adaptation_before = concurrent.snapshot().adaptation();
+        concurrent.set_strategy(StrategySpec::new(StrategyKind::FullSort));
+        // Readers keep answering correctly whether they hit the old or the
+        // new epoch.
+        let q = ValueRange::must(2_500, 7_499);
+        let expect = values().iter().filter(|v| q.contains(**v)).count() as u64;
+        assert_eq!(concurrent.select_count(&q, &mut NullTracker), expect);
+        concurrent.quiesce();
+        let snap = concurrent.snapshot();
+        assert_eq!(snap.name(), "FullSort", "migration must have landed");
+        assert_eq!(snap.total_rows(), 6_000);
+        assert_eq!(snap.failed_migrations(), 0);
+        // Retired adaptation history survives the swap.
+        assert!(snap.adaptation().splits >= adaptation_before.splits);
+        assert_eq!(concurrent.select_count(&q, &mut NullTracker), expect);
+    }
+
+    #[test]
+    fn concurrent_readers_race_the_writer_safely() {
+        let spec = StrategySpec::new(StrategyKind::GdSegm).with_model_seed(9);
+        let concurrent =
+            ConcurrentColumn::from_spec(&spec, domain(), values()).expect("values in domain");
+        let expect: Vec<u64> = queries()
+            .iter()
+            .map(|q| values().iter().filter(|v| q.contains(**v)).count() as u64)
+            .collect();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for (q, &e) in queries().iter().zip(&expect) {
+                        assert_eq!(concurrent.select_count(q, &mut NullTracker), e);
+                    }
+                });
+            }
+        });
+        concurrent.quiesce();
+        concurrent.snapshot().validate().unwrap();
+    }
+
+    #[test]
+    fn tile_domain_fills_gaps_and_edges() {
+        let d = ValueRange::must(0u32, 99);
+        let tiled = tile_domain(d, vec![ValueRange::must(10, 19), ValueRange::must(40, 59)]);
+        assert_eq!(
+            tiled,
+            vec![
+                ValueRange::must(0, 9),
+                ValueRange::must(10, 19),
+                ValueRange::must(20, 39),
+                ValueRange::must(40, 59),
+                ValueRange::must(60, 99),
+            ]
+        );
+        assert_eq!(tile_domain(d, Vec::new()), vec![d]);
+        assert_eq!(tile_domain(d, vec![d]), vec![d]);
+    }
+}

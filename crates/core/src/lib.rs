@@ -54,6 +54,7 @@
 pub mod baseline;
 pub mod column;
 pub mod cracking;
+pub mod epoch;
 pub mod estimate;
 pub mod kernels;
 pub mod merge;
@@ -72,6 +73,7 @@ pub mod value;
 pub use baseline::{FullySorted, NonSegmented};
 pub use column::{ColumnError, SegmentedColumn};
 pub use cracking::CrackedColumn;
+pub use epoch::{ConcurrentColumn, StrategySnapshot};
 pub use estimate::SizeEstimator;
 pub use merge::{MergePolicy, MergingSegmentation};
 pub use meta::{MetaEntry, MetaIndex};

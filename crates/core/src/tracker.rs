@@ -185,6 +185,19 @@ impl EventLog {
         self.events.is_empty()
     }
 
+    /// Total bytes of the recorded [`TrackerEvent::Scan`] events — the
+    /// per-worker read attribution a coordinator charges to the node that
+    /// produced this log (the other half of the merge contract).
+    pub fn scan_bytes(&self) -> u64 {
+        self.events
+            .iter()
+            .map(|e| match e {
+                TrackerEvent::Scan(_, bytes) => *bytes,
+                _ => 0,
+            })
+            .sum()
+    }
+
     /// Re-fires every recorded event, in order, at `target`.
     pub fn replay_into(&self, target: &mut dyn AccessTracker) {
         for e in &self.events {

@@ -12,9 +12,22 @@
 //! layer — so SQL queries can drive any of the nine strategy kinds, not
 //! just segmentation. [`Catalog::set_strategy`] re-organizes a live
 //! column under a different kind (the `ALTER COLUMN … SET STRATEGY` DDL
-//! hook), preserving its rows and pending deltas.
+//! hook), preserving its rows and pending deltas — as a **background
+//! migration**: the rebuild runs on a builder thread against a content
+//! snapshot while the old organization keeps serving reads, and the
+//! finished column is installed atomically by
+//! [`Catalog::integrate_migrations`] / [`Catalog::await_migrations`]
+//! (mirroring the epoch publishes of `soc_core::ConcurrentColumn`).
+//!
+//! Deltas no longer accumulate forever: [`Catalog::merge_deltas`] folds a
+//! table's pending inserts/updates/deletes into the base columns through
+//! the same snapshot-rebuild machinery (segmented columns re-organize
+//! under their registered spec with the rewrite charged as
+//! reorganization), and a size threshold triggers the merge automatically
+//! once a table's pending delta rows cross it.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::thread;
 
 use soc_bat::{algebra::Atom, Bat, BatError, Head, Oid, Tail};
 use soc_core::model::SegmentationModel;
@@ -40,6 +53,10 @@ pub enum CatalogError {
         /// The kernel's complaint.
         source: BatError,
     },
+    /// The column was registered through the raw-model test hook, so it
+    /// carries no [`StrategySpec`] to rebuild under (bulk merges and
+    /// checkpoints need one).
+    NoSpec(String),
 }
 
 impl std::fmt::Display for CatalogError {
@@ -51,6 +68,12 @@ impl std::fmt::Display for CatalogError {
             CatalogError::Bpm(e) => write!(f, "strategy change: {e}"),
             CatalogError::MalformedDelta { key, source } => {
                 write!(f, "delta bat for {key}: {source}")
+            }
+            CatalogError::NoSpec(k) => {
+                write!(
+                    f,
+                    "column {k} has no registered StrategySpec (raw-model registration)"
+                )
             }
         }
     }
@@ -66,13 +89,13 @@ impl From<BpmError> for CatalogError {
 
 /// Pending changes against one column.
 #[derive(Debug, Default, Clone)]
-struct ColumnDeltas {
+pub(crate) struct ColumnDeltas {
     /// Appended rows: explicit (oid, value) pairs past the base.
-    insert_heads: Vec<Oid>,
-    insert_vals: Vec<Atom>,
+    pub(crate) insert_heads: Vec<Oid>,
+    pub(crate) insert_vals: Vec<Atom>,
     /// In-place updates of base rows: (oid, new value).
-    update_heads: Vec<Oid>,
-    update_vals: Vec<Atom>,
+    pub(crate) update_heads: Vec<Oid>,
+    pub(crate) update_vals: Vec<Atom>,
 }
 
 fn atoms_to_bat(key: &str, heads: &[Oid], vals: &[Atom], like: &Bat) -> Result<Bat, CatalogError> {
@@ -120,24 +143,85 @@ fn atoms_to_bat(key: &str, heads: &[Oid], vals: &[Atom], like: &Bat) -> Result<B
 /// The registered domain of a segmented column, kept so the column can be
 /// re-organized under a different strategy later.
 #[derive(Debug, Clone, Copy)]
-struct SegMeta {
-    domain_lo: f64,
-    domain_hi_excl: f64,
+pub(crate) struct SegMeta {
+    pub(crate) domain_lo: f64,
+    pub(crate) domain_hi_excl: f64,
     /// `None` for columns registered through the raw-model test hook.
-    spec: Option<StrategySpec>,
+    pub(crate) spec: Option<StrategySpec>,
 }
 
+/// One in-flight background strategy migration: the builder thread
+/// re-organizing a content snapshot, plus what the install needs.
+#[derive(Debug)]
+struct PendingMigration {
+    spec: StrategySpec,
+    /// The full-column rewrite the rebuild performs, charged to the
+    /// column's reorganization bill at install time.
+    rewrite_bytes: u64,
+    handle: thread::JoinHandle<Result<SegmentedBat, BpmError>>,
+}
+
+/// What one [`Catalog::merge_deltas`] pass did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MergeReport {
+    /// Columns rebuilt (plain and segmented).
+    pub columns: usize,
+    /// Insert-delta entries folded into the base (one per row × column).
+    pub inserted: usize,
+    /// Update-delta entries applied.
+    pub updated: usize,
+    /// Deleted rows physically removed.
+    pub deleted: usize,
+}
+
+/// Pending delta rows that trigger an automatic [`Catalog::merge_deltas`]
+/// when crossed (per table). Small enough that delta scans stay cheap,
+/// large enough that a bulk load does not thrash rebuilds.
+pub const DEFAULT_DELTA_MERGE_THRESHOLD: usize = 4096;
+
 /// Named storage the MAL interpreter binds against.
-#[derive(Debug, Default)]
+///
+/// Fields are crate-visible for the checkpoint module
+/// ([`Catalog::save_all`]/[`Catalog::load_all`] live in
+/// `crate::checkpoint`).
+#[derive(Debug)]
 pub struct Catalog {
-    bats: HashMap<String, Bat>,
-    segmented: HashMap<String, SegmentedBat>,
-    seg_meta: HashMap<String, SegMeta>,
-    deltas: HashMap<String, ColumnDeltas>,
+    pub(crate) bats: HashMap<String, Bat>,
+    pub(crate) segmented: HashMap<String, SegmentedBat>,
+    pub(crate) seg_meta: HashMap<String, SegMeta>,
+    pub(crate) deltas: HashMap<String, ColumnDeltas>,
     /// Deleted row oids per `schema.table`.
-    deleted: HashMap<String, Vec<Oid>>,
+    pub(crate) deleted: HashMap<String, Vec<Oid>>,
     /// Next fresh oid per `schema.table` (rows appended so far + base).
-    next_oid: HashMap<String, Oid>,
+    pub(crate) next_oid: HashMap<String, Oid>,
+    /// In-flight background strategy migrations, by column key.
+    migrations: HashMap<String, PendingMigration>,
+    /// Pending-delta-row count at which a table auto-merges (0 disables).
+    delta_merge_threshold: usize,
+    /// Tables whose automatic merge failed (e.g. an out-of-domain insert);
+    /// suppressed until an explicit merge or re-registration succeeds.
+    auto_merge_failed: HashSet<String>,
+    /// Incrementally maintained pending-delta-row count per table (delta
+    /// entries on *registered* columns + deleted oids) — what the
+    /// auto-merge threshold compares against, kept O(1) per mutation.
+    pending_rows: HashMap<String, usize>,
+}
+
+impl Default for Catalog {
+    fn default() -> Self {
+        Catalog {
+            bats: HashMap::new(),
+            segmented: HashMap::new(),
+            seg_meta: HashMap::new(),
+            deltas: HashMap::new(),
+            deleted: HashMap::new(),
+            next_oid: HashMap::new(),
+            migrations: HashMap::new(),
+            delta_merge_threshold: DEFAULT_DELTA_MERGE_THRESHOLD,
+            auto_merge_failed: HashSet::new(),
+            pending_rows: HashMap::new(),
+        }
+    }
 }
 
 impl Catalog {
@@ -155,12 +239,33 @@ impl Catalog {
         format!("{schema}.{table}")
     }
 
+    /// Registration bookkeeping shared by every path: deltas recorded
+    /// against this column *before* it was registered become mergeable
+    /// (they now count toward the table's pending rows), and a failed
+    /// auto-merge latch for the table is released — the table's content
+    /// changed, so the merge deserves a fresh attempt.
+    fn on_register(&mut self, schema: &str, table: &str, key: &str, was_registered: bool) {
+        let tk = Self::table_key(schema, table);
+        if !was_registered {
+            if let Some(d) = self.deltas.get(key) {
+                let n = d.insert_heads.len() + d.update_heads.len();
+                if n > 0 {
+                    *self.pending_rows.entry(tk.clone()).or_insert(0) += n;
+                }
+            }
+        }
+        self.auto_merge_failed.remove(&tk);
+    }
+
     /// Registers a plain (positional) column.
     pub fn register_bat(&mut self, schema: &str, table: &str, column: &str, bat: Bat) {
         let tk = Self::table_key(schema, table);
         let n = self.next_oid.entry(tk).or_insert(0);
         *n = (*n).max(bat.len() as u64);
-        self.bats.insert(Self::key(schema, table, column), bat);
+        let key = Self::key(schema, table, column);
+        let was_registered = self.is_registered(&key);
+        self.bats.insert(key.clone(), bat);
+        self.on_register(schema, table, &key, was_registered);
     }
 
     /// Registers a column as self-organizing under the strategy `spec`
@@ -179,8 +284,16 @@ impl Catalog {
         domain_hi_excl: f64,
         spec: StrategySpec,
     ) -> Result<(), BpmError> {
+        let rows = bat.len() as u64;
         let seg = SegmentedBat::from_spec(bat, domain_lo, domain_hi_excl, &spec)?;
         let key = Self::key(schema, table, column);
+        // Fresh oids must clear the base rows even when no plain column
+        // of the table was ever registered.
+        let n = self
+            .next_oid
+            .entry(Self::table_key(schema, table))
+            .or_insert(0);
+        *n = (*n).max(rows);
         self.seg_meta.insert(
             key.clone(),
             SegMeta {
@@ -189,7 +302,9 @@ impl Catalog {
                 spec: Some(spec),
             },
         );
-        self.segmented.insert(key, seg);
+        let was_registered = self.is_registered(&key);
+        self.segmented.insert(key.clone(), seg);
+        self.on_register(schema, table, &key, was_registered);
         Ok(())
     }
 
@@ -208,8 +323,14 @@ impl Catalog {
         domain_hi_excl: f64,
         model: Box<dyn SegmentationModel>,
     ) -> Result<(), BpmError> {
+        let rows = bat.len() as u64;
         let seg = SegmentedBat::new(bat, domain_lo, domain_hi_excl, model)?;
         let key = Self::key(schema, table, column);
+        let n = self
+            .next_oid
+            .entry(Self::table_key(schema, table))
+            .or_insert(0);
+        *n = (*n).max(rows);
         self.seg_meta.insert(
             key.clone(),
             SegMeta {
@@ -218,21 +339,31 @@ impl Catalog {
                 spec: None,
             },
         );
-        self.segmented.insert(key, seg);
+        let was_registered = self.is_registered(&key);
+        self.segmented.insert(key.clone(), seg);
+        self.on_register(schema, table, &key, was_registered);
         Ok(())
     }
 
     /// Re-organizes a live segmented column under a different strategy
-    /// kind: the rows are extracted (oids intact), the column is rebuilt
-    /// through the spec factory, pending deltas are untouched. This is
-    /// what the `ALTER COLUMN … SET STRATEGY` DDL and the
-    /// `bpm.setStrategy` MAL operator execute.
+    /// kind — as a **background migration**: the rows are snapshotted
+    /// (oids intact, a read-only `pack`), a builder thread rebuilds them
+    /// through the spec factory, and the old column keeps serving reads
+    /// and adaptation until the finished one is installed atomically by
+    /// [`Self::integrate_migrations`] / [`Self::await_migrations`]. This
+    /// is what the `ALTER COLUMN … SET STRATEGY` DDL and the
+    /// `bpm.setStrategy` MAL operator execute; pending deltas are
+    /// untouched. A migration already in flight for the same column is
+    /// awaited first (builds never race; last request wins).
     ///
     /// # Errors
     /// [`CatalogError::NotSegmented`] (or `UnknownColumn`) when `key` does
-    /// not name a segmented column; [`CatalogError::Bpm`] when the rebuild
-    /// fails (the column is left unchanged in that case).
+    /// not name a segmented column; [`CatalogError::Bpm`] when the content
+    /// snapshot — or a prior migration of this column — fails (the column
+    /// is left unchanged in that case). A failure of *this* rebuild
+    /// surfaces at integration time; the old column stays in force.
     pub fn set_strategy(&mut self, key: &str, kind: StrategyKind) -> Result<(), CatalogError> {
+        self.await_column(key)?;
         let Some(meta) = self.seg_meta.get(key).copied() else {
             return Err(if self.bats.contains_key(key) {
                 CatalogError::NotSegmented(key.to_owned())
@@ -249,23 +380,102 @@ impl Catalog {
         };
         let packed = seg.pack()?;
         let rewrite_bytes = packed.bytes();
-        let prior_reorg = seg.reorg_write_bytes();
-        let mut rebuilt =
-            SegmentedBat::from_spec(packed, meta.domain_lo, meta.domain_hi_excl, &spec)?;
-        // Reorganization accounting survives the switch: the column keeps
-        // its accumulated bill, plus the full-column rewrite the rebuild
-        // just performed (adaptation counters restart — they describe the
-        // live strategy's organization, not the column's history).
-        rebuilt.add_reorg_write_bytes(prior_reorg + rewrite_bytes);
-        self.segmented.insert(key.to_owned(), rebuilt);
-        self.seg_meta.insert(
+        let (lo, hi) = (meta.domain_lo, meta.domain_hi_excl);
+        let handle = thread::Builder::new()
+            .name("soc-catalog-migrate".into())
+            .spawn(move || SegmentedBat::from_spec(packed, lo, hi, &spec))
+            .expect("spawn catalog migration builder");
+        self.migrations.insert(
             key.to_owned(),
-            SegMeta {
-                spec: Some(spec),
-                ..meta
+            PendingMigration {
+                spec,
+                rewrite_bytes,
+                handle,
             },
         );
         Ok(())
+    }
+
+    /// Installs one finished migration: reorganization accounting survives
+    /// the switch — the column keeps its accumulated bill (including any
+    /// adaptation the old strategy performed *while* the rebuild ran),
+    /// plus the full-column rewrite the rebuild performed (adaptation
+    /// counters restart — they describe the live strategy's organization,
+    /// not the column's history).
+    fn install_migration(&mut self, key: &str, m: PendingMigration) -> Result<(), CatalogError> {
+        let mut rebuilt = m
+            .handle
+            .join()
+            .expect("catalog migration builder panicked")?;
+        let prior_reorg = self
+            .segmented
+            .get(key)
+            .map(|s| s.reorg_write_bytes())
+            .unwrap_or(0);
+        rebuilt.add_reorg_write_bytes(prior_reorg + m.rewrite_bytes);
+        self.segmented.insert(key.to_owned(), rebuilt);
+        if let Some(meta) = self.seg_meta.get_mut(key) {
+            meta.spec = Some(m.spec);
+        }
+        Ok(())
+    }
+
+    /// Installs every background migration that has already finished
+    /// building, without blocking on the ones still running. Returns the
+    /// columns whose rebuild failed (their old organization stays in
+    /// force). The MAL interpreter calls this at program entry, so DDL
+    /// issued earlier lands at the next statement boundary.
+    pub fn integrate_migrations(&mut self) -> Vec<(String, CatalogError)> {
+        let finished: Vec<String> = self
+            .migrations
+            .iter()
+            .filter(|(_, m)| m.handle.is_finished())
+            .map(|(k, _)| k.clone())
+            .collect();
+        let mut failures = Vec::new();
+        for key in finished {
+            let m = self.migrations.remove(&key).expect("key listed above");
+            if let Err(e) = self.install_migration(&key, m) {
+                failures.push((key, e));
+            }
+        }
+        failures
+    }
+
+    /// Blocks until every in-flight migration has built and installed —
+    /// the explicit completion barrier (tests, checkpoints, shutdown).
+    /// Returns the columns whose rebuild failed.
+    pub fn await_migrations(&mut self) -> Vec<(String, CatalogError)> {
+        let keys: Vec<String> = self.migrations.keys().cloned().collect();
+        keys.into_iter()
+            .filter_map(|key| {
+                let m = self.migrations.remove(&key).expect("key listed above");
+                self.install_migration(&key, m).err().map(|e| (key, e))
+            })
+            .collect()
+    }
+
+    /// Awaits (and installs) the migration in flight for `key`, if any —
+    /// the per-column barrier metadata readers use.
+    ///
+    /// # Errors
+    /// The rebuild's [`CatalogError`] when it failed; the old column
+    /// stays in force.
+    pub fn await_column(&mut self, key: &str) -> Result<(), CatalogError> {
+        match self.migrations.remove(key) {
+            Some(m) => self.install_migration(key, m),
+            None => Ok(()),
+        }
+    }
+
+    /// Whether a background migration is in flight for `key`.
+    pub fn migration_in_progress(&self, key: &str) -> bool {
+        self.migrations.contains_key(key)
+    }
+
+    /// Number of background migrations currently in flight.
+    pub fn migrations_pending(&self) -> usize {
+        self.migrations.len()
     }
 
     /// The spec a segmented column was registered (or last re-organized)
@@ -320,33 +530,45 @@ impl Catalog {
             *n += 1;
             oid
         };
+        let mut counted = 0usize;
         for (column, value) in row {
-            let d = self
-                .deltas
-                .entry(Self::key(schema, table, column))
-                .or_default();
+            let key = Self::key(schema, table, column);
+            counted += usize::from(self.is_registered(&key));
+            let d = self.deltas.entry(key).or_default();
             d.insert_heads.push(oid);
             d.insert_vals.push(value.clone());
         }
+        if counted > 0 {
+            *self
+                .pending_rows
+                .entry(Self::table_key(schema, table))
+                .or_insert(0) += counted;
+        }
+        self.maybe_auto_merge(schema, table);
         oid
     }
 
     /// Records an in-place update of one column of row `oid`.
     pub fn update_value(&mut self, schema: &str, table: &str, column: &str, oid: Oid, value: Atom) {
-        let d = self
-            .deltas
-            .entry(Self::key(schema, table, column))
-            .or_default();
+        let key = Self::key(schema, table, column);
+        if self.is_registered(&key) {
+            *self
+                .pending_rows
+                .entry(Self::table_key(schema, table))
+                .or_insert(0) += 1;
+        }
+        let d = self.deltas.entry(key).or_default();
         d.update_heads.push(oid);
         d.update_vals.push(value);
+        self.maybe_auto_merge(schema, table);
     }
 
     /// Marks row `oid` deleted.
     pub fn delete_row(&mut self, schema: &str, table: &str, oid: Oid) {
-        self.deleted
-            .entry(Self::table_key(schema, table))
-            .or_default()
-            .push(oid);
+        let tk = Self::table_key(schema, table);
+        self.deleted.entry(tk.clone()).or_default().push(oid);
+        *self.pending_rows.entry(tk).or_insert(0) += 1;
+        self.maybe_auto_merge(schema, table);
     }
 
     /// The delta bat `sql.bind(schema, table, column, access)` returns for
@@ -374,6 +596,226 @@ impl Catalog {
         let deleted = self.deleted.get(&key).cloned().unwrap_or_default();
         Bat::new(Head::Void { base: 0 }, Tail::Oid(deleted))
             .map_err(|source| CatalogError::MalformedDelta { key, source })
+    }
+
+    // ---- bulk delta merge ----------------------------------------------
+
+    /// Sets the pending-delta-row count at which a table's deltas merge
+    /// into the base columns automatically (0 disables auto-merging; the
+    /// default is [`DEFAULT_DELTA_MERGE_THRESHOLD`]).
+    pub fn set_delta_merge_threshold(&mut self, rows: usize) {
+        self.delta_merge_threshold = rows;
+    }
+
+    /// Pending delta rows against `schema.table`: insert and update
+    /// entries across its **registered** columns plus the deleted-oid
+    /// list — exactly what [`Self::merge_deltas`] will fold, and the size
+    /// the auto-merge threshold is compared against. Deltas recorded
+    /// against never-registered column names are inert (no base column
+    /// binds them) and deliberately excluded, so they can neither trigger
+    /// nor survive-past a merge into a thrash loop. Maintained
+    /// incrementally: reading it is O(1).
+    pub fn pending_delta_rows(&self, schema: &str, table: &str) -> usize {
+        self.pending_rows
+            .get(&Self::table_key(schema, table))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Whether `key` names a registered column (plain or segmented).
+    fn is_registered(&self, key: &str) -> bool {
+        self.bats.contains_key(key) || self.segmented.contains_key(key)
+    }
+
+    /// Rebuilds the whole [`Self::pending_rows`] map from the delta and
+    /// deletion state — the bulk path checkpoint restore uses; everything
+    /// else maintains the counters incrementally.
+    pub(crate) fn recompute_pending(&mut self) {
+        let mut pending: HashMap<String, usize> = HashMap::new();
+        for (key, d) in &self.deltas {
+            if !self.is_registered(key) {
+                continue;
+            }
+            if let Some(dot) = key.rfind('.') {
+                *pending.entry(key[..dot].to_owned()).or_insert(0) +=
+                    d.insert_heads.len() + d.update_heads.len();
+            }
+        }
+        for (table, oids) in &self.deleted {
+            if !oids.is_empty() {
+                *pending.entry(table.clone()).or_insert(0) += oids.len();
+            }
+        }
+        self.pending_rows = pending;
+    }
+
+    /// Keys of every registered column of `schema.table` (plain and
+    /// segmented), sorted.
+    fn table_columns(&self, schema: &str, table: &str) -> Vec<String> {
+        let prefix = format!("{}.", Self::table_key(schema, table));
+        let mut keys: Vec<String> = self
+            .bats
+            .keys()
+            .chain(self.segmented.keys())
+            .filter(|k| k.starts_with(&prefix))
+            .cloned()
+            .collect();
+        keys.sort();
+        keys.dedup();
+        keys
+    }
+
+    /// Folds every pending delta of `schema.table` into its base columns —
+    /// the bulk-merge pass MonetDB's delta scheme assumes happens at the
+    /// next bulk load, closing the "deltas stay unorganized" gap: inserts
+    /// append, updates overwrite in place, deleted rows are physically
+    /// removed, and each **segmented** column is re-organized from the
+    /// merged snapshot under its registered [`StrategySpec`] (the same
+    /// snapshot-rebuild machinery background migrations use) with the
+    /// full-column rewrite charged to its reorganization bill. Plain
+    /// columns are rebuilt with explicit oid heads. Afterwards the
+    /// table's delta bats and deletion list are empty.
+    ///
+    /// Deltas recorded against column names that were never registered
+    /// are inert (no base column ever binds them): they are neither
+    /// merged nor counted by [`Self::pending_delta_rows`], and they stay
+    /// in place in case the column is registered later.
+    ///
+    /// The merge is staged: every rebuilt column is validated before any
+    /// is installed, so a failure (an inserted value outside a column's
+    /// registered domain, a NaN update) leaves the catalog unchanged.
+    ///
+    /// # Errors
+    /// [`CatalogError::NoSpec`] for raw-model segmented columns (no spec
+    /// to rebuild under); [`CatalogError::Bpm`] when a segmented rebuild
+    /// fails; [`CatalogError::MalformedDelta`] when a delta cannot be
+    /// typed like its base column.
+    pub fn merge_deltas(&mut self, schema: &str, table: &str) -> Result<MergeReport, CatalogError> {
+        let tk = Self::table_key(schema, table);
+        let keys = self.table_columns(schema, table);
+        // Land in-flight migrations on this table first: the merge below
+        // replaces the segmented bats wholesale.
+        for key in &keys {
+            self.await_column(key)?;
+        }
+        let deleted: BTreeSet<Oid> = self
+            .deleted
+            .get(&tk)
+            .map(|v| v.iter().copied().collect())
+            .unwrap_or_default();
+        let mut report = MergeReport::default();
+        if self.pending_delta_rows(schema, table) == 0 {
+            return Ok(report);
+        }
+
+        enum Staged {
+            Plain(Bat),
+            Seg(SegmentedBat),
+        }
+        let mut staged: Vec<(String, Staged)> = Vec::with_capacity(keys.len());
+        for key in &keys {
+            // The merged logical rows, keyed (and thus ordered) by oid.
+            let mut rows: BTreeMap<Oid, Atom> = BTreeMap::new();
+            let (like, seg_rebuild) = if let Some(seg) = self.segmented.get(key) {
+                let meta = self.seg_meta.get(key).copied().expect("segmented has meta");
+                let Some(spec) = meta.spec else {
+                    return Err(CatalogError::NoSpec(key.clone()));
+                };
+                let prior_reorg = seg.reorg_write_bytes();
+                (seg.pack()?, Some((meta, spec, prior_reorg)))
+            } else {
+                (self.bats.get(key).expect("key is registered").clone(), None)
+            };
+            for i in 0..like.len() {
+                rows.insert(like.head_at(i), atom_at(like.tail(), i));
+            }
+            if let Some(d) = self.deltas.get(key) {
+                for (oid, v) in d.insert_heads.iter().zip(&d.insert_vals) {
+                    rows.insert(*oid, v.clone());
+                    report.inserted += 1;
+                }
+                // Recorded order: a later update of the same row wins.
+                for (oid, v) in d.update_heads.iter().zip(&d.update_vals) {
+                    if let Some(slot) = rows.get_mut(oid) {
+                        *slot = v.clone();
+                        report.updated += 1;
+                    }
+                }
+            }
+            let before = rows.len();
+            rows.retain(|oid, _| !deleted.contains(oid));
+            report.deleted = report.deleted.max(before - rows.len());
+            let heads: Vec<Oid> = rows.keys().copied().collect();
+            let vals: Vec<Atom> = rows.into_values().collect();
+            let merged = atoms_to_bat(key, &heads, &vals, &like)?;
+            report.columns += 1;
+            match seg_rebuild {
+                Some((meta, spec, prior_reorg)) => {
+                    let rewrite = merged.bytes();
+                    let mut rebuilt = SegmentedBat::from_spec(
+                        merged,
+                        meta.domain_lo,
+                        meta.domain_hi_excl,
+                        &spec,
+                    )?;
+                    rebuilt.add_reorg_write_bytes(prior_reorg + rewrite);
+                    staged.push((key.clone(), Staged::Seg(rebuilt)));
+                }
+                None => staged.push((key.clone(), Staged::Plain(merged))),
+            }
+        }
+
+        // Commit: every column rebuilt successfully — install and clear.
+        for (key, s) in staged {
+            match s {
+                Staged::Plain(bat) => {
+                    self.bats.insert(key, bat);
+                }
+                Staged::Seg(seg) => {
+                    self.segmented.insert(key, seg);
+                }
+            }
+        }
+        for key in &keys {
+            self.deltas.remove(key);
+        }
+        self.deleted.remove(&tk);
+        self.auto_merge_failed.remove(&tk);
+        // All counted (registered-column) deltas were folded; deltas
+        // against never-registered column names are inert and uncounted,
+        // so the table's pending total is zero by construction.
+        self.pending_rows.remove(&tk);
+        Ok(report)
+    }
+
+    /// Auto-merge hook run after every delta mutation: merges once the
+    /// table's pending rows reach the threshold. A failed attempt (e.g.
+    /// an out-of-domain insert) is remembered and not retried until an
+    /// explicit [`Self::merge_deltas`] succeeds, so mutation stays O(1).
+    fn maybe_auto_merge(&mut self, schema: &str, table: &str) {
+        if self.delta_merge_threshold == 0 {
+            return;
+        }
+        let tk = Self::table_key(schema, table);
+        if self.auto_merge_failed.contains(&tk) {
+            return;
+        }
+        if self.pending_delta_rows(schema, table) >= self.delta_merge_threshold
+            && self.merge_deltas(schema, table).is_err()
+        {
+            self.auto_merge_failed.insert(tk);
+        }
+    }
+}
+
+/// The `i`-th tail value as an [`Atom`] (the inverse of `atoms_to_bat`).
+fn atom_at(tail: &Tail, i: usize) -> Atom {
+    match tail {
+        Tail::Int(v) => Atom::Int(v[i]),
+        Tail::Dbl(v) => Atom::Dbl(v[i]),
+        Tail::Oid(v) => Atom::Oid(v[i]),
+        Tail::Str(v) => Atom::Str(v[i].clone()),
+        Tail::Nil(_) => Atom::Nil,
     }
 }
 
@@ -441,6 +883,10 @@ mod tests {
         let reorg_before = c.segmented("sys.T.v").unwrap().reorg_write_bytes();
         assert!(reorg_before > 0, "the adapt pass must have written");
         c.set_strategy("sys.T.v", StrategyKind::Cracking).unwrap();
+        // The rebuild runs on a builder thread; the old column serves
+        // until the explicit barrier installs the new one.
+        assert!(c.migration_in_progress("sys.T.v") || c.strategy_spec("sys.T.v").is_some());
+        assert!(c.await_migrations().is_empty(), "rebuild must succeed");
         assert_eq!(
             c.strategy_spec("sys.T.v").map(|s| s.kind),
             Some(StrategyKind::Cracking)
@@ -460,6 +906,209 @@ mod tests {
         let mut oids = packed.head_oids();
         oids.sort_unstable();
         assert_eq!(oids, (0..500u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn old_column_serves_reads_while_a_migration_builds() {
+        let mut c = Catalog::new();
+        let values: Vec<i64> = (0..4_000).map(|i| (i * 31) % 1000).collect();
+        c.register_segmented(
+            "sys",
+            "T",
+            "v",
+            Bat::dense_int(values),
+            0.0,
+            1000.0,
+            StrategySpec::new(StrategyKind::ApmSegm).with_apm_bounds(128, 512),
+        )
+        .unwrap();
+        c.set_strategy("sys.T.v", StrategyKind::GdRepl).unwrap();
+        // Whether or not the builder has finished yet, reads through the
+        // catalog keep answering from a complete column (the old one
+        // until install, the new one after) — never a gap, never a block
+        // on the build.
+        let packed = c.segmented("sys.T.v").unwrap().pack().unwrap();
+        assert_eq!(packed.len(), 4_000);
+        let n = c
+            .segmented_mut("sys.T.v")
+            .unwrap()
+            .adapt(&Atom::Int(100), &Atom::Int(300))
+            .unwrap();
+        let _ = n; // adaptation on the serving column is allowed mid-build
+        assert!(c.await_migrations().is_empty());
+        assert!(!c.migration_in_progress("sys.T.v"));
+        let seg = c.segmented("sys.T.v").unwrap();
+        assert_eq!(seg.strategy_name(), "GD Repl");
+        assert_eq!(seg.pack().unwrap().len(), 4_000);
+    }
+
+    #[test]
+    fn merge_deltas_folds_inserts_updates_and_deletes() {
+        let mut c = Catalog::new();
+        let base: Vec<i64> = (0..100).map(|i| (i * 7) % 50).collect();
+        c.register_segmented(
+            "sys",
+            "T",
+            "v",
+            Bat::dense_int(base.clone()),
+            0.0,
+            50.0,
+            StrategySpec::new(StrategyKind::ApmSegm).with_apm_bounds(64, 256),
+        )
+        .unwrap();
+        c.register_bat("sys", "T", "id", Bat::dense_int((1000..1100).collect()));
+        let a = c.insert_row("sys", "T", &[("v", Atom::Int(11)), ("id", Atom::Int(1100))]);
+        let b = c.insert_row("sys", "T", &[("v", Atom::Int(22)), ("id", Atom::Int(1101))]);
+        c.update_value("sys", "T", "v", 0, Atom::Int(33));
+        c.update_value("sys", "T", "v", 0, Atom::Int(44)); // later update wins
+        c.update_value("sys", "T", "v", b, Atom::Int(23)); // update of an inserted row
+        c.delete_row("sys", "T", 1);
+        c.delete_row("sys", "T", a);
+        let reorg_before = c.segmented("sys.T.v").unwrap().reorg_write_bytes();
+
+        let report = c.merge_deltas("sys", "T").unwrap();
+        assert_eq!(report.columns, 2);
+        // Delta *entries* across columns: each inserted row wrote both v
+        // and id, the three updates touched only v.
+        assert_eq!(report.inserted, 4);
+        assert_eq!(report.updated, 3);
+        assert_eq!(report.deleted, 2);
+
+        // Expected logical rows: base with oid 0 -> 44, oid 1 and the
+        // first insert removed, the second insert updated to 23.
+        let mut expect: BTreeMap<Oid, i64> = base
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (i as Oid, *v))
+            .collect();
+        expect.insert(0, 44);
+        expect.insert(b, 23);
+        expect.remove(&1);
+        let packed = c.segmented("sys.T.v").unwrap().pack().unwrap();
+        let got: BTreeMap<Oid, i64> = match packed.tail() {
+            Tail::Int(vals) => packed
+                .head_oids()
+                .into_iter()
+                .zip(vals.iter().copied())
+                .collect(),
+            other => panic!("unexpected tail {other:?}"),
+        };
+        assert_eq!(got, expect);
+
+        // The plain column shrank by the deletions and gained the inserts.
+        let id = c.bat("sys.T.id").unwrap();
+        assert_eq!(id.len(), 100 + 2 - 2);
+        assert!(!id.head_oids().contains(&1));
+
+        // Deltas and the deletion list are spent; the rewrite was charged.
+        assert_eq!(c.pending_delta_rows("sys", "T"), 0);
+        assert!(c.dbat("sys", "T").unwrap().is_empty());
+        assert!(c.segmented("sys.T.v").unwrap().reorg_write_bytes() > reorg_before);
+        // Fresh oids keep growing past the merged rows.
+        assert_eq!(
+            c.insert_row("sys", "T", &[("v", Atom::Int(1)), ("id", Atom::Int(9))]),
+            b + 1
+        );
+    }
+
+    #[test]
+    fn auto_merge_triggers_at_the_threshold() {
+        let mut c = Catalog::new();
+        c.register_segmented(
+            "sys",
+            "T",
+            "v",
+            Bat::dense_int((0..50).collect()),
+            0.0,
+            100.0,
+            StrategySpec::new(StrategyKind::Cracking),
+        )
+        .unwrap();
+        c.set_delta_merge_threshold(4);
+        for i in 0..3 {
+            c.insert_row("sys", "T", &[("v", Atom::Int(50 + i))]);
+        }
+        assert_eq!(c.pending_delta_rows("sys", "T"), 3, "below threshold");
+        c.insert_row("sys", "T", &[("v", Atom::Int(60))]);
+        assert_eq!(c.pending_delta_rows("sys", "T"), 0, "threshold merged");
+        assert_eq!(c.segmented("sys.T.v").unwrap().rows(), 54);
+    }
+
+    #[test]
+    fn orphan_deltas_neither_count_nor_thrash_the_auto_merge() {
+        let mut c = Catalog::new();
+        c.register_segmented(
+            "sys",
+            "T",
+            "v",
+            Bat::dense_int((0..50).collect()),
+            0.0,
+            100.0,
+            StrategySpec::new(StrategyKind::Cracking),
+        )
+        .unwrap();
+        c.set_delta_merge_threshold(2);
+        // Deltas against a column name that was never registered are
+        // inert: they must not count toward the threshold, and a merge
+        // must leave them in place without looping.
+        c.insert_row("sys", "T", &[("typo_col", Atom::Int(1))]);
+        c.insert_row("sys", "T", &[("typo_col", Atom::Int(2))]);
+        c.insert_row("sys", "T", &[("typo_col", Atom::Int(3))]);
+        assert_eq!(c.pending_delta_rows("sys", "T"), 0);
+        assert!(c.merge_deltas("sys", "T").unwrap() == MergeReport::default());
+        // Registering the column later makes those deltas mergeable.
+        c.register_bat("sys", "T", "typo_col", Bat::dense_int(vec![]));
+        assert_eq!(c.pending_delta_rows("sys", "T"), 3);
+        let report = c.merge_deltas("sys", "T").unwrap();
+        assert_eq!(report.inserted, 3);
+        assert_eq!(c.pending_delta_rows("sys", "T"), 0);
+        assert_eq!(c.bat("sys.T.typo_col").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn merge_failure_is_typed_and_leaves_the_catalog_unchanged() {
+        let mut c = Catalog::new();
+        c.register_segmented(
+            "sys",
+            "T",
+            "v",
+            Bat::dense_int((0..50).collect()),
+            0.0,
+            100.0,
+            StrategySpec::new(StrategyKind::ApmSegm),
+        )
+        .unwrap();
+        // Out of the registered domain: the staged rebuild must fail.
+        c.insert_row("sys", "T", &[("v", Atom::Int(500))]);
+        assert!(matches!(
+            c.merge_deltas("sys", "T"),
+            Err(CatalogError::Bpm(_))
+        ));
+        assert_eq!(c.pending_delta_rows("sys", "T"), 1, "deltas kept");
+        assert_eq!(c.segmented("sys.T.v").unwrap().rows(), 50);
+        // The auto-trigger gives up after one failed attempt instead of
+        // re-trying the rebuild on every subsequent mutation.
+        c.set_delta_merge_threshold(1);
+        c.insert_row("sys", "T", &[("v", Atom::Int(1))]);
+        c.insert_row("sys", "T", &[("v", Atom::Int(2))]);
+        assert_eq!(c.pending_delta_rows("sys", "T"), 3);
+        // Raw-model columns have no spec to rebuild under: typed error.
+        let mut raw = Catalog::new();
+        raw.register_segmented_with_model(
+            "s",
+            "t",
+            "c",
+            Bat::dense_int((0..10).collect()),
+            0.0,
+            100.0,
+            Box::new(AlwaysSplit),
+        )
+        .unwrap();
+        raw.insert_row("s", "t", &[("c", Atom::Int(5))]);
+        assert!(matches!(
+            raw.merge_deltas("s", "t"),
+            Err(CatalogError::NoSpec(_))
+        ));
     }
 
     #[test]

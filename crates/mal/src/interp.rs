@@ -129,6 +129,16 @@ impl<'a> Interp<'a> {
         self.env.clear();
         self.iters.clear();
         self.result = None;
+        // Land any finished background strategy migrations at the
+        // statement boundary: never blocks on the ones still building
+        // (the old organization keeps serving this program). A failed
+        // rebuild surfaces as a typed error; if several failed at once,
+        // the first (all name their column; the affected columns keep
+        // their old organization) is returned — callers that need every
+        // failure inspect `Catalog::integrate_migrations` directly.
+        if let Some((_, e)) = self.catalog.integrate_migrations().into_iter().next() {
+            return Err(ExecError::Catalog(e));
+        }
         for (p, a) in prog.params().iter().zip(args) {
             self.env.insert(p.clone(), MalValue::Atom(a.clone()));
         }
@@ -553,9 +563,12 @@ impl<'a> Interp<'a> {
                 Ok(MalValue::Atom(Atom::Int(splits as i64)))
             }
             ("bpm", "strategy") => {
-                // Inspect a column's live strategy.
+                // Inspect a column's live strategy. Metadata reads want
+                // the post-DDL truth, so a migration still building for
+                // this column is awaited (the data path never waits).
                 self.need_args(i, 1)?;
                 let key = self.column_key(i, 0)?;
+                self.catalog.await_column(&key)?;
                 let seg = self
                     .catalog
                     .segmented(&key)

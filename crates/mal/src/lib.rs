@@ -26,6 +26,7 @@
 pub mod ast;
 pub mod bpm;
 pub mod catalog;
+pub mod checkpoint;
 pub mod interp;
 pub mod optimizer;
 pub mod parser;
@@ -33,7 +34,8 @@ pub mod sql;
 
 pub use ast::{Arg, Instruction, Program, Stmt};
 pub use bpm::{BpmError, SegmentedBat};
-pub use catalog::{Catalog, CatalogError};
+pub use catalog::{Catalog, CatalogError, MergeReport};
+pub use checkpoint::CheckpointError;
 pub use interp::{ExecError, Interp, MalValue};
 pub use optimizer::{OptimizerReport, RewriteStrategy, SegmentOptimizer};
 pub use parser::{parse, ParseError};

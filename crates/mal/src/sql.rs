@@ -645,6 +645,9 @@ mod tests {
         Interp::new(&mut c)
             .run(&compile_stmt(&ddl), &[])
             .expect("DDL executes");
+        // The DDL starts a background migration; the old column serves
+        // reads until it lands, and the explicit barrier awaits it.
+        assert!(c.await_migrations().is_empty(), "rebuild must succeed");
         assert_eq!(c.segmented("sys.P.ra").unwrap().strategy_name(), "GD Repl");
         // Queries still answer correctly on the re-organized column.
         let q = parse_stmt("select objid from P where ra between 90.0 and 180.0").unwrap();

@@ -24,25 +24,37 @@
 //! their new homes with the moved bytes charged to the tracker as
 //! reorganization cost.
 //!
-//! # Parallel execution
+//! # Persistent node workers
 //!
-//! Routed scans are independent by construction (the nodes partition the
-//! values), so in the default [`ExecMode::Parallel`] the executor overlaps
-//! them on scoped worker threads (`std::thread::scope`) — one thread per
-//! routed node, each counting into a private [`soc_core::EventLog`] that is
-//! replayed into the caller's tracker in ascending node order after the
-//! join. That merge discipline (see the contract on
-//! [`soc_core::AccessTracker`]) makes a parallel run *bit-identical* to the
-//! serial one: same counts, same collected multisets (concatenated in node
-//! order), same tracker event sequence. [`ExecMode::Serial`] keeps the
-//! single-threaded path for comparison and for measuring the executor's own
-//! overhead; [`ShardedColumn::select_count_batch`] amortizes the thread
-//! spawns over a whole query batch (one worker per node drains that node's
-//! routed queries), which is the shape the throughput benchmarks measure.
+//! Every node runs a **persistent worker thread** that owns the node's
+//! strategy for the shard's whole lifetime, fed over an `mpsc` channel —
+//! the shape a distributed column store takes when each node sits behind a
+//! network boundary, and the replacement for the per-batch
+//! `std::thread::scope` spawns earlier revisions used. The coordinator
+//! ships each routed scan to its node's channel as a boxed task; the worker
+//! counts into a private [`soc_core::EventLog`] and replies on a per-call
+//! channel. Logs are replayed into the caller's tracker in ascending node
+//! order (see the merge contract on [`soc_core::AccessTracker`]), which
+//! makes a parallel run *bit-identical* to the serial one: same counts,
+//! same collected multisets (concatenated in node order), same tracker
+//! event sequence.
+//!
+//! [`ExecMode::Parallel`] (the default) dispatches to every routed node
+//! before collecting any reply, so the per-node scans overlap;
+//! [`ExecMode::Serial`] dispatches and awaits one node at a time — the
+//! reference execution and the baseline for measuring the executor's own
+//! overhead. [`ShardedColumn::select_count_batch`] ships each node its
+//! whole routed worklist in one task, so a query stream costs one channel
+//! round-trip per node instead of one per query — the coordinator shape
+//! the `sharded_scan` benchmark measures. Because the workers are
+//! persistent, no path pays a thread spawn per query or per batch.
+
+use std::sync::mpsc;
+use std::thread;
 
 use soc_core::{
-    AccessTracker, AdaptationStats, ColumnError, ColumnStrategy, ColumnValue, EventLog, SegId,
-    SegIdGen, StrategySpec, ValueRange,
+    AccessTracker, AdaptationStats, ColumnError, ColumnStrategy, ColumnValue, EventLog,
+    NullTracker, SegIdGen, StrategySpec, ValueRange,
 };
 
 use crate::placement::{overlapping_span, Placement, PlacementError, PlacementPolicy};
@@ -96,82 +108,158 @@ pub struct MigrationReport {
 /// differ only in wall-clock behavior.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ExecMode {
-    /// Visit the routed nodes one after another on the calling thread —
-    /// the reference execution and the baseline the benchmarks compare
-    /// against.
+    /// Dispatch to, and await, one routed node at a time — the reference
+    /// execution. Both modes now cross the same worker-channel boundary
+    /// (the workers own the strategies), so serial-vs-parallel isolates
+    /// the *overlap*, not the channel cost; a serial run still pays one
+    /// round-trip per routed node.
     Serial,
-    /// Overlap the routed nodes' scans on scoped worker threads, merging
-    /// per-node event logs into the caller's tracker in node order after
-    /// the join (the default).
+    /// Dispatch to every routed node's worker before awaiting any reply,
+    /// so the per-node scans overlap; per-node event logs merge into the
+    /// caller's tracker in ascending node order (the default).
     #[default]
     Parallel,
 }
 
-/// One simulated node: its own strategy instance plus the value ranges it
-/// owns and its lifetime read counters.
+/// A boxed operation shipped to a node worker, executed against the
+/// strategy the worker owns. Generic closures (scan, peek, extract, swap
+/// the strategy wholesale) keep the protocol to a single message shape —
+/// the actor pattern rather than a variant per operation.
+type NodeTask<V> = Box<dyn FnOnce(&mut Box<dyn ColumnStrategy<V>>) + Send>;
+
+/// One simulated node: the channel to its persistent worker thread (which
+/// owns the node's strategy), the value ranges it holds, and its lifetime
+/// read counters (maintained by the coordinator at merge time).
 struct ShardNode<V> {
-    strategy: Box<dyn ColumnStrategy<V>>,
+    /// `Some` for the node's whole life; taken in `Drop` so the worker's
+    /// receive loop ends before the thread is joined.
+    tx: Option<mpsc::Sender<NodeTask<V>>>,
+    /// Behind a mutex so the `&self` call paths can take the handle to
+    /// join (and re-raise the original panic payload) when the worker
+    /// dies; uncontended everywhere else.
+    worker: std::sync::Mutex<Option<thread::JoinHandle<()>>>,
     /// Sorted, pairwise disjoint ranges whose values this node holds.
     assigned: Vec<ValueRange<V>>,
     read_bytes: u64,
     queries_touched: u64,
 }
 
-/// One node's share of one routed selection: scan through a [`NodeIo`] so
-/// read bytes stay attributed to the node, bump its counters, and return
-/// the count (plus the materialized part when `collect`).
-///
-/// A free function (not a method) so worker threads can call it on the
-/// `&mut ShardNode` they own without borrowing the whole column.
-fn scan_node<V: ColumnValue>(
-    node: &mut ShardNode<V>,
+impl<V: ColumnValue> ShardNode<V> {
+    /// Spawns the persistent worker owning `strategy`; it executes tasks
+    /// in arrival (FIFO) order until the channel closes.
+    fn spawn(
+        index: usize,
+        strategy: Box<dyn ColumnStrategy<V>>,
+        assigned: Vec<ValueRange<V>>,
+    ) -> Self {
+        let (tx, rx) = mpsc::channel::<NodeTask<V>>();
+        let worker = thread::Builder::new()
+            .name(format!("soc-shard-node-{index}"))
+            .spawn(move || {
+                let mut strategy = strategy;
+                for task in rx {
+                    task(&mut strategy);
+                }
+            })
+            .expect("spawn shard node worker");
+        ShardNode {
+            tx: Some(tx),
+            worker: std::sync::Mutex::new(Some(worker)),
+            assigned,
+            read_bytes: 0,
+            queries_touched: 0,
+        }
+    }
+
+    /// A channel operation failed, meaning the worker thread died (a task
+    /// panicked). Join it and re-raise the original payload so the
+    /// caller's failure carries the worker's message, file, and line —
+    /// not just "a worker died somewhere".
+    fn worker_failed(&self) -> ! {
+        let handle = self.worker.lock().unwrap_or_else(|e| e.into_inner()).take();
+        if let Some(handle) = handle {
+            if let Err(payload) = handle.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+        panic!("shard node worker terminated unexpectedly without a panic payload");
+    }
+
+    /// Ships `f` to the worker without waiting; the result arrives on the
+    /// returned channel. Dispatching to several nodes before receiving any
+    /// reply is what overlaps their scans in [`ExecMode::Parallel`].
+    fn dispatch<T, F>(&self, f: F) -> mpsc::Receiver<T>
+    where
+        T: Send + 'static,
+        F: FnOnce(&mut Box<dyn ColumnStrategy<V>>) -> T + Send + 'static,
+    {
+        let (reply, rx) = mpsc::channel();
+        let task: NodeTask<V> = Box::new(move |strategy| {
+            let _ = reply.send(f(strategy));
+        });
+        let sender = self
+            .tx
+            .as_ref()
+            .expect("worker channel lives as long as the node");
+        if sender.send(task).is_err() {
+            self.worker_failed();
+        }
+        rx
+    }
+
+    /// Awaits a dispatched reply, forwarding a worker panic.
+    fn await_reply<T>(&self, rx: mpsc::Receiver<T>) -> T {
+        match rx.recv() {
+            Ok(v) => v,
+            Err(_) => self.worker_failed(),
+        }
+    }
+
+    /// Synchronous round-trip: dispatch and await the result.
+    fn call<T, F>(&self, f: F) -> T
+    where
+        T: Send + 'static,
+        F: FnOnce(&mut Box<dyn ColumnStrategy<V>>) -> T + Send + 'static,
+    {
+        let rx = self.dispatch(f);
+        self.await_reply(rx)
+    }
+}
+
+impl<V> Drop for ShardNode<V> {
+    fn drop(&mut self) {
+        self.tx.take(); // closes the channel; the worker drains and exits
+        if let Some(worker) = self
+            .worker
+            .get_mut()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+        {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// What one node's batch task replies with: one `(count, log)` per query
+/// of the node's worklist, in worklist order.
+type BatchReply = Vec<(u64, EventLog)>;
+
+/// One node's share of one routed selection, run worker-side: the scan
+/// reports into a private [`EventLog`] the coordinator replays (and
+/// attributes) in deterministic node order.
+fn scan_task<V: ColumnValue>(
+    strategy: &mut Box<dyn ColumnStrategy<V>>,
     q: &ValueRange<V>,
-    tracker: &mut dyn AccessTracker,
     collect: bool,
-) -> (u64, Vec<V>) {
-    let mut io = NodeIo {
-        inner: tracker,
-        read_bytes: 0,
-    };
+) -> (u64, Vec<V>, EventLog) {
+    let mut log = EventLog::new();
     let (matched, part) = if collect {
-        let part = node.strategy.select_collect(q, &mut io);
+        let part = strategy.select_collect(q, &mut log);
         (part.len() as u64, part)
     } else {
-        (node.strategy.select_count(q, &mut io), Vec::new())
+        (strategy.select_count(q, &mut log), Vec::new())
     };
-    node.read_bytes += io.read_bytes;
-    node.queries_touched += 1;
-    (matched, part)
-}
-
-/// Joins a scoped handle, forwarding a worker panic to the caller.
-fn join_worker<T>(handle: std::thread::ScopedJoinHandle<'_, T>) -> T {
-    handle
-        .join()
-        .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
-}
-
-/// Forwards all accounting to the run's tracker while attributing read
-/// bytes to the node doing the work — the "measured, not estimated"
-/// per-node balance the ablation tables report.
-struct NodeIo<'a> {
-    inner: &'a mut dyn AccessTracker,
-    read_bytes: u64,
-}
-
-impl AccessTracker for NodeIo<'_> {
-    fn scan(&mut self, seg: SegId, bytes: u64) {
-        self.read_bytes += bytes;
-        self.inner.scan(seg, bytes);
-    }
-
-    fn materialize(&mut self, seg: SegId, bytes: u64) {
-        self.inner.materialize(seg, bytes);
-    }
-
-    fn free(&mut self, seg: SegId, bytes: u64) {
-        self.inner.free(seg, bytes);
-    }
+    (matched, part, log)
 }
 
 /// A column partitioned across `n` simulated nodes, each running its own
@@ -330,7 +418,11 @@ impl<V: ColumnValue> ShardedColumn<V> {
         Ok(shard)
     }
 
-    /// Constructs the per-node strategies from a plan over pieces.
+    /// Constructs the per-node strategies from a plan over pieces. On the
+    /// first call the persistent workers are spawned; re-placement epochs
+    /// keep the workers and ship each one its replacement strategy (every
+    /// strategy is built before any is installed, so a build failure
+    /// leaves the shard unchanged).
     fn build_nodes(
         &mut self,
         nodes: usize,
@@ -348,20 +440,26 @@ impl<V: ColumnValue> ShardedColumn<V> {
             per_node_ranges[n].push(range);
             per_node_values[n].extend(values);
         }
-        self.nodes = per_node_ranges
+        let built = per_node_ranges
             .into_iter()
             .zip(per_node_values)
             .map(|(ranges, values)| {
-                Ok(ShardNode {
-                    // Every node keeps the full domain: assignment, not the
-                    // strategy's domain, is what scopes a node's data.
-                    strategy: self.spec.build(self.domain, values)?,
-                    assigned: coalesce(ranges),
-                    read_bytes: 0,
-                    queries_touched: 0,
-                })
+                // Every node keeps the full domain: assignment, not the
+                // strategy's domain, is what scopes a node's data.
+                Ok((coalesce(ranges), self.spec.build(self.domain, values)?))
             })
             .collect::<Result<Vec<_>, ColumnError>>()?;
+        for (i, (assigned, strategy)) in built.into_iter().enumerate() {
+            match self.nodes.get_mut(i) {
+                Some(node) => {
+                    node.call(move |s| *s = strategy);
+                    node.assigned = assigned;
+                    node.read_bytes = 0;
+                    node.queries_touched = 0;
+                }
+                None => self.nodes.push(ShardNode::spawn(i, strategy, assigned)),
+            }
+        }
         Ok(())
     }
 
@@ -377,22 +475,14 @@ impl<V: ColumnValue> ShardedColumn<V> {
             .collect()
     }
 
-    /// The routed nodes as exclusive borrows, in ascending node order.
-    /// `routed` must be ascending (as [`Self::route`] produces).
-    fn routed_nodes(&mut self, routed: &[usize]) -> Vec<&mut ShardNode<V>> {
-        let mut want = routed.iter().copied().peekable();
-        self.nodes
-            .iter_mut()
-            .enumerate()
-            .filter_map(|(i, node)| {
-                if want.peek() == Some(&i) {
-                    want.next();
-                    Some(node)
-                } else {
-                    None
-                }
-            })
-            .collect()
+    /// Merges one node's finished scan into the caller-visible state:
+    /// replay the event log into the caller's tracker and attribute the
+    /// scanned bytes to the node — the "measured, not estimated" per-node
+    /// balance the ablation tables report.
+    fn merge_scan(&mut self, node: usize, log: &EventLog, tracker: &mut dyn AccessTracker) {
+        log.replay_into(tracker);
+        self.nodes[node].read_bytes += log.scan_bytes();
+        self.nodes[node].queries_touched += 1;
     }
 
     fn run_select(
@@ -405,42 +495,40 @@ impl<V: ColumnValue> ShardedColumn<V> {
         self.queries += 1;
         self.fanout_sum += routed.len() as u64;
         let collect = out.is_some();
+        let q = *q;
         let mut matched = 0u64;
+        // Parallel mode ships the scan to every routed node's worker before
+        // awaiting any reply, so the scans overlap; serial mode dispatches
+        // and awaits one node at a time. Both merge in ascending node
+        // order, so the observable event sequence is exactly the serial
+        // one.
+        let mut merge = |this: &mut Self, i: usize, rx: mpsc::Receiver<(u64, Vec<V>, EventLog)>| {
+            let (m, mut part, log) = this.nodes[i].await_reply(rx);
+            this.merge_scan(i, &log, tracker);
+            matched += m;
+            if let Some(out) = out.as_deref_mut() {
+                out.append(&mut part);
+            }
+        };
         match self.exec {
-            ExecMode::Parallel if routed.len() > 1 => {
-                // One scoped worker per routed node, each scanning into a
-                // private event log; logs are replayed into the caller's
-                // tracker in node order, so the observable event sequence
-                // is exactly the serial one.
-                let nodes = self.routed_nodes(&routed);
-                let results: Vec<(u64, Vec<V>, EventLog)> = std::thread::scope(|s| {
-                    let handles: Vec<_> = nodes
-                        .into_iter()
-                        .map(|node| {
-                            s.spawn(move || {
-                                let mut log = EventLog::new();
-                                let (m, part) = scan_node(node, q, &mut log, collect);
-                                (m, part, log)
-                            })
-                        })
-                        .collect();
-                    handles.into_iter().map(join_worker).collect()
-                });
-                for (m, mut part, log) in results {
-                    log.replay_into(tracker);
-                    matched += m;
-                    if let Some(out) = out.as_deref_mut() {
-                        out.append(&mut part);
-                    }
+            ExecMode::Parallel => {
+                let pending: Vec<_> = routed
+                    .into_iter()
+                    .map(|i| {
+                        (
+                            i,
+                            self.nodes[i].dispatch(move |s| scan_task(s, &q, collect)),
+                        )
+                    })
+                    .collect();
+                for (i, rx) in pending {
+                    merge(self, i, rx);
                 }
             }
-            _ => {
+            ExecMode::Serial => {
                 for i in routed {
-                    let (m, mut part) = scan_node(&mut self.nodes[i], q, tracker, collect);
-                    matched += m;
-                    if let Some(out) = out.as_deref_mut() {
-                        out.append(&mut part);
-                    }
+                    let rx = self.nodes[i].dispatch(move |s| scan_task(s, &q, collect));
+                    merge(self, i, rx);
                 }
             }
         }
@@ -450,17 +538,18 @@ impl<V: ColumnValue> ShardedColumn<V> {
     /// Executes a whole batch of counting range selections, returning one
     /// count per query (same order).
     ///
-    /// Serial mode runs the queries one by one, exactly like repeated
-    /// [`ColumnStrategy::select_count`] calls. Parallel mode spawns **one
-    /// worker per node for the whole batch** — each worker drains the
-    /// queries routed to its node in order — so the thread-spawn cost
-    /// amortizes over the batch instead of recurring per query; this is
-    /// the shape a distributed coordinator dispatching a query stream to
-    /// node workers takes, and the one the `sharded_scan` benchmark
-    /// measures. Per-(node, query) event logs are replayed into `tracker`
-    /// in serial order (query-major, then ascending node), so counts,
-    /// per-node read attribution, fan-out statistics, and the tracker's
-    /// event sequence are all bit-identical to the serial run.
+    /// Serial mode runs the queries one by one — same results and tracker
+    /// stream as repeated [`ColumnStrategy::select_count`] calls, paying
+    /// one worker round-trip per (query, node). Parallel mode ships **each
+    /// node its whole routed worklist in one task** — the persistent
+    /// worker drains the queries routed to its node in order — so a query
+    /// stream costs one channel round-trip per node instead of one per
+    /// query; this is the shape a distributed coordinator dispatching a
+    /// query stream to node workers takes, and the one the `sharded_scan`
+    /// benchmark measures. Per-(node, query) event logs are replayed into
+    /// `tracker` in serial order (query-major, then ascending node), so
+    /// counts, per-node read attribution, fan-out statistics, and the
+    /// tracker's event sequence are all bit-identical to the serial run.
     pub fn select_count_batch(
         &mut self,
         queries: &[ValueRange<V>],
@@ -473,49 +562,45 @@ impl<V: ColumnValue> ShardedColumn<V> {
         match self.exec {
             ExecMode::Serial => {
                 for ((q, routed), count) in queries.iter().zip(&routes).zip(&mut counts) {
+                    let q = *q;
                     for &i in routed {
-                        *count += scan_node(&mut self.nodes[i], q, tracker, false).0;
+                        let (m, _, log) = self.nodes[i].call(move |s| scan_task(s, &q, false));
+                        self.merge_scan(i, &log, tracker);
+                        *count += m;
                     }
                 }
             }
             ExecMode::Parallel => {
-                // Per-node worklists of query indices (ascending by
-                // construction, since routes are visited in query order).
-                let mut work: Vec<Vec<usize>> = vec![Vec::new(); self.nodes.len()];
+                // Per-node worklists of queries (ascending in query order
+                // by construction, since routes are visited in query
+                // order).
+                let mut work: Vec<Vec<ValueRange<V>>> = vec![Vec::new(); self.nodes.len()];
                 for (qi, routed) in routes.iter().enumerate() {
                     for &i in routed {
-                        work[i].push(qi);
+                        work[i].push(queries[qi]);
                     }
                 }
-                let mut per_node: Vec<Vec<(u64, EventLog)>> =
+                // One task per busy node: dispatch everything, then await.
+                let pending: Vec<(usize, mpsc::Receiver<BatchReply>)> = work
+                    .into_iter()
+                    .enumerate()
+                    .filter(|(_, w)| !w.is_empty())
+                    .map(|(i, w)| {
+                        let rx = self.nodes[i].dispatch(move |s| {
+                            w.iter()
+                                .map(|q| {
+                                    let (m, _, log) = scan_task(s, q, false);
+                                    (m, log)
+                                })
+                                .collect::<BatchReply>()
+                        });
+                        (i, rx)
+                    })
+                    .collect();
+                let mut per_node: Vec<BatchReply> =
                     (0..self.nodes.len()).map(|_| Vec::new()).collect();
-                let node_results: Vec<(usize, Vec<(u64, EventLog)>)> = std::thread::scope(|s| {
-                    let handles: Vec<_> = self
-                        .nodes
-                        .iter_mut()
-                        .enumerate()
-                        .zip(&work)
-                        .filter(|(_, w)| !w.is_empty())
-                        .map(|((i, node), w)| {
-                            let handle = s.spawn(move || {
-                                w.iter()
-                                    .map(|&qi| {
-                                        let mut log = EventLog::new();
-                                        let (m, _) = scan_node(node, &queries[qi], &mut log, false);
-                                        (m, log)
-                                    })
-                                    .collect::<Vec<_>>()
-                            });
-                            (i, handle)
-                        })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|(i, h)| (i, join_worker(h)))
-                        .collect()
-                });
-                for (i, results) in node_results {
-                    per_node[i] = results;
+                for (i, rx) in pending {
+                    per_node[i] = self.nodes[i].await_reply(rx);
                 }
                 // Deterministic merge in serial order: query-major, then
                 // ascending node index. Each node's results are in its
@@ -525,7 +610,7 @@ impl<V: ColumnValue> ShardedColumn<V> {
                     for &i in routed {
                         let (m, log) = &per_node[i][cursor[i]];
                         cursor[i] += 1;
-                        log.replay_into(tracker);
+                        self.merge_scan(i, log, tracker);
                         *count += m;
                     }
                 }
@@ -556,7 +641,7 @@ impl<V: ColumnValue> ShardedColumn<V> {
         // and that self-inflicted activity must not count.
         let mut retired = self.retired;
         for node in &self.nodes {
-            let a = node.strategy.adaptation();
+            let a = node.call(|s| s.adaptation());
             retired.splits += a.splits;
             retired.merges += a.merges;
             retired.replicas_created += a.replicas_created;
@@ -569,7 +654,7 @@ impl<V: ColumnValue> ShardedColumn<V> {
         //    be clipped to the ranges whose values the node actually holds.
         let mut pieces: Vec<(ValueRange<V>, usize)> = Vec::new();
         for (i, node) in self.nodes.iter().enumerate() {
-            let live = node.strategy.segment_ranges();
+            let live = node.call(|s| s.segment_ranges());
             let live = if live.is_empty() {
                 node.assigned.clone()
             } else {
@@ -590,9 +675,8 @@ impl<V: ColumnValue> ShardedColumn<V> {
         //    does not cross the (simulated) network.
         let mut piece_values: Vec<Vec<V>> = Vec::with_capacity(pieces.len());
         for (range, owner) in &pieces {
-            let vals = self.nodes[*owner]
-                .strategy
-                .select_collect(range, &mut soc_core::NullTracker);
+            let range = *range;
+            let vals = self.nodes[*owner].call(move |s| s.select_collect(&range, &mut NullTracker));
             piece_values.push(vals);
         }
         let sizes: Vec<u64> = piece_values
@@ -670,7 +754,7 @@ impl<V: ColumnValue> ShardedColumn<V> {
     pub fn node_storage_bytes(&self) -> Vec<u64> {
         self.nodes
             .iter()
-            .map(|n| n.strategy.storage_bytes())
+            .map(|n| n.call(|s| s.storage_bytes()))
             .collect()
     }
 
@@ -719,7 +803,7 @@ impl<V: ColumnValue> ColumnStrategy<V> for ShardedColumn<V> {
         let inner = self
             .nodes
             .first()
-            .map(|n| n.strategy.name())
+            .map(|n| n.call(|s| s.name()))
             .unwrap_or_else(|| "?".to_owned());
         format!(
             "Sharded {inner} ({} nodes, {})",
@@ -741,41 +825,43 @@ impl<V: ColumnValue> ColumnStrategy<V> for ShardedColumn<V> {
     fn peek_collect(&self, q: &ValueRange<V>) -> Vec<V> {
         // Values partition across nodes, so concatenating the routed
         // nodes' read-only answers (in node order) is exact. No
-        // fan-out/read accounting: peeks are not queries. The fan-out is
-        // read-only (`peek_collect` takes `&self`, and strategies are
-        // `Sync`), so parallel mode overlaps it on scoped threads with no
-        // event logs to merge.
+        // fan-out/read accounting: peeks are not queries. Parallel mode
+        // dispatches the peek to every routed worker before awaiting any,
+        // so the fan-out overlaps; there are no event logs to merge.
         let routed = self.route(q);
-        if self.exec == ExecMode::Parallel && routed.len() > 1 {
-            let parts: Vec<Vec<V>> = std::thread::scope(|s| {
-                let handles: Vec<_> = routed
-                    .iter()
-                    .map(|&i| {
-                        let node = &self.nodes[i];
-                        s.spawn(move || node.strategy.peek_collect(q))
-                    })
-                    .collect();
-                handles.into_iter().map(join_worker).collect()
-            });
-            let mut out = Vec::with_capacity(parts.iter().map(Vec::len).sum());
-            for mut part in parts {
-                out.append(&mut part);
+        let q = *q;
+        let pending: Vec<(usize, mpsc::Receiver<Vec<V>>)> = match self.exec {
+            ExecMode::Parallel => routed
+                .into_iter()
+                .map(|i| (i, self.nodes[i].dispatch(move |s| s.peek_collect(&q))))
+                .collect(),
+            ExecMode::Serial => {
+                let mut out = Vec::new();
+                for i in routed {
+                    out.extend(self.nodes[i].call(move |s| s.peek_collect(&q)));
+                }
+                return out;
             }
-            return out;
-        }
+        };
         let mut out = Vec::new();
-        for i in routed {
-            out.extend(self.nodes[i].strategy.peek_collect(q));
+        for (i, rx) in pending {
+            out.extend(self.nodes[i].await_reply(rx));
         }
         out
     }
 
     fn storage_bytes(&self) -> u64 {
-        self.nodes.iter().map(|n| n.strategy.storage_bytes()).sum()
+        self.nodes
+            .iter()
+            .map(|n| n.call(|s| s.storage_bytes()))
+            .sum()
     }
 
     fn segment_count(&self) -> usize {
-        self.nodes.iter().map(|n| n.strategy.segment_count()).sum()
+        self.nodes
+            .iter()
+            .map(|n| n.call(|s| s.segment_count()))
+            .sum()
     }
 
     fn segment_bytes(&self) -> Vec<u64> {
@@ -793,7 +879,7 @@ impl<V: ColumnValue> ColumnStrategy<V> for ShardedColumn<V> {
     fn adaptation(&self) -> AdaptationStats {
         let mut total = self.retired;
         for node in &self.nodes {
-            let a = node.strategy.adaptation();
+            let a = node.call(|s| s.adaptation());
             total.splits += a.splits;
             total.merges += a.merges;
             total.replicas_created += a.replicas_created;

@@ -80,8 +80,13 @@ fn main() {
     Interp::new(&mut catalog)
         .run(&compile_stmt(&stmt), &[])
         .expect("DDL executes");
+    // The DDL returns immediately: the rebuild runs on a builder thread
+    // while the old organization keeps serving queries. Awaiting is the
+    // explicit barrier (the interpreter otherwise installs finished
+    // migrations at the next statement boundary).
+    assert!(catalog.await_migrations().is_empty(), "rebuild succeeds");
     println!(
-        "ra now runs under {:?}",
+        "ra now runs under {:?} (rebuilt in the background)",
         catalog.segmented("sys.P.ra").unwrap().strategy_name()
     );
     let plan = compile_select("SELECT objid FROM sys.P WHERE ra BETWEEN 205.1 AND 205.12")

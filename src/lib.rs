@@ -56,10 +56,10 @@ pub use soc_workload as workload;
 pub mod prelude {
     pub use soc_core::{
         pair_rows, AccessTracker, AdaptationStats, AdaptivePageModel, AdaptiveReplication,
-        AdaptiveSegmentation, ColumnStrategy, ColumnValue, CountingTracker, CrackedColumn,
-        EventLog, FullySorted, GaussianDice, MergePolicy, NonSegmented, NullTracker, OrdF64, Pair,
-        ReplicaTree, SegmentationModel, SegmentedColumn, SizeEstimator, StrategyKind, StrategySpec,
-        TrackerEvent, ValueRange,
+        AdaptiveSegmentation, ColumnStrategy, ColumnValue, ConcurrentColumn, CountingTracker,
+        CrackedColumn, EventLog, FullySorted, GaussianDice, MergePolicy, NonSegmented, NullTracker,
+        OrdF64, Pair, ReplicaTree, SegmentationModel, SegmentedColumn, SizeEstimator, StrategyKind,
+        StrategySnapshot, StrategySpec, TrackerEvent, ValueRange,
     };
     pub use soc_sim::{
         build_strategy, run_queries, CostModel, ExecMode, MigrationReport, Placement,

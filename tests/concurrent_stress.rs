@@ -1,0 +1,176 @@
+//! Threaded stress: readers hammering a [`ConcurrentColumn`] while the
+//! writer folds reorganizations and background `set_strategy` migrations
+//! keep rebuilding the column wholesale — plus the catalog-level
+//! background migration racing a reading main thread. CI runs this file
+//! with `--test-threads` matched to the runner's cores so the tests
+//! overlap and genuinely contend.
+
+use socdb::bat::{Atom, Bat, Tail};
+use socdb::mal::Catalog;
+use socdb::prelude::*;
+
+fn domain() -> ValueRange<u32> {
+    ValueRange::must(0, 99_999)
+}
+
+/// Readers never block and never see a wrong answer while the writer is
+/// simultaneously folding reorganizations *and* swapping the entire
+/// strategy kind underneath them.
+#[test]
+fn readers_survive_reorganization_and_migration_storm() {
+    let values = uniform_values(40_000, &domain(), 71);
+    let queries = WorkloadSpec::uniform(0.03, 120, 72).generate(&domain());
+    let expect: Vec<u64> = queries
+        .iter()
+        .map(|q| values.iter().filter(|v| q.contains(**v)).count() as u64)
+        .collect();
+    let spec = StrategySpec::new(StrategyKind::ApmSegm).with_apm_bounds(1024, 4096);
+    let concurrent =
+        ConcurrentColumn::from_spec(&spec, domain(), values.clone()).expect("values in domain");
+
+    let readers = std::thread::available_parallelism()
+        .map(|n| n.get().clamp(2, 6))
+        .unwrap_or(4);
+    std::thread::scope(|s| {
+        for _ in 0..readers {
+            s.spawn(|| {
+                for round in 0..3 {
+                    for (i, q) in queries.iter().enumerate() {
+                        assert_eq!(
+                            concurrent.select_count(q, &mut NullTracker),
+                            expect[i],
+                            "round {round} query #{i}"
+                        );
+                    }
+                }
+            });
+        }
+        // The migration storm runs on the scope's main thread, racing
+        // every reader: each command rebuilds the whole column.
+        for kind in [
+            StrategyKind::Cracking,
+            StrategyKind::FullSort,
+            StrategyKind::GdRepl,
+            StrategyKind::NoSegm,
+            StrategyKind::GdSegmMerged,
+            StrategyKind::ApmSegm,
+        ] {
+            concurrent.set_strategy(StrategySpec { kind, ..spec });
+        }
+    });
+
+    concurrent.quiesce();
+    let snap = concurrent.snapshot();
+    snap.validate()
+        .expect("published snapshot is structurally sound");
+    assert_eq!(snap.total_rows(), values.len() as u64);
+    assert_eq!(snap.failed_migrations(), 0);
+    assert!(
+        snap.name().starts_with("APM") && snap.name().ends_with("Segm"),
+        "the last migration wins: {}",
+        snap.name()
+    );
+    // Hand the strategy back to the serial world: still byte-correct.
+    let mut strategy = concurrent.into_strategy();
+    for (i, q) in queries.iter().enumerate() {
+        assert_eq!(strategy.select_count(q, &mut NullTracker), expect[i]);
+    }
+}
+
+/// The epoch layer over a whole sharded column: reader threads above the
+/// epoch writer, which drives persistent node workers underneath — three
+/// layers of threads, one correct answer.
+#[test]
+fn sharded_column_behind_the_epoch_layer_under_load() {
+    let values = uniform_values(30_000, &domain(), 73);
+    let queries = WorkloadSpec::uniform(0.05, 80, 74).generate(&domain());
+    let expect: Vec<u64> = queries
+        .iter()
+        .map(|q| values.iter().filter(|v| q.contains(**v)).count() as u64)
+        .collect();
+    let sharded = ShardedColumn::new(
+        StrategySpec::new(StrategyKind::ApmSegm).with_apm_bounds(1024, 4096),
+        PlacementPolicy::RangeContiguous,
+        6,
+        domain(),
+        values.clone(),
+    )
+    .expect("shard construction");
+    let concurrent = ConcurrentColumn::new(Box::new(sharded), domain());
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            s.spawn(|| {
+                for (i, q) in queries.iter().enumerate() {
+                    assert_eq!(concurrent.select_count(q, &mut NullTracker), expect[i]);
+                    assert_eq!(
+                        concurrent.select_collect(q, &mut NullTracker).len() as u64,
+                        expect[i]
+                    );
+                }
+            });
+        }
+    });
+    concurrent.quiesce();
+    assert_eq!(concurrent.snapshot().total_rows(), values.len() as u64);
+}
+
+/// Catalog-level background `set_strategy`: the builder thread rebuilds
+/// while the main thread keeps reading (and adapting) the old column —
+/// across repeated rounds the install is atomic and the rows survive
+/// every switch bit-exactly.
+#[test]
+fn background_set_strategy_serves_stale_reads_until_install() {
+    let base: Vec<i64> = (0..20_000).map(|i| (i * 7919) % 10_000).collect();
+    let mut expected_sorted = base.clone();
+    expected_sorted.sort_unstable();
+    let mut c = Catalog::new();
+    c.register_segmented(
+        "sys",
+        "T",
+        "v",
+        Bat::dense_int(base),
+        0.0,
+        10_000.0,
+        StrategySpec::new(StrategyKind::ApmSegm).with_apm_bounds(2048, 8192),
+    )
+    .unwrap();
+
+    for (round, kind) in [
+        StrategyKind::Cracking,
+        StrategyKind::GdRepl,
+        StrategyKind::FullSort,
+        StrategyKind::ApmSegm,
+        StrategyKind::AutoApmSegm,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        c.set_strategy("sys.T.v", kind).unwrap();
+        // While the builder runs, the old column answers reads and even
+        // adapts; its piece invariants hold throughout.
+        let mut reads = 0;
+        while c.migration_in_progress("sys.T.v") && reads < 1_000 {
+            let seg = c.segmented("sys.T.v").expect("old column serves");
+            assert_eq!(seg.rows(), 20_000, "round {round}: no row gap mid-build");
+            let lo = ((reads * 37) % 9_000) as f64;
+            assert!(seg.footprint_bytes(lo, lo + 500.0) > 0 || seg.piece_count() > 0);
+            reads += 1;
+            // Install any finished build exactly once, like the
+            // interpreter does at statement boundaries.
+            c.integrate_migrations();
+        }
+        assert!(c.await_migrations().is_empty(), "round {round}");
+        let seg = c.segmented("sys.T.v").unwrap();
+        let packed = seg.pack().unwrap();
+        assert_eq!(packed.len(), 20_000, "round {round}");
+        let Tail::Int(vals) = packed.tail() else {
+            panic!("int tail expected");
+        };
+        let mut vals = vals.clone();
+        vals.sort_unstable();
+        assert_eq!(vals, expected_sorted, "round {round}: rows mutated");
+        // The column still accepts deltas after every switch.
+        c.insert_row("sys", "T", &[("v", Atom::Int(5))]);
+        c.delete_row("sys", "T", (20_000 + round) as u64);
+    }
+}

@@ -267,6 +267,46 @@ fn figure1_merges_inserts_updates_and_deletes() {
     assert_eq!(run(&mut c), vec![9000]);
 }
 
+/// Bulk-merging the deltas is invisible to query results: the Figure 1
+/// plan answers identically whether the pending changes are merged at
+/// query time (the delta algebra) or folded into the base columns by
+/// [`Catalog::merge_deltas`] — and afterwards the delta bats are empty, so
+/// the plan's merge operators run over nothing.
+#[test]
+fn bulk_delta_merge_is_invisible_to_figure1_results() {
+    let plan = parse(FIGURE1).unwrap();
+    let mut c = catalog(2_000, true);
+    c.insert_row(
+        "sys",
+        "P",
+        &[("ra", Atom::Dbl(150.0005)), ("objid", Atom::Int(77_777))],
+    );
+    c.insert_row(
+        "sys",
+        "P",
+        &[("ra", Atom::Dbl(250.0)), ("objid", Atom::Int(77_778))],
+    );
+    c.update_value("sys", "P", "ra", 1, Atom::Dbl(150.0002));
+    c.delete_row("sys", "P", 0);
+    let args = [Atom::Dbl(150.0), Atom::Dbl(150.001)];
+
+    let before = {
+        let result = Interp::new(&mut c).run(&plan, &args).unwrap().unwrap();
+        result_ids(&result)
+    };
+    assert!(before.contains(&77_777), "pending insert must qualify");
+
+    let report = c.merge_deltas("sys", "P").unwrap();
+    assert!(report.columns >= 2 && report.inserted > 0);
+    assert_eq!(c.pending_delta_rows("sys", "P"), 0);
+
+    let after = {
+        let result = Interp::new(&mut c).run(&plan, &args).unwrap().unwrap();
+        result_ids(&result)
+    };
+    assert_eq!(before, after, "merge must not change any answer");
+}
+
 /// Deltas compose with the segment optimizer: the rewritten plan only
 /// accelerates the base-column select, delta merging stays intact.
 #[test]
