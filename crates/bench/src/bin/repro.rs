@@ -10,17 +10,20 @@
 //! fig10–fig16, tab2 (SkyServer); ablation-cracking, ablation-apm,
 //! ablation-merge, ablation-buffer, ablation-budget, ablation-auto-apm,
 //! ablation-estimator, ablation-placement, ablation-sharding,
-//! ablation-sql-strategy; perf-sharded, perf-kernels, perf-concurrent
-//! (wall-clock measurements of the parallel executor, the scan kernels,
-//! and the epoch-snapshot concurrent read path); or the groups
+//! ablation-sql-strategy, ablation-compress; perf-sharded, perf-kernels,
+//! perf-concurrent, perf-compress (wall-clock measurements of the
+//! parallel executor, the scan kernels, the epoch-snapshot concurrent
+//! read path, and the compressed-domain scan kernels); or the groups
 //! `simulation`, `skyserver`, `ablation`, `perf`, `all`.
 //!
 //! Each figure/table is printed (tables verbatim, figures as sparkline
 //! summaries) and written as CSV under `--out` (default `results/`).
 //! With `--json`, a machine-readable perf baseline — per-experiment wall
 //! time, bytes scanned, serial-vs-parallel speedup — is additionally
-//! written to `<out>/BENCH_PR4.json`, and the epoch-read-path experiments
-//! to `<out>/BENCH_PR5.json` (CI uploads both as artifacts).
+//! written to `<out>/BENCH_PR4.json`, the epoch-read-path experiments
+//! to `<out>/BENCH_PR5.json`, and the compression experiments — raw vs
+//! encoded footprint, packed-scan vs decode-then-scan ms per codec — to
+//! `<out>/BENCH_PR6.json` (CI uploads all three as artifacts).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -28,8 +31,8 @@ use std::time::Instant;
 
 use soc_bench::fig2;
 use soc_bench::perf::{
-    concurrent_migration_perf, concurrent_read_perf, kernel_count_perf, sharded_scan_perf,
-    write_bench_json_named, PerfEntry,
+    aggregate_kernel_perf, compress_perf, concurrent_migration_perf, concurrent_read_perf,
+    kernel_count_perf, sharded_scan_perf, write_bench_json_named, PerfEntry,
 };
 use soc_sim::experiment::ablation;
 use soc_sim::experiment::simulation::{run_simulation_matrix, SimConfig, SimulationMatrix};
@@ -255,6 +258,7 @@ fn main() -> ExitCode {
         "ablation-placement",
         "ablation-sharding",
         "ablation-sql-strategy",
+        "ablation-compress",
     ]
     .iter()
     .any(|id| wants(e, id, "ablation"))
@@ -321,6 +325,11 @@ fn main() -> ExitCode {
                 em.table(&ablation::sql_strategy_ablation(&cfg))
             });
         }
+        if wants(e, "ablation-compress", "ablation") {
+            timed(&mut perf, "ablation-compress", || {
+                em.table(&ablation::compress_ablation(&cfg))
+            });
+        }
     }
 
     // ---- Wall-clock perf: parallel executor & scan kernels ---------------
@@ -378,11 +387,38 @@ fn main() -> ExitCode {
         perf5.push(entry);
         ran_perf = true;
     }
+    let mut perf6: Vec<PerfEntry> = Vec::new();
+    if wants(e, "perf-compress", "perf") {
+        eprintln!("measuring packed-domain scans vs decode-then-scan per codec…");
+        for entry in compress_perf(opts.quick) {
+            println!(
+                "{}: decode+scan {:.3} ms, packed scan {:.3} ms, {} KB raw -> {} KB encoded",
+                entry.id,
+                entry.serial_ms.unwrap_or(0.0),
+                entry.parallel_ms.unwrap_or(0.0),
+                entry.bytes_raw.unwrap_or(0) / 1024,
+                entry.bytes_encoded.unwrap_or(0) / 1024,
+            );
+            perf6.push(entry);
+        }
+        eprintln!("measuring fused aggregate kernels vs collect-then-fold…");
+        let entry = aggregate_kernel_perf(opts.quick);
+        println!(
+            "{}: collect+fold {:.3} ms, fused {:.3} ms, speedup {:.2}x",
+            entry.id,
+            entry.serial_ms.unwrap_or(0.0),
+            entry.parallel_ms.unwrap_or(0.0),
+            entry.speedup.unwrap_or(0.0),
+        );
+        perf6.push(entry);
+        ran_perf = true;
+    }
 
     if em.written.is_empty() && !ran_perf {
         eprintln!(
             "error: no experiment matched {e:?}; try fig2, fig5..fig16, tab1, tab2, \
-             simulation, skyserver, ablation-*, perf-sharded, perf-kernels, or all"
+             simulation, skyserver, ablation-*, perf-sharded, perf-kernels, \
+             perf-concurrent, perf-compress, or all"
         );
         return ExitCode::FAILURE;
     }
@@ -393,6 +429,7 @@ fn main() -> ExitCode {
         for (file, schema, entries) in [
             ("BENCH_PR4.json", "soc-bench-pr4", &perf),
             ("BENCH_PR5.json", "soc-bench-pr5", &perf5),
+            ("BENCH_PR6.json", "soc-bench-pr6", &perf6),
         ] {
             if entries.is_empty() {
                 eprintln!("skipping {file}: no matching experiments ran");

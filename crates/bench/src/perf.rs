@@ -35,6 +35,10 @@ pub struct PerfEntry {
     pub parallel_ms: Option<f64>,
     /// `serial_ms / parallel_ms` — > 1.0 means the parallel executor won.
     pub speedup: Option<f64>,
+    /// Raw (unencoded) footprint in bytes, for the compression experiments.
+    pub bytes_raw: Option<u64>,
+    /// Encoded footprint in bytes, for the compression experiments.
+    pub bytes_encoded: Option<u64>,
 }
 
 impl PerfEntry {
@@ -47,6 +51,8 @@ impl PerfEntry {
             serial_ms: None,
             parallel_ms: None,
             speedup: None,
+            bytes_raw: None,
+            bytes_encoded: None,
         }
     }
 }
@@ -130,6 +136,8 @@ pub fn sharded_scan_perf(nodes: usize, quick: bool) -> PerfEntry {
         serial_ms: Some(serial_ms),
         parallel_ms: Some(parallel_ms),
         speedup: Some(serial_ms / parallel_ms.max(1e-9)),
+        bytes_raw: None,
+        bytes_encoded: None,
     }
 }
 
@@ -164,6 +172,8 @@ pub fn kernel_count_perf(quick: bool) -> PerfEntry {
         serial_ms: Some(naive_ms),
         parallel_ms: Some(kernel_ms),
         speedup: Some(naive_ms / kernel_ms.max(1e-9)),
+        bytes_raw: None,
+        bytes_encoded: None,
     }
 }
 
@@ -246,6 +256,8 @@ pub fn concurrent_read_perf(quick: bool) -> PerfEntry {
         serial_ms: Some(serial_ms),
         parallel_ms: Some(parallel_ms),
         speedup: Some(serial_ms / parallel_ms.max(1e-9)),
+        bytes_raw: None,
+        bytes_encoded: None,
     }
 }
 
@@ -312,6 +324,151 @@ pub fn concurrent_migration_perf(quick: bool) -> PerfEntry {
         serial_ms: Some(quiet_ms),
         parallel_ms: Some(busy_ms),
         speedup: Some(quiet_ms / busy_ms.max(1e-9)),
+        bytes_raw: None,
+        bytes_encoded: None,
+    }
+}
+
+/// Best-of-`reps` wall time of `f`, in milliseconds, with the result of
+/// the last run passed back for validation.
+fn best_ms<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        out = Some(std::hint::black_box(f()));
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    (best, out.expect("reps >= 1"))
+}
+
+/// The cold sorted column of the compression baseline: ascending with an
+/// 8-fold duplication factor, so RLE collapses it by runs, FOR by bit
+/// width, and the dictionary by cardinality.
+fn cold_sorted_column(quick: bool) -> Vec<u32> {
+    let n: u32 = if quick { 400_000 } else { 2_000_000 };
+    (0..n).map(|i| i / 8).collect()
+}
+
+/// Measures the compressed-domain scan kernels (`perf-compress-<codec>`,
+/// `perf-compress-hot`): per codec, the footprint of the cold sorted
+/// column (`bytes_raw` vs `bytes_encoded`) and the wall time of a
+/// packed-domain range count (`parallel_ms`) against decode-then-scan
+/// (`serial_ms`) over the same payload. The `-hot` entry compares the
+/// packed scan against the raw branchless kernel on in-cache data — the
+/// regime the CI gate holds to ≤ 1.2x raw.
+pub fn compress_perf(quick: bool) -> Vec<PerfEntry> {
+    use soc_core::{PiecePayload, SegmentEncoding};
+
+    let section_start = Instant::now();
+    let values = cold_sorted_column(quick);
+    let n = values.len() as u64;
+    let hi = *values.last().expect("non-empty");
+    // ~40% selectivity, interior bounds so every piece of the scan runs.
+    let q = ValueRange::must(hi / 4, hi / 4 + 2 * (hi / 5));
+    let raw = PiecePayload::Raw(values);
+    let expect = raw.count_range(&q);
+
+    let mut entries = Vec::new();
+    let mut best_packed: Option<(u64, PiecePayload<u32>)> = None;
+    for enc in [
+        SegmentEncoding::Rle,
+        SegmentEncoding::For,
+        SegmentEncoding::Dict,
+    ] {
+        let entry_start = Instant::now();
+        let mut packed = raw.clone();
+        assert!(
+            packed.reencode(enc),
+            "the cold sorted column must be {enc:?}-encodable"
+        );
+        let (packed_ms, packed_n) = best_ms(5, || packed.count_range(&q));
+        assert_eq!(packed_n, expect, "{enc:?} packed count diverged from raw");
+        // The alternative the packed kernel replaces: materialize the
+        // decoded values, then run the raw kernel over them.
+        let (decode_ms, decode_n) =
+            best_ms(5, || soc_core::kernels::count_range(&packed.decoded(), &q));
+        assert_eq!(decode_n, expect, "{enc:?} decoded count diverged from raw");
+        if best_packed
+            .as_ref()
+            .is_none_or(|(b, _)| packed.bytes() < *b)
+        {
+            best_packed = Some((packed.bytes(), packed.clone()));
+        }
+        entries.push(PerfEntry {
+            id: format!("perf-compress-{}", enc.token()),
+            wall_ms: entry_start.elapsed().as_secs_f64() * 1e3,
+            bytes_scanned: Some(packed.bytes()),
+            serial_ms: Some(decode_ms),
+            parallel_ms: Some(packed_ms),
+            speedup: Some(decode_ms / packed_ms.max(1e-9)),
+            bytes_raw: Some(n * 4),
+            bytes_encoded: Some(packed.bytes()),
+        });
+    }
+
+    // Hot regime: the same (in-cache) data scanned raw vs through the
+    // smallest packed representation — the footprint win must not cost
+    // scan speed.
+    let (bytes_encoded, packed) = best_packed.expect("three codecs ran");
+    let (raw_ms, raw_n) = best_ms(7, || raw.count_range(&q));
+    let (packed_ms, packed_n) = best_ms(7, || packed.count_range(&q));
+    assert_eq!(raw_n, expect);
+    assert_eq!(packed_n, expect);
+    entries.push(PerfEntry {
+        id: "perf-compress-hot".to_owned(),
+        wall_ms: section_start.elapsed().as_secs_f64() * 1e3,
+        bytes_scanned: Some(bytes_encoded),
+        serial_ms: Some(raw_ms),
+        parallel_ms: Some(packed_ms),
+        speedup: Some(raw_ms / packed_ms.max(1e-9)),
+        bytes_raw: Some(n * 4),
+        bytes_encoded: Some(bytes_encoded),
+    });
+    entries
+}
+
+/// Measures the fused aggregate kernels against the collect-then-fold
+/// pattern they replace (`perf-compress-aggregate`): `serial_ms` collects
+/// the qualifying values into a scratch vector and folds it (the old
+/// `peek_collect`-then-fold call-site shape), `parallel_ms` runs the
+/// one-pass `kernels::sum_range`/`min_max_range` pair over the same data.
+pub fn aggregate_kernel_perf(quick: bool) -> PerfEntry {
+    let section_start = Instant::now();
+    let n = if quick { 400_000 } else { 2_000_000 };
+    let domain = ValueRange::must(0u32, 999_999);
+    let values = uniform_values(n, &domain, 53);
+    let q = ValueRange::must(150_000, 549_999);
+
+    let (fold_ms, fold_out) = best_ms(5, || {
+        let mut scratch = Vec::new();
+        soc_core::kernels::collect_range(&values, &q, &mut scratch);
+        let sum: f64 = scratch.iter().map(|&v| f64::from(v)).sum();
+        let min = scratch.iter().copied().min();
+        let max = scratch.iter().copied().max();
+        (sum, min.zip(max))
+    });
+    let (fused_ms, fused_out) = best_ms(5, || {
+        (
+            soc_core::kernels::sum_range(&values, &q),
+            soc_core::kernels::min_max_range(&values, &q),
+        )
+    });
+    assert_eq!(fused_out.1, fold_out.1, "fused min/max diverged from fold");
+    assert!(
+        (fused_out.0 - fold_out.0).abs() <= fold_out.0.abs() * 1e-9,
+        "fused sum diverged from fold"
+    );
+
+    PerfEntry {
+        id: "perf-compress-aggregate".to_owned(),
+        wall_ms: section_start.elapsed().as_secs_f64() * 1e3,
+        bytes_scanned: Some(n as u64 * 4),
+        serial_ms: Some(fold_ms),
+        parallel_ms: Some(fused_ms),
+        speedup: Some(fold_ms / fused_ms.max(1e-9)),
+        bytes_raw: None,
+        bytes_encoded: None,
     }
 }
 
@@ -374,6 +531,12 @@ pub fn write_bench_json_named(
             e.parallel_ms.map(|v| format!("{v:.3}")),
         );
         push_field(&mut line, "speedup", e.speedup.map(|v| format!("{v:.3}")));
+        push_field(&mut line, "bytes_raw", e.bytes_raw.map(|b| b.to_string()));
+        push_field(
+            &mut line,
+            "bytes_encoded",
+            e.bytes_encoded.map(|b| b.to_string()),
+        );
         line.push('}');
         if i + 1 < entries.len() {
             line.push(',');
@@ -427,6 +590,39 @@ mod tests {
     }
 
     #[test]
+    fn compress_perf_meets_the_footprint_and_speed_gates() {
+        let entries = compress_perf(true);
+        assert_eq!(entries.len(), 4);
+        // Every per-codec entry carries both footprint axes.
+        for e in &entries[..3] {
+            assert!(e.id.starts_with("perf-compress-"), "{}", e.id);
+            assert!(e.bytes_raw.unwrap() > 0);
+            assert!(e.bytes_encoded.unwrap() > 0);
+        }
+        // The best codec shrinks the cold sorted column at least 2x.
+        let best = entries[..3]
+            .iter()
+            .map(|e| e.bytes_encoded.unwrap())
+            .min()
+            .unwrap();
+        let raw = entries[0].bytes_raw.unwrap();
+        assert!(
+            best * 2 <= raw,
+            "best codec {best} B must halve the raw {raw} B"
+        );
+        let hot = entries.last().unwrap();
+        assert_eq!(hot.id, "perf-compress-hot");
+        assert!(hot.serial_ms.unwrap() > 0.0 && hot.parallel_ms.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn aggregate_perf_validates_against_fold() {
+        let e = aggregate_kernel_perf(true);
+        assert_eq!(e.id, "perf-compress-aggregate");
+        assert!(e.serial_ms.unwrap() > 0.0 && e.parallel_ms.unwrap() > 0.0);
+    }
+
+    #[test]
     fn named_json_writer_carries_its_schema() {
         let dir = std::env::temp_dir().join("soc_bench_json5_test");
         let entries = vec![PerfEntry::section("perf-concurrent-readers", 1.0)];
@@ -444,12 +640,11 @@ mod tests {
         let entries = vec![
             PerfEntry::section("simulation", 12.5),
             PerfEntry {
-                id: "perf-sharded-nodes16".into(),
-                wall_ms: 99.0,
                 bytes_scanned: Some(1024),
                 serial_ms: Some(10.0),
                 parallel_ms: Some(4.0),
                 speedup: Some(2.5),
+                ..PerfEntry::section("perf-sharded-nodes16", 99.0)
             },
         ];
         let path = write_bench_json(&dir, true, &entries).unwrap();

@@ -6,6 +6,7 @@
 //! segment which is gradually reorganized into a list of segments as
 //! selection queries arrive."
 
+use crate::compress::{EncodingMode, PiecePayload};
 use crate::meta::{MetaEntry, MetaIndex};
 use crate::range::ValueRange;
 use crate::segment::{SegIdGen, SegmentData};
@@ -98,6 +99,50 @@ impl<V: ColumnValue> SegmentedColumn<V> {
         })
     }
 
+    /// Loads a column from pre-partitioned pieces carrying their physical
+    /// payloads verbatim — the store's restore path, which must not decode
+    /// packed segments it read from disk.
+    ///
+    /// Tiling is checked here; raw payloads are value-checked against their
+    /// range, packed payloads are expected to have been key-validated by
+    /// the caller (`EncodedPayload::validate_for`) before decoding anything.
+    pub fn from_encoded_pieces(
+        domain: ValueRange<V>,
+        pieces: Vec<(ValueRange<V>, PiecePayload<V>)>,
+    ) -> Result<Self, ColumnError> {
+        if pieces.is_empty() {
+            return Err(ColumnError::BadPartition);
+        }
+        let tiles = pieces[0].0.lo() == domain.lo()
+            && pieces[pieces.len() - 1].0.hi() == domain.hi()
+            && pieces.windows(2).all(|w| w[0].0.adjacent_before(&w[1].0));
+        if !tiles {
+            return Err(ColumnError::BadPartition);
+        }
+        for (range, payload) in &pieces {
+            if let Some(values) = payload.raw_values() {
+                if !values.iter().all(|v| range.contains(*v)) {
+                    return Err(ColumnError::ValueOutsideDomain);
+                }
+            }
+        }
+        let mut ids = SegIdGen::new();
+        let mut total_len = 0u64;
+        let segments = pieces
+            .into_iter()
+            .map(|(range, payload)| {
+                total_len += payload.len();
+                SegmentData::from_payload(ids.fresh(), range, payload)
+            })
+            .collect();
+        Ok(SegmentedColumn {
+            domain,
+            segments,
+            ids,
+            total_len,
+        })
+    }
+
     /// The attribute domain this column tiles.
     pub fn domain(&self) -> ValueRange<V> {
         self.domain
@@ -106,6 +151,12 @@ impl<V: ColumnValue> SegmentedColumn<V> {
     /// The ordered segment list.
     pub fn segments(&self) -> &[SegmentData<V>] {
         &self.segments
+    }
+
+    /// Mutable access to one segment — the `&mut` select paths use this to
+    /// record read heat on the segments a query touches.
+    pub fn segment_mut(&mut self, idx: usize) -> &mut SegmentData<V> {
+        &mut self.segments[idx]
     }
 
     /// Number of segments.
@@ -118,9 +169,17 @@ impl<V: ColumnValue> SegmentedColumn<V> {
         self.total_len
     }
 
-    /// Total storage footprint in bytes.
+    /// Logical storage footprint in bytes (tuples × width), invariant
+    /// under reorganization *and* encoding — the paper's notion of column
+    /// size.
     pub fn total_bytes(&self) -> u64 {
         self.total_len * V::BYTES
+    }
+
+    /// Physical footprint in bytes: the sum of per-segment *encoded*
+    /// sizes. Equal to [`Self::total_bytes`] while everything is raw.
+    pub fn encoded_bytes(&self) -> u64 {
+        self.segments.iter().map(|s| s.bytes()).sum()
     }
 
     /// Fresh-id generator, shared with split materialization.
@@ -208,6 +267,35 @@ impl<V: ColumnValue> SegmentedColumn<V> {
         Ok(())
     }
 
+    /// One sweep of the per-segment encoding choice, applied at
+    /// reorganization boundaries (Section 4's reorganize step is also
+    /// where the physical representation is reconsidered).
+    ///
+    /// * [`EncodingMode::Raw`] — nothing to do.
+    /// * [`EncodingMode::Fixed`] — force the codec onto every segment that
+    ///   is not already in it (the static ablation arms).
+    /// * [`EncodingMode::Adaptive`] — ask the policy per segment, packing
+    ///   cold segments with their best codec and promoting re-read ones
+    ///   back to raw, with the policy's hysteresis preventing flip-flop.
+    ///
+    /// Every representation change is reported to `tracker` as a free of
+    /// the old footprint plus a materialization of the new one, so the
+    /// reorganization cost of compression is visible in the same byte
+    /// counters as splitting. Returns the number of segments whose
+    /// representation changed.
+    pub fn encoding_pass(
+        &mut self,
+        mode: &EncodingMode,
+        tick: u64,
+        tracker: &mut dyn AccessTracker,
+    ) -> usize {
+        let mut flips = 0usize;
+        for seg in &mut self.segments {
+            flips += usize::from(seg.apply_encoding(mode, tick, tracker));
+        }
+        flips
+    }
+
     /// Full structural invariant check (test / debug aid):
     /// segments sorted, adjacent, tiling the domain, values in range,
     /// tuple count preserved.
@@ -227,7 +315,7 @@ impl<V: ColumnValue> SegmentedColumn<V> {
         }
         let mut count = 0u64;
         for s in &self.segments {
-            if !s.values().iter().all(|v| s.range().contains(*v)) {
+            if !s.decoded().iter().all(|v| s.range().contains(*v)) {
                 return Err(format!("segment {:?} holds out-of-range values", s.id()));
             }
             count += s.len();
@@ -348,6 +436,65 @@ mod tests {
         let mut c = column();
         assert!(c.merge_segments(0, 1, &mut NullTracker).is_err());
         assert!(c.merge_segments(0, 2, &mut NullTracker).is_err());
+    }
+
+    #[test]
+    fn encoding_pass_fixed_packs_and_accounts() {
+        use crate::compress::{EncodingMode, SegmentEncoding};
+        let values: Vec<u32> = (0..1000u32).map(|i| i / 8).collect();
+        let mut c = SegmentedColumn::new(ValueRange::must(0, 9_999), values).unwrap();
+        let raw = c.encoded_bytes();
+        let mut t = CountingTracker::new();
+        let flips = c.encoding_pass(&EncodingMode::Fixed(SegmentEncoding::Rle), 0, &mut t);
+        assert_eq!(flips, 1);
+        assert!(c.encoded_bytes() < raw);
+        assert_eq!(c.segments()[0].encoding(), SegmentEncoding::Rle);
+        assert_eq!(t.totals().freed_bytes, raw);
+        assert_eq!(t.totals().write_bytes, c.encoded_bytes());
+        c.validate().unwrap();
+        // Idempotent: already in the requested codec.
+        assert_eq!(
+            c.encoding_pass(&EncodingMode::Fixed(SegmentEncoding::Rle), 1, &mut t),
+            0
+        );
+    }
+
+    #[test]
+    fn encoding_pass_adaptive_packs_cold_promotes_hot() {
+        use crate::compress::{EncodingMode, EncodingPolicy, SegmentEncoding};
+        let values: Vec<u32> = (0..1000u32).map(|i| i / 8).collect();
+        let mut c = SegmentedColumn::new(ValueRange::must(0, 9_999), values).unwrap();
+        let mode = EncodingMode::Adaptive(EncodingPolicy::eager(2));
+        let mut t = NullTracker;
+        // Unread past cold_after: packs.
+        assert_eq!(c.encoding_pass(&mode, 5, &mut t), 1);
+        assert_ne!(c.segments()[0].encoding(), SegmentEncoding::Raw);
+        // Reads accumulate: promotes back to raw after the flip gap.
+        c.segment_mut(0).note_read(8);
+        assert_eq!(c.encoding_pass(&mode, 8, &mut t), 1);
+        assert_eq!(c.segments()[0].encoding(), SegmentEncoding::Raw);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn from_encoded_pieces_preserves_packed_payloads() {
+        use crate::compress::{encode, PiecePayload, SegmentEncoding};
+        let lo_vals: Vec<u32> = (0..500u32).map(|i| i % 100).collect();
+        let hi_vals: Vec<u32> = (0..400u32).map(|i| 5_000 + i % 7).collect();
+        let packed = PiecePayload::Packed(encode(&hi_vals, SegmentEncoding::Rle).unwrap());
+        let packed_bytes = packed.bytes();
+        let c = SegmentedColumn::from_encoded_pieces(
+            ValueRange::must(0, 9_999),
+            vec![
+                (ValueRange::must(0, 4_999), PiecePayload::Raw(lo_vals)),
+                (ValueRange::must(5_000, 9_999), packed),
+            ],
+        )
+        .unwrap();
+        assert_eq!(c.total_len(), 900);
+        assert_eq!(c.segments()[1].encoding(), SegmentEncoding::Rle);
+        assert_eq!(c.segments()[1].bytes(), packed_bytes);
+        c.validate().unwrap();
     }
 
     #[test]

@@ -96,6 +96,41 @@ pub fn count_partition<V: ColumnValue>(values: &[V], q: &ValueRange<V>) -> (u64,
     (below, mid, above)
 }
 
+/// One-pass fused `SUM(v) WHERE v IN q` (as `f64`): the predicate folds
+/// into a `0.0/1.0` multiplier, so the loop carries no branch and never
+/// materializes the qualifying values — replacing collect-then-fold
+/// aggregate call sites with a single scan.
+pub fn sum_range<V: ColumnValue>(values: &[V], q: &ValueRange<V>) -> f64 {
+    let (lo, hi) = (q.lo(), q.hi());
+    let mut total = 0.0f64;
+    for chunk in values.chunks(CHUNK) {
+        let mut acc = 0.0f64;
+        for &v in chunk {
+            let m = (u32::from(lo <= v) & u32::from(v <= hi)) as f64;
+            acc += m * v.to_f64();
+        }
+        total += acc;
+    }
+    total
+}
+
+/// One-pass fused `MIN(v), MAX(v) WHERE v IN q`; `None` when no value
+/// qualifies. The in-range test gates a pair of compare-selects, so a
+/// match never copies more than two registers — again no materialization.
+pub fn min_max_range<V: ColumnValue>(values: &[V], q: &ValueRange<V>) -> Option<(V, V)> {
+    let (lo, hi) = (q.lo(), q.hi());
+    let mut cur: Option<(V, V)> = None;
+    for &v in values {
+        if lo <= v && v <= hi {
+            cur = Some(match cur {
+                None => (v, v),
+                Some((mn, mx)) => (if v < mn { v } else { mn }, if mx < v { v } else { mx }),
+            });
+        }
+    }
+    cur
+}
+
 /// The positions `[start, end)` of the values inside `q` within a *sorted*
 /// run — two binary searches, no scan.
 ///
@@ -196,6 +231,32 @@ mod tests {
         assert_eq!(s, e);
         let (s, e) = sorted_run(&values, &ValueRange::must(31, 99));
         assert_eq!((s, e), (3, 3));
+    }
+
+    #[test]
+    fn fused_sum_matches_collect_then_fold() {
+        let values = shuffled(2 * CHUNK + 77, 17);
+        for (lo, hi) in [(0, 99_999), (20_000, 59_999), (5, 5), (99_999, 99_999)] {
+            let q = ValueRange::must(lo, hi);
+            let expect: f64 = values
+                .iter()
+                .filter(|v| q.contains(**v))
+                .map(|&v| v as f64)
+                .sum();
+            assert_eq!(sum_range(&values, &q), expect, "{q:?}");
+        }
+    }
+
+    #[test]
+    fn fused_min_max_matches_collect_then_fold() {
+        let values = shuffled(CHUNK + 11, 19);
+        for (lo, hi) in [(0, 99_999), (20_000, 59_999), (1, 1)] {
+            let q = ValueRange::must(lo, hi);
+            let mn = values.iter().copied().filter(|v| q.contains(*v)).min();
+            let mx = values.iter().copied().filter(|v| q.contains(*v)).max();
+            assert_eq!(min_max_range(&values, &q), mn.map(|m| (m, mx.unwrap())));
+        }
+        assert_eq!(min_max_range::<u32>(&[], &ValueRange::must(0, 9)), None);
     }
 
     #[test]

@@ -53,6 +53,7 @@
 
 pub mod baseline;
 pub mod column;
+pub mod compress;
 pub mod cracking;
 pub mod epoch;
 pub mod estimate;
@@ -72,6 +73,9 @@ pub mod value;
 
 pub use baseline::{FullySorted, NonSegmented};
 pub use column::{ColumnError, SegmentedColumn};
+pub use compress::{
+    EncodedPayload, EncodingMode, EncodingPolicy, PiecePayload, SegmentEncoding, SegmentHeat,
+};
 pub use cracking::CrackedColumn;
 pub use epoch::{ConcurrentColumn, StrategySnapshot};
 pub use estimate::SizeEstimator;

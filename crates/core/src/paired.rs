@@ -102,6 +102,18 @@ impl<V: ColumnValue> ColumnValue for Pair<V> {
         // are over the value domain only.
         V::range_width(lo.value, hi.value)
     }
+
+    #[inline]
+    fn to_key(self) -> Option<u64> {
+        // A (value, oid) pair is wider than 64 bits; paired columns have no
+        // packed representation and always stay raw.
+        None
+    }
+
+    #[inline]
+    fn from_key(_key: u64) -> Option<Self> {
+        None
+    }
 }
 
 impl<V: ColumnValue> ValueRange<V> {

@@ -131,6 +131,16 @@ impl<T> Arena<T> {
         slot.item.as_mut()
     }
 
+    /// Iterates mutably over live `(handle, item)` pairs in slot order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (NodeId, &mut T)> {
+        self.slots.iter_mut().enumerate().filter_map(|(i, s)| {
+            let gen = s.gen;
+            s.item
+                .as_mut()
+                .map(move |item| (NodeId { idx: i as u32, gen }, item))
+        })
+    }
+
     /// Iterates over live `(handle, item)` pairs in slot order.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, &T)> {
         self.slots.iter().enumerate().filter_map(|(i, s)| {

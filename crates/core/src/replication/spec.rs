@@ -61,7 +61,7 @@ impl<V: ColumnValue> ReplicaTree<V> {
             let node = tree.node(id);
             ReplicaNodeSpec {
                 range: node.range,
-                payload: node.values().map(|v| v.to_vec()),
+                payload: node.payload().map(|p| p.decoded().into_owned()),
                 est_len: if node.is_virtual() { node.len() } else { 0 },
                 children: node.children.iter().map(|&c| rec(tree, c)).collect(),
             }

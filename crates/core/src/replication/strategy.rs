@@ -13,10 +13,11 @@
 //! replica in the materialization list — reorganization is almost entirely
 //! piggy-backed on query execution (lazy materialization).
 
+use crate::compress::EncodingMode;
 use crate::model::SegmentationModel;
 use crate::range::ValueRange;
 use crate::strategy::ColumnStrategy;
-use crate::tracker::AccessTracker;
+use crate::tracker::{AccessTracker, NullTracker};
 use crate::value::ColumnValue;
 
 use super::arena::NodeId;
@@ -57,6 +58,8 @@ pub struct AdaptiveReplication<V> {
     drops: u64,
     budget_bytes: Option<u64>,
     budget_declines: u64,
+    encoding: EncodingMode,
+    tick: u64,
 }
 
 impl<V: ColumnValue> AdaptiveReplication<V> {
@@ -69,7 +72,20 @@ impl<V: ColumnValue> AdaptiveReplication<V> {
             drops: 0,
             budget_bytes: None,
             budget_declines: 0,
+            encoding: EncodingMode::Raw,
+            tick: 0,
         }
+    }
+
+    /// Sets the per-replica encoding mode (builder style). A fixed codec
+    /// is applied to the current tree immediately; adaptive packing starts
+    /// from the policy's idle threshold.
+    pub fn with_encoding(mut self, mode: EncodingMode) -> Self {
+        self.encoding = mode;
+        if matches!(self.encoding, EncodingMode::Fixed(_)) {
+            self.tree.encoding_pass(&self.encoding, 0, &mut NullTracker);
+        }
+        self
     }
 
     /// Caps total materialized storage (Section 8 names replica
@@ -120,28 +136,37 @@ impl<V: ColumnValue> AdaptiveReplication<V> {
     ) -> u64 {
         let (seg_id, bytes, matched, fills) = {
             let node = self.tree.node(s);
-            let values = node
-                .values()
+            let payload = node
+                .payload()
                 .expect("covering-set members are materialized");
+            // Compressed-domain dispatch: a count over a packed node never
+            // decodes; only result extraction and replica fills do.
             let matched = if let Some(out) = out {
                 let before = out.len();
-                crate::kernels::collect_range(values, q, out);
+                if q.covers(&node.range) {
+                    payload.collect_all(out);
+                } else {
+                    payload.collect_range(q, out);
+                }
                 (out.len() - before) as u64
+            } else if q.covers(&node.range) {
+                payload.len()
             } else {
-                crate::kernels::count_range(values, q)
+                payload.count_range(q)
             };
             let fills: Vec<(NodeId, Vec<V>)> = m_list
                 .iter()
                 .map(|&n| {
                     let r = self.tree.node(n).range;
                     let mut vals = Vec::new();
-                    crate::kernels::collect_range(values, &r, &mut vals);
+                    payload.collect_range(&r, &mut vals);
                     (n, vals)
                 })
                 .collect();
             (node.seg_id, node.bytes(), matched, fills)
         };
         tracker.scan(seg_id, bytes);
+        self.tree.note_read(s, self.tick);
 
         let mut parents: Vec<NodeId> = Vec::with_capacity(fills.len());
         for (n, vals) in fills {
@@ -157,6 +182,9 @@ impl<V: ColumnValue> AdaptiveReplication<V> {
                 }
             }
             self.tree.materialize(n, vals, tracker);
+            // The replica is born of (and answers) this query: its idle
+            // clock for the encoding policy starts now.
+            self.tree.stamp_born(n, self.tick);
             self.replicas_created += 1;
             if let Some(p) = self.tree.node(n).parent {
                 if !parents.contains(&p) {
@@ -177,6 +205,7 @@ impl<V: ColumnValue> AdaptiveReplication<V> {
         tracker: &mut dyn AccessTracker,
         mut out: Option<&mut Vec<V>>,
     ) -> u64 {
+        self.tick += 1;
         let cover = self.tree.covering_set(q);
         let mut matched = 0u64;
         for s in cover {
@@ -185,6 +214,9 @@ impl<V: ColumnValue> AdaptiveReplication<V> {
             let before = self.tree.node_count();
             self.tree.check4drop(s, tracker);
             self.drops += (before - self.tree.node_count()) as u64;
+        }
+        if !matches!(self.encoding, EncodingMode::Raw) {
+            self.tree.encoding_pass(&self.encoding, self.tick, tracker);
         }
         matched
     }
@@ -210,12 +242,15 @@ impl<V: ColumnValue> ColumnStrategy<V> for AdaptiveReplication<V> {
         // them answers the query without growing the tree.
         let mut out = Vec::new();
         for s in self.tree.covering_set(q) {
-            let values = self
-                .tree
-                .node(s)
-                .values()
+            let node = self.tree.node(s);
+            let payload = node
+                .payload()
                 .expect("covering-set members are materialized");
-            crate::kernels::collect_range(values, q, &mut out);
+            if q.covers(&node.range) {
+                payload.collect_all(&mut out);
+            } else {
+                payload.collect_range(q, &mut out);
+            }
         }
         out
     }
@@ -522,6 +557,53 @@ mod tests {
                 saw_nesting,
                 "the run must have passed through a nested-replica state"
             );
+        }
+    }
+
+    #[test]
+    fn adaptive_encoding_packs_cold_replicas_and_stays_exact() {
+        use crate::compress::{EncodingMode, EncodingPolicy, SegmentEncoding};
+        // Repetitive values compress well.
+        let values: Vec<u32> = (0..30_000u32).map(|i| (i * 613) % 12_500).collect();
+        let reference = values.clone();
+        let make = |mode: EncodingMode| {
+            let tree = ReplicaTree::new(ValueRange::must(0, DOMAIN_HI), reference.clone()).unwrap();
+            AdaptiveReplication::new(tree, apm()).with_encoding(mode)
+        };
+        let mut raw = make(EncodingMode::Raw);
+        let mut adaptive = make(EncodingMode::Adaptive(EncodingPolicy::eager(4)));
+        // Touch several areas, then hammer one so the rest go cold.
+        let mut queries: Vec<ValueRange<u32>> = [0u32, 20_000, 40_000, 60_000, 80_000]
+            .iter()
+            .map(|&lo| ValueRange::must(lo, lo + 9_999))
+            .collect();
+        queries.extend(std::iter::repeat_n(ValueRange::must(2_000, 2_999), 30));
+        for q in &queries {
+            let expect = values.iter().filter(|v| q.contains(**v)).count() as u64;
+            assert_eq!(raw.select_count(q, &mut NullTracker), expect);
+            assert_eq!(adaptive.select_count(q, &mut NullTracker), expect, "{q:?}");
+        }
+        raw.tree().validate().unwrap();
+        adaptive.tree().validate().unwrap();
+        assert!(
+            adaptive.storage_bytes() < raw.storage_bytes(),
+            "cold replicas packed: adaptive {} must undercut raw {}",
+            adaptive.storage_bytes(),
+            raw.storage_bytes()
+        );
+        // Fixed mode: every materialized replica in the forced codec.
+        let values: Vec<u32> = (0..10_000u32).map(|i| i / 4).collect();
+        let reference = values.clone();
+        let tree = ReplicaTree::new(ValueRange::must(0, 9_999), values).unwrap();
+        let raw_bytes = tree.mat_bytes();
+        let mut r = AdaptiveReplication::new(tree, apm())
+            .with_encoding(EncodingMode::Fixed(SegmentEncoding::Rle));
+        assert!(r.storage_bytes() < raw_bytes, "root packed at construction");
+        for lo in [0u32, 1_000, 2_000] {
+            let q = ValueRange::must(lo, lo + 499);
+            let expect = reference.iter().filter(|v| q.contains(**v)).count() as u64;
+            assert_eq!(r.select_count(&q, &mut NullTracker), expect);
+            r.tree().validate().unwrap();
         }
     }
 

@@ -1,6 +1,10 @@
 //! Physical segments: a value range plus the tuples falling into it.
 
+use std::borrow::Cow;
+
+use crate::compress::{EncodingMode, PiecePayload, SegmentEncoding, SegmentHeat};
 use crate::range::ValueRange;
+use crate::tracker::AccessTracker;
 use crate::value::ColumnValue;
 
 /// Stable identity of a materialized segment.
@@ -43,21 +47,47 @@ impl SegIdGen {
 /// organization only guarantees that every value lies inside `range`
 /// (like a cracking piece). Positional correspondence across columns is
 /// deliberately given up (Section 1).
+///
+/// The payload may be raw or in one of the packed encodings of
+/// [`crate::compress`]; [`Self::count_in`]/[`Self::collect_in`] dispatch
+/// to the compressed-domain kernels, so every strategy built on
+/// `SegmentData` inherits per-segment compression transparently.
 #[derive(Debug, Clone)]
 pub struct SegmentData<V> {
     id: SegId,
     range: ValueRange<V>,
-    values: Vec<V>,
+    payload: PiecePayload<V>,
+    heat: SegmentHeat,
 }
 
 impl<V: ColumnValue> SegmentData<V> {
-    /// Creates a segment, validating that every value is inside `range`.
+    /// Creates a raw segment, validating that every value is inside `range`.
     pub fn new(id: SegId, range: ValueRange<V>, values: Vec<V>) -> Self {
         debug_assert!(
             values.iter().all(|v| range.contains(*v)),
             "segment values must lie within the segment range"
         );
-        SegmentData { id, range, values }
+        SegmentData {
+            id,
+            range,
+            payload: PiecePayload::Raw(values),
+            heat: SegmentHeat::default(),
+        }
+    }
+
+    /// Wraps an existing payload (possibly packed) — the store's restore
+    /// path, which must not decode what it read verbatim.
+    pub fn from_payload(id: SegId, range: ValueRange<V>, payload: PiecePayload<V>) -> Self {
+        debug_assert!(
+            payload.decoded().iter().all(|v| range.contains(*v)),
+            "segment values must lie within the segment range"
+        );
+        SegmentData {
+            id,
+            range,
+            payload,
+            heat: SegmentHeat::default(),
+        }
     }
 
     /// Segment identity.
@@ -72,58 +102,172 @@ impl<V: ColumnValue> SegmentData<V> {
         self.range
     }
 
-    /// The stored values (unordered).
+    /// The stored values (unordered), when the segment is raw.
+    ///
+    /// # Panics
+    /// Panics if the segment is packed — encoding-agnostic callers use
+    /// [`Self::decoded`] (or the dispatching scan methods) instead.
     #[inline]
     pub fn values(&self) -> &[V] {
-        &self.values
+        self.payload
+            .raw_values()
+            .expect("values() on a packed segment; use decoded()")
+    }
+
+    /// The stored values in storage order, decoding only if packed.
+    #[inline]
+    pub fn decoded(&self) -> Cow<'_, [V]> {
+        self.payload.decoded()
+    }
+
+    /// The physical payload.
+    #[inline]
+    pub fn payload(&self) -> &PiecePayload<V> {
+        &self.payload
+    }
+
+    /// The payload's current encoding.
+    #[inline]
+    pub fn encoding(&self) -> SegmentEncoding {
+        self.payload.encoding()
     }
 
     /// Number of stored tuples.
     #[inline]
     pub fn len(&self) -> u64 {
-        self.values.len() as u64
+        self.payload.len()
     }
 
     /// Whether the segment holds no tuples (its range may still be non-empty).
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.values.is_empty()
+        self.payload.is_empty()
     }
 
-    /// Storage footprint in bytes, the unit of the paper's read/write counters.
+    /// Storage footprint in bytes, the unit of the paper's read/write
+    /// counters — the *encoded* size for packed segments, so trackers,
+    /// placement balance and the sharded executor see the real cost.
     #[inline]
     pub fn bytes(&self) -> u64 {
-        self.len() * V::BYTES
+        self.payload.bytes()
     }
 
-    /// Consumes the segment, returning its values.
+    /// Consumes the segment, returning its values (decoded if packed).
     pub fn into_values(self) -> Vec<V> {
-        self.values
+        self.payload.into_values()
+    }
+
+    /// The segment's read-heat record (encoding-policy input).
+    #[inline]
+    pub fn heat(&self) -> SegmentHeat {
+        self.heat
+    }
+
+    /// Records a read at `tick` — called from the `&mut` select paths
+    /// (never from `&self` peeks, preserving the no-interior-mutability
+    /// contract of [`crate::ColumnStrategy`]).
+    #[inline]
+    pub fn note_read(&mut self, tick: u64) {
+        self.heat.note_read(tick);
+    }
+
+    /// Stamps the segment as created at `tick` (split products,
+    /// restored checkpoints).
+    #[inline]
+    pub fn stamp_born(&mut self, tick: u64) {
+        self.heat = SegmentHeat::born_at(tick);
+    }
+
+    /// Re-encodes the payload, recording the flip at `tick` for
+    /// hysteresis. Returns `(old_bytes, new_bytes)` when the
+    /// representation changed, `None` otherwise (already in that
+    /// encoding, or `V` cannot pack).
+    pub fn reencode(&mut self, enc: SegmentEncoding, tick: u64) -> Option<(u64, u64)> {
+        let old = self.payload.bytes();
+        if self.payload.reencode(enc) {
+            self.heat.note_flip(tick);
+            Some((old, self.payload.bytes()))
+        } else {
+            None
+        }
+    }
+
+    /// Packs with the best-shrinking codec (if any), recording the flip.
+    /// Returns `(old_bytes, new_bytes)` when the payload changed.
+    ///
+    /// A failed pack (incompressible or unpackable payload) still advances
+    /// the hysteresis anchor, so the adaptive sweep does not re-size the
+    /// same hopeless segment on every pass.
+    pub fn pack_best(&mut self, tick: u64) -> Option<(u64, u64)> {
+        let old = self.payload.bytes();
+        if self.payload.pack_best() {
+            self.heat.note_flip(tick);
+            Some((old, self.payload.bytes()))
+        } else {
+            self.heat.note_flip(tick);
+            None
+        }
+    }
+
+    /// Applies one encoding-mode decision to this segment at `tick`,
+    /// reporting a representation change to `tracker` as a free of the old
+    /// footprint plus a materialization of the new one. Returns whether
+    /// the representation changed.
+    ///
+    /// This is the single place the [`EncodingMode`] semantics live —
+    /// the segmented column, the baselines and the replica tree all route
+    /// their encoding sweeps through it.
+    pub fn apply_encoding(
+        &mut self,
+        mode: &EncodingMode,
+        tick: u64,
+        tracker: &mut dyn AccessTracker,
+    ) -> bool {
+        let delta =
+            crate::compress::apply_encoding_step(&mut self.payload, &mut self.heat, mode, tick);
+        if let Some((old, new)) = delta {
+            tracker.free(self.id, old);
+            tracker.materialize(self.id, new);
+            true
+        } else {
+            false
+        }
     }
 
     /// Counts the stored values inside `q` without materializing them.
     ///
-    /// A query covering the whole segment range is answered from the length
-    /// alone; otherwise the branchless [`crate::kernels::count_range`]
-    /// kernel does the scan.
+    /// A query covering the whole segment range is answered from the
+    /// length alone; otherwise the scan dispatches on the encoding —
+    /// branchless [`crate::kernels::count_range`] for raw payloads, the
+    /// compressed-domain kernels for packed ones. **No decoded value is
+    /// ever materialized on this path.**
     pub fn count_in(&self, q: &ValueRange<V>) -> u64 {
         if q.covers(&self.range) {
             return self.len();
         }
-        crate::kernels::count_range(&self.values, q)
+        self.payload.count_range(q)
     }
 
     /// Copies the stored values inside `q` into `out`.
     ///
-    /// A covering query degenerates to one `extend_from_slice`; partial
-    /// overlap goes through the chunked
-    /// [`crate::kernels::collect_range`] kernel.
+    /// A covering query appends the whole payload (decoding a packed one);
+    /// partial overlap materializes only the matching tuples.
     pub fn collect_in(&self, q: &ValueRange<V>, out: &mut Vec<V>) {
         if q.covers(&self.range) {
-            out.extend_from_slice(&self.values);
+            self.payload.collect_all(out);
             return;
         }
-        crate::kernels::collect_range(&self.values, q, out);
+        self.payload.collect_range(q, out);
+    }
+
+    /// One-pass fused `SUM(v) WHERE v IN q` over this segment.
+    pub fn sum_in(&self, q: &ValueRange<V>) -> f64 {
+        self.payload.sum_range(q)
+    }
+
+    /// One-pass fused `MIN/MAX(v) WHERE v IN q` over this segment.
+    pub fn min_max_in(&self, q: &ValueRange<V>) -> Option<(V, V)> {
+        self.payload.min_max_range(q)
     }
 
     /// Splits the segment's values across an ordered list of sub-ranges that
@@ -131,7 +275,10 @@ impl<V: ColumnValue> SegmentData<V> {
     ///
     /// This is the single scan that materializes split products in both
     /// Algorithm 1 (replace a segment by its sub-segments) and the eager part
-    /// of the replica tree. `ids` supplies a fresh id per piece.
+    /// of the replica tree. `ids` supplies a fresh id per piece. Products
+    /// are always raw — a reorganization touches a segment precisely
+    /// because the workload reads it, so it starts hot; the encoding
+    /// policy re-evaluates at the next boundary.
     ///
     /// # Panics
     /// Panics (debug) if the sub-ranges do not tile `self.range`.
@@ -152,9 +299,10 @@ impl<V: ColumnValue> SegmentData<V> {
             "pieces must be adjacent and ordered"
         );
 
-        let est = self.values.len() / pieces.len() + 1;
+        let values = self.payload.into_values();
+        let est = values.len() / pieces.len() + 1;
         let mut buckets: Vec<Vec<V>> = pieces.iter().map(|_| Vec::with_capacity(est)).collect();
-        'outer: for v in self.values {
+        'outer: for v in values {
             // Pieces are few (2–3); a linear probe beats binary search here.
             for (i, p) in pieces.iter().enumerate() {
                 if p.contains(v) {

@@ -51,6 +51,20 @@ pub trait ColumnValue: Copy + Ord + Debug + Send + Sync + 'static {
     /// For integers this is the population count `hi - lo + 1`; for reals it
     /// is the length `hi - lo` (the +1 vanishes in the continuum limit).
     fn range_width(lo: Self, hi: Self) -> f64;
+
+    /// Order-preserving projection onto `u64`, the common currency of the
+    /// packed segment encodings (`crate::compress`): `a <= b` iff
+    /// `a.to_key() <= b.to_key()`. Returns `None` for types wider than 64
+    /// bits ([`crate::paired::Pair`]), which simply stay raw.
+    ///
+    /// `-0.0` normalizes to `+0.0` so `Ord`-equal values share one key; the
+    /// round trip through [`Self::from_key`] is otherwise lossless.
+    fn to_key(self) -> Option<u64>;
+
+    /// Inverse of [`Self::to_key`]; `None` when the bit pattern does not
+    /// decode to a valid value (e.g. NaN keys for [`OrdF64`], out-of-width
+    /// keys for narrow integers).
+    fn from_key(key: u64) -> Option<Self>;
 }
 
 macro_rules! impl_column_value_int {
@@ -91,6 +105,19 @@ macro_rules! impl_column_value_int {
             fn range_width(lo: Self, hi: Self) -> f64 {
                 debug_assert!(lo <= hi);
                 (hi - lo) as f64 + 1.0
+            }
+
+            #[inline]
+            fn to_key(self) -> Option<u64> {
+                // Offset encoding: subtracting MIN maps the whole domain
+                // onto [0, 2^w) monotonically, for signed and unsigned
+                // alike (i128 covers every impl'd width).
+                Some((self as i128 - <$t>::MIN as i128) as u64)
+            }
+
+            #[inline]
+            fn from_key(key: u64) -> Option<Self> {
+                <$t>::try_from(key as i128 + <$t>::MIN as i128).ok()
             }
         }
     )*};
@@ -225,6 +252,26 @@ impl ColumnValue for OrdF64 {
         debug_assert!(lo <= hi);
         hi.0 - lo.0
     }
+
+    #[inline]
+    fn to_key(self) -> Option<u64> {
+        // The classic monotone f64 -> u64 map: flip all bits of negatives,
+        // set the sign bit of non-negatives. `-0.0` normalizes to `+0.0`
+        // first so Ord-equal zeros share a key.
+        let v = if self.0 == 0.0 { 0.0 } else { self.0 };
+        let b = v.to_bits();
+        Some(if b >> 63 == 1 { !b } else { b | (1 << 63) })
+    }
+
+    #[inline]
+    fn from_key(key: u64) -> Option<Self> {
+        let b = if key >> 63 == 1 {
+            key & !(1 << 63)
+        } else {
+            !key
+        };
+        OrdF64::new(f64::from_bits(b))
+    }
 }
 
 #[cfg(test)]
@@ -314,5 +361,59 @@ mod tests {
         assert_eq!(u32::BYTES, 4);
         assert_eq!(OrdF64::BYTES, 8);
         assert_eq!(u16::BYTES, 2);
+    }
+
+    fn assert_key_monotone_roundtrip<V: ColumnValue>(sorted: &[V]) {
+        let keys: Vec<u64> = sorted.iter().map(|v| v.to_key().unwrap()).collect();
+        assert!(keys.windows(2).all(|w| w[0] < w[1]), "keys must be ordered");
+        for (&v, &k) in sorted.iter().zip(&keys) {
+            assert_eq!(V::from_key(k), Some(v), "round trip for {v:?}");
+        }
+    }
+
+    #[test]
+    fn int_keys_are_monotone_and_roundtrip() {
+        assert_key_monotone_roundtrip(&[0u32, 1, 500, u32::MAX]);
+        assert_key_monotone_roundtrip(&[0u64, 9, u64::MAX]);
+        assert_key_monotone_roundtrip(&[i32::MIN, -7, -1, 0, 1, i32::MAX]);
+        assert_key_monotone_roundtrip(&[i64::MIN, -1, 0, i64::MAX]);
+        assert_key_monotone_roundtrip(&[i16::MIN, -1i16, 0, i16::MAX]);
+        assert_key_monotone_roundtrip(&[0u16, 1, u16::MAX]);
+    }
+
+    #[test]
+    fn float_keys_are_monotone_and_roundtrip() {
+        let sorted: Vec<OrdF64> = [
+            f64::NEG_INFINITY,
+            -1e300,
+            -1.5,
+            -f64::MIN_POSITIVE,
+            0.0,
+            f64::MIN_POSITIVE,
+            205.115,
+            1e300,
+            f64::INFINITY,
+        ]
+        .into_iter()
+        .map(OrdF64::from_finite)
+        .collect();
+        assert_key_monotone_roundtrip(&sorted);
+    }
+
+    #[test]
+    fn float_key_normalizes_negative_zero() {
+        let nz = OrdF64::from_finite(-0.0);
+        let pz = OrdF64::from_finite(0.0);
+        assert_eq!(nz.to_key(), pz.to_key());
+        assert_eq!(OrdF64::from_key(pz.to_key().unwrap()), Some(pz));
+    }
+
+    #[test]
+    fn from_key_rejects_invalid_patterns() {
+        // Narrow integer: key above the domain width.
+        assert_eq!(<u16 as ColumnValue>::from_key(1 << 20), None);
+        // Float: a NaN bit pattern has no OrdF64 value.
+        let nan_key = f64::NAN.to_bits() | (1 << 63);
+        assert_eq!(<OrdF64 as ColumnValue>::from_key(nan_key), None);
     }
 }

@@ -1,21 +1,28 @@
 //! The on-disk segment store and column checkpointing.
 //!
 //! One file per segment, named by [`SegId`]. The file carries the
-//! segment's value range and values, checksummed, so a whole segmented
+//! segment's value range and payload, checksummed, so a whole segmented
 //! column can be checkpointed incrementally (only segments whose id
 //! appeared since the last checkpoint are written; dropped ids are
 //! unlinked) and restored byte-exactly.
+//!
+//! Format v2 (`SOCSEG02`) stores the segment's *physical* payload: an
+//! encoding byte (the [`soc_core::EncodedPayload`] wire tag, `0` for raw)
+//! followed by either the raw values or the packed words verbatim. A
+//! checkpoint of a compressed column therefore never decodes — the bytes
+//! on disk are the bytes in memory — and a restore hands the packed
+//! payloads straight back to the column.
 
 use std::collections::HashSet;
 use std::fs;
 use std::io::{Read as _, Write as _};
 use std::path::{Path, PathBuf};
 
-use soc_core::{ColumnValue, SegId, SegmentedColumn, ValueRange};
+use soc_core::{ColumnValue, EncodedPayload, PiecePayload, SegId, SegmentedColumn, ValueRange};
 
 use crate::codec::FixedCodec;
 
-const MAGIC: &[u8; 8] = b"SOCSEG01";
+const MAGIC: &[u8; 8] = b"SOCSEG02";
 
 /// Errors from the segment store.
 #[derive(Debug)]
@@ -125,27 +132,33 @@ impl SegmentStore {
         self.dir.join(format!("seg_{:016x}.seg", id.0))
     }
 
-    /// Writes one segment: range + values, checksummed. Atomic via a
-    /// temp-file rename.
-    pub fn save<V: ColumnValue + FixedCodec>(
+    /// Writes one segment in its physical representation: range + encoding
+    /// byte + payload words, checksummed. A packed payload's words go to
+    /// disk verbatim — no decode. Atomic via a temp-file rename.
+    pub fn save_payload<V: ColumnValue + FixedCodec>(
         &self,
         id: SegId,
         range: &ValueRange<V>,
-        values: &[V],
+        payload: &PiecePayload<V>,
     ) -> Result<(), StoreError> {
-        let mut buf = Vec::with_capacity(8 + 1 + 8 + 16 + values.len() * 8 + 8);
+        let (enc, body): (u8, Vec<u64>) = match payload {
+            PiecePayload::Raw(values) => (0, values.iter().map(|v| v.to_bits()).collect()),
+            PiecePayload::Packed(p) => (p.wire_tag(), p.to_words()),
+        };
+        let mut buf = Vec::with_capacity(8 + 2 + 8 + 16 + body.len() * 8 + 8);
         buf.extend_from_slice(MAGIC);
         buf.push(V::KIND);
-        buf.extend_from_slice(&(values.len() as u64).to_le_bytes());
+        buf.push(enc);
+        buf.extend_from_slice(&(body.len() as u64).to_le_bytes());
         buf.extend_from_slice(&range.lo().to_bits().to_le_bytes());
         buf.extend_from_slice(&range.hi().to_bits().to_le_bytes());
-        let mut words = Vec::with_capacity(values.len() + 2);
+        let mut words = Vec::with_capacity(body.len() + 3);
+        words.push(enc as u64);
         words.push(range.lo().to_bits());
         words.push(range.hi().to_bits());
-        for v in values {
-            let bits = v.to_bits();
-            buf.extend_from_slice(&bits.to_le_bytes());
-            words.push(bits);
+        for w in &body {
+            buf.extend_from_slice(&w.to_le_bytes());
+            words.push(*w);
         }
         buf.extend_from_slice(&xor_checksum(words).to_le_bytes());
 
@@ -161,11 +174,26 @@ impl SegmentStore {
         Ok(())
     }
 
-    /// Reads one segment back.
-    pub fn load<V: ColumnValue + FixedCodec>(
+    /// Writes one raw segment: range + values. Convenience wrapper over
+    /// [`Self::save_payload`] for call sites that hold plain slices (the
+    /// cracker and replica-tree checkpoints).
+    pub fn save<V: ColumnValue + FixedCodec>(
         &self,
         id: SegId,
-    ) -> Result<(ValueRange<V>, Vec<V>), StoreError> {
+        range: &ValueRange<V>,
+        values: &[V],
+    ) -> Result<(), StoreError> {
+        self.save_payload(id, range, &PiecePayload::Raw(values.to_vec()))
+    }
+
+    /// Reads one segment back in its stored physical representation. Raw
+    /// payloads are value-checked against the range; packed payloads are
+    /// structurally validated ([`EncodedPayload::validate_for`]) without
+    /// being expanded.
+    pub fn load_payload<V: ColumnValue + FixedCodec>(
+        &self,
+        id: SegId,
+    ) -> Result<(ValueRange<V>, PiecePayload<V>), StoreError> {
         let path = self.path_of(id);
         let mut buf = Vec::new();
         fs::File::open(&path)?.read_to_end(&mut buf)?;
@@ -173,7 +201,7 @@ impl SegmentStore {
             path: path.clone(),
             reason: reason.to_owned(),
         };
-        if buf.len() < 8 + 1 + 8 + 16 + 8 {
+        if buf.len() < 8 + 2 + 8 + 16 + 8 {
             return Err(malformed("too short"));
         }
         if &buf[..8] != MAGIC {
@@ -186,36 +214,62 @@ impl SegmentStore {
                 found: kind,
             });
         }
+        let enc = buf[9];
         let word = |i: usize| -> u64 {
             u64::from_le_bytes(buf[i..i + 8].try_into().expect("bounds checked"))
         };
-        let count = word(9) as usize;
-        let expected_len = 8 + 1 + 8 + 16 + count * 8 + 8;
+        let count = word(10) as usize;
+        let expected_len = 8 + 2 + 8 + 16 + count * 8 + 8;
         if buf.len() != expected_len {
             return Err(malformed("length mismatch"));
         }
-        let lo_bits = word(17);
-        let hi_bits = word(25);
-        let mut words = Vec::with_capacity(count + 2);
+        let lo_bits = word(18);
+        let hi_bits = word(26);
+        let mut words = Vec::with_capacity(count + 3);
+        words.push(enc as u64);
         words.push(lo_bits);
         words.push(hi_bits);
-        let mut values = Vec::with_capacity(count);
+        let mut body = Vec::with_capacity(count);
         for k in 0..count {
-            let bits = word(33 + k * 8);
+            let bits = word(34 + k * 8);
             words.push(bits);
-            values.push(V::from_bits(bits).ok_or_else(|| malformed("invalid value bits"))?);
+            body.push(bits);
         }
-        let stored_sum = word(33 + count * 8);
+        let stored_sum = word(34 + count * 8);
         if stored_sum != xor_checksum(words) {
             return Err(StoreError::Corrupt { path });
         }
         let lo = V::from_bits(lo_bits).ok_or_else(|| malformed("invalid range lo"))?;
         let hi = V::from_bits(hi_bits).ok_or_else(|| malformed("invalid range hi"))?;
         let range = ValueRange::new(lo, hi).ok_or_else(|| malformed("inverted range"))?;
-        if !values.iter().all(|v| range.contains(*v)) {
-            return Err(malformed("values outside the stored range"));
-        }
-        Ok((range, values))
+        let payload = if enc == 0 {
+            let mut values = Vec::with_capacity(count);
+            for bits in body {
+                values.push(V::from_bits(bits).ok_or_else(|| malformed("invalid value bits"))?);
+            }
+            if !values.iter().all(|v| range.contains(*v)) {
+                return Err(malformed("values outside the stored range"));
+            }
+            PiecePayload::Raw(values)
+        } else {
+            let packed = EncodedPayload::from_words(enc, &body)
+                .map_err(|e| malformed(&format!("bad packed payload: {e}")))?;
+            packed
+                .validate_for::<V>(&range)
+                .map_err(|e| malformed(&format!("packed payload violates its range: {e}")))?;
+            PiecePayload::Packed(packed)
+        };
+        Ok((range, payload))
+    }
+
+    /// Reads one segment back as values, decoding a packed payload if the
+    /// file stores one.
+    pub fn load<V: ColumnValue + FixedCodec>(
+        &self,
+        id: SegId,
+    ) -> Result<(ValueRange<V>, Vec<V>), StoreError> {
+        let (range, payload) = self.load_payload::<V>(id)?;
+        Ok((range, payload.into_values()))
     }
 
     /// Removes a segment file (idempotent).
@@ -269,7 +323,9 @@ impl SegmentStore {
         let mut written = 0;
         for seg in column.segments() {
             if !on_disk.contains(&seg.id()) {
-                self.save(seg.id(), &seg.range(), seg.values())?;
+                // Physical payload verbatim: a packed segment checkpoints
+                // its packed words, never a decoded copy.
+                self.save_payload(seg.id(), &seg.range(), seg.payload())?;
                 written += 1;
             }
         }
@@ -293,10 +349,10 @@ impl SegmentStore {
     /// ranges, and a partially cracked or partially checkpointed column
     /// leaves gaps between ranges.
     pub fn restore<V: ColumnValue + FixedCodec>(&self) -> Result<SegmentedColumn<V>, StoreError> {
-        let mut pieces: Vec<(ValueRange<V>, Vec<V>)> = Vec::new();
+        let mut pieces: Vec<(ValueRange<V>, PiecePayload<V>)> = Vec::new();
         for id in self.list()? {
-            let (range, values) = self.load::<V>(id)?;
-            pieces.push((range, values));
+            let (range, payload) = self.load_payload::<V>(id)?;
+            pieces.push((range, payload));
         }
         if pieces.is_empty() {
             return Err(StoreError::BadColumn("store is empty".into()));
@@ -323,7 +379,7 @@ impl SegmentStore {
         }
         let domain = ValueRange::new(pieces[0].0.lo(), pieces[pieces.len() - 1].0.hi())
             .ok_or_else(|| StoreError::BadColumn("empty domain".into()))?;
-        SegmentedColumn::from_pieces(domain, pieces)
+        SegmentedColumn::from_encoded_pieces(domain, pieces)
             .map_err(|e| StoreError::BadColumn(e.to_string()))
     }
 }

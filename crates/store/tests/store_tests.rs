@@ -393,6 +393,98 @@ fn cracked_column_checkpoint_restores_the_cracker_index() {
 }
 
 #[test]
+fn encoded_checkpoint_roundtrips_every_codec_without_decoding() {
+    use soc_core::{EncodingMode, NeverSplit, SegmentEncoding};
+
+    // One round-trip per codec: the checkpoint must write the packed
+    // payload verbatim (file size tracks the encoded footprint, not the
+    // raw one) and the restore must hand the packed payload back.
+    for enc in [
+        SegmentEncoding::Raw,
+        SegmentEncoding::Rle,
+        SegmentEncoding::For,
+        SegmentEncoding::Dict,
+    ] {
+        let dir = TempDir::new(&format!("codec-{enc:?}"));
+        let store = SegmentStore::open(&dir.0).unwrap();
+        let domain = ValueRange::must(0u32, 9_999);
+        // Duplicate-heavy and low-cardinality so every codec beats raw.
+        let values: Vec<u32> = (0..8_000u32).map(|i| (i / 16) * 20).collect();
+        let strategy = AdaptiveSegmentation::new(
+            SegmentedColumn::new(domain, values.clone()).unwrap(),
+            Box::new(NeverSplit),
+            SizeEstimator::Uniform,
+        )
+        .with_encoding(EncodingMode::Fixed(enc));
+        let column = strategy.column();
+        assert_eq!(
+            column.segments()[0].encoding(),
+            enc,
+            "fixed mode applies at construction"
+        );
+        let encoded_bytes = column.encoded_bytes();
+
+        let (written, _) = store.checkpoint(column).unwrap();
+        assert_eq!(written, 1);
+        if enc != SegmentEncoding::Raw {
+            assert!(
+                store.bytes_on_disk().unwrap() < 8_000 * 4,
+                "{enc:?} checkpoint must be smaller than the raw column"
+            );
+        }
+
+        let restored: SegmentedColumn<u32> = store.restore().unwrap();
+        restored.validate().unwrap();
+        assert_eq!(
+            restored.segments()[0].encoding(),
+            enc,
+            "no decode on restore"
+        );
+        assert_eq!(restored.encoded_bytes(), encoded_bytes);
+        assert_eq!(restored.total_len(), 8_000);
+        let mut orig = values;
+        let mut back: Vec<u32> = restored
+            .segments()
+            .iter()
+            .flat_map(|s| s.decoded().into_owned())
+            .collect();
+        orig.sort_unstable();
+        back.sort_unstable();
+        assert_eq!(orig, back, "{enc:?} data survives the round-trip");
+    }
+}
+
+#[test]
+fn tampered_packed_payload_is_rejected_on_load() {
+    use soc_core::{EncodingMode, NeverSplit, SegmentEncoding};
+
+    let dir = TempDir::new("packedtamper");
+    let store = SegmentStore::open(&dir.0).unwrap();
+    let strategy = AdaptiveSegmentation::new(
+        SegmentedColumn::new(ValueRange::must(0u32, 999), (0..1_000u32).collect()).unwrap(),
+        Box::new(NeverSplit),
+        SizeEstimator::Uniform,
+    )
+    .with_encoding(EncodingMode::Fixed(SegmentEncoding::For));
+    store.checkpoint(strategy.column()).unwrap();
+
+    let path = fs::read_dir(&dir.0)
+        .unwrap()
+        .next()
+        .unwrap()
+        .unwrap()
+        .path();
+    let mut bytes = fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x80;
+    fs::write(&path, &bytes).unwrap();
+    assert!(
+        store.restore::<u32>().is_err(),
+        "a flipped packed word must fail the checksum or range validation"
+    );
+}
+
+#[test]
 fn cracked_checkpoint_corruption_and_tampering_are_detected() {
     use soc_core::CrackedColumn;
     use soc_store::{load_cracked, save_cracked};
