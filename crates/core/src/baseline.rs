@@ -71,6 +71,7 @@ impl<V: ColumnValue> NonSegmented<V> {
     }
 }
 
+// contract: ColumnStrategy thread-safety: no interior mutability; re-encoding happens only inside &mut self select calls, and &self accessors read immutable state.
 impl<V: ColumnValue> ColumnStrategy<V> for NonSegmented<V> {
     fn name(&self) -> String {
         "NoSegm".to_owned()
@@ -170,6 +171,7 @@ impl<V: ColumnValue> FullySorted<V> {
     }
 }
 
+// contract: ColumnStrategy thread-safety: no interior mutability; re-encoding happens only inside &mut self select calls, and &self accessors read immutable state.
 impl<V: ColumnValue> ColumnStrategy<V> for FullySorted<V> {
     fn name(&self) -> String {
         "FullSort".to_owned()

@@ -297,36 +297,13 @@ impl<V: ColumnValue> SegmentedColumn<V> {
     }
 
     /// Full structural invariant check (test / debug aid):
-    /// segments sorted, adjacent, tiling the domain, values in range,
-    /// tuple count preserved.
-    pub fn validate(&self) -> Result<(), String> {
-        if self.segments.is_empty() {
-            return Err("column has no segments".into());
-        }
-        let first = self.segments.first().expect("non-empty");
-        let last = self.segments.last().expect("non-empty");
-        if first.range().lo() != self.domain.lo() || last.range().hi() != self.domain.hi() {
-            return Err("segments do not span the domain".into());
-        }
-        for (i, w) in self.segments.windows(2).enumerate() {
-            if !w[0].range().adjacent_before(&w[1].range()) {
-                return Err(format!("segments {i} and {} not adjacent", i + 1));
-            }
-        }
-        let mut count = 0u64;
-        for s in &self.segments {
-            if !s.decoded().iter().all(|v| s.range().contains(*v)) {
-                return Err(format!("segment {:?} holds out-of-range values", s.id()));
-            }
-            count += s.len();
-        }
-        if count != self.total_len {
-            return Err(format!(
-                "tuple count drifted: {} != {}",
-                count, self.total_len
-            ));
-        }
-        Ok(())
+    /// segments sorted, adjacent, tiling the domain, payloads consistent
+    /// and in range, tuple count preserved.
+    ///
+    /// Delegates to [`crate::validate::column`], the deep validator the
+    /// store's restore path and the corruption-injection proptests share.
+    pub fn validate(&self) -> Result<(), crate::validate::Violation> {
+        crate::validate::column(self)
     }
 }
 

@@ -572,6 +572,7 @@ pub fn encode<V: ColumnValue>(values: &[V], enc: SegmentEncoding) -> Option<Enco
     }
     let keys: Vec<u64> = values
         .iter()
+        // soc-lint: allow(L1-panic-free, packing is only attempted for keyed value types)
         .map(|v| v.to_key().expect("packable type"))
         .collect();
     Some(encode_keys(&keys, enc))
@@ -633,6 +634,7 @@ pub fn best_encoding<V: ColumnValue>(values: &[V]) -> Option<EncodedPayload> {
     }
     let keys: Vec<u64> = values
         .iter()
+        // soc-lint: allow(L1-panic-free, packing is only attempted for keyed value types)
         .map(|v| v.to_key().expect("packable type"))
         .collect();
     let raw_bytes = values.len() as u64 * V::BYTES;
@@ -667,6 +669,7 @@ pub fn best_encoding<V: ColumnValue>(values: &[V]) -> Option<EncodedPayload> {
     ]
     .into_iter()
     .min_by_key(|&(_, b)| b)
+    // soc-lint: allow(L1-panic-free, the candidates array holds exactly three entries)
     .expect("three candidates");
     if bytes >= raw_bytes {
         return None;
@@ -738,6 +741,7 @@ impl<V: ColumnValue> PiecePayload<V> {
             PiecePayload::Packed(p) => {
                 let mut out = Vec::with_capacity(p.len() as usize);
                 p.visit_all_keys(|k, n| {
+                    // soc-lint: allow(L1-panic-free, keys round-trip: produced by to_key on the same value type)
                     let v = V::from_key(k).expect("packed key decodes");
                     out.extend(std::iter::repeat_n(v, n as usize));
                 });
@@ -755,7 +759,9 @@ impl<V: ColumnValue> PiecePayload<V> {
     }
 
     fn query_keys(q: &ValueRange<V>) -> (u64, u64) {
+        // soc-lint: allow(L1-panic-free, a packed payload exists only for keyed value types)
         let lo = q.lo().to_key().expect("packed payload implies keyed type");
+        // soc-lint: allow(L1-panic-free, a packed payload exists only for keyed value types)
         let hi = q.hi().to_key().expect("packed payload implies keyed type");
         (lo, hi)
     }
@@ -792,6 +798,7 @@ impl<V: ColumnValue> PiecePayload<V> {
             PiecePayload::Packed(p) => {
                 let (lo, hi) = Self::query_keys(q);
                 p.visit_keys_in(lo, hi, |k, n| {
+                    // soc-lint: allow(L1-panic-free, keys round-trip: produced by to_key on the same value type)
                     let v = V::from_key(k).expect("packed key decodes");
                     out.extend(std::iter::repeat_n(v, n as usize));
                 });
@@ -806,6 +813,7 @@ impl<V: ColumnValue> PiecePayload<V> {
             PiecePayload::Packed(p) => {
                 out.reserve(p.len() as usize);
                 p.visit_all_keys(|k, n| {
+                    // soc-lint: allow(L1-panic-free, keys round-trip: produced by to_key on the same value type)
                     let v = V::from_key(k).expect("packed key decodes");
                     out.extend(std::iter::repeat_n(v, n as usize));
                 });
@@ -822,6 +830,7 @@ impl<V: ColumnValue> PiecePayload<V> {
                 let (lo, hi) = Self::query_keys(q);
                 let mut acc = 0.0f64;
                 p.visit_keys_in(lo, hi, |k, n| {
+                    // soc-lint: allow(L1-panic-free, keys round-trip: produced by to_key on the same value type)
                     let v = V::from_key(k).expect("packed key decodes");
                     acc += v.to_f64() * n as f64;
                 });
@@ -847,7 +856,9 @@ impl<V: ColumnValue> PiecePayload<V> {
                 });
                 bounds.map(|(mn, mx)| {
                     (
+                        // soc-lint: allow(L1-panic-free, keys round-trip: produced by to_key on the same value type)
                         V::from_key(mn).expect("packed key decodes"),
+                        // soc-lint: allow(L1-panic-free, keys round-trip: produced by to_key on the same value type)
                         V::from_key(mx).expect("packed key decodes"),
                     )
                 })

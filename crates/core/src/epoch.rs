@@ -49,6 +49,7 @@ use crate::segment::{SegId, SegIdGen};
 use crate::spec::StrategySpec;
 use crate::strategy::{AdaptationStats, ColumnStrategy};
 use crate::tracker::{AccessTracker, CountingTracker, QueryStats};
+use crate::validate::Violation;
 use crate::value::ColumnValue;
 
 /// One frozen piece of a snapshot: a value range and the column's values
@@ -130,7 +131,9 @@ fn tile_domain<V: ColumnValue>(
         };
         match cursor {
             Some(c) if c < r.lo() => {
+                // soc-lint: allow(L1-panic-free, guarded: c is strictly below r.lo so a predecessor exists)
                 let gap_hi = r.lo().pred().expect("c < r.lo() implies a predecessor");
+                // soc-lint: allow(L1-panic-free, c is at most gap_hi by the gap construction)
                 out.push(ValueRange::new(c, gap_hi).expect("c <= gap_hi"));
             }
             _ => {}
@@ -140,6 +143,7 @@ fn tile_domain<V: ColumnValue>(
     }
     if let Some(c) = cursor {
         if c <= domain.hi() {
+            // soc-lint: allow(L1-panic-free, every loop path leaves c at most domain.hi)
             out.push(ValueRange::new(c, domain.hi()).expect("c <= domain.hi()"));
         }
     }
@@ -298,31 +302,27 @@ impl<V: ColumnValue> StrategySnapshot<V> {
         self.failed_migrations
     }
 
-    /// Structural invariants (tests): pieces sorted, disjoint, tiling the
-    /// domain; values ascending and inside their piece's range.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Structural invariants: pieces sorted, disjoint, tiling the domain;
+    /// values ascending and inside their piece's range. Asserted at every
+    /// epoch publish (debug builds) and exercised by the corruption
+    /// proptests.
+    pub fn validate(&self) -> Result<(), Violation> {
         if self.pieces.is_empty() {
-            return Err("snapshot has no pieces".into());
+            return Err(Violation::Empty {
+                what: "epoch snapshot",
+            });
         }
-        if self.pieces[0].range.lo() != self.domain.lo()
-            || self.pieces[self.pieces.len() - 1].range.hi() != self.domain.hi()
-        {
-            return Err("pieces do not span the domain".into());
-        }
-        for w in self.pieces.windows(2) {
-            if !w[0].range.adjacent_before(&w[1].range) {
-                return Err(format!(
-                    "pieces {:?} and {:?} are not adjacent",
-                    w[0].range, w[1].range
-                ));
-            }
-        }
-        for p in &self.pieces {
+        let ranges: Vec<ValueRange<V>> = self.pieces.iter().map(|p| p.range).collect();
+        crate::validate::ranges_partition(&self.domain, &ranges)?;
+        for (i, p) in self.pieces.iter().enumerate() {
             if !p.values.windows(2).all(|w| w[0] <= w[1]) {
-                return Err(format!("piece {:?} is not sorted", p.range));
+                return Err(Violation::NotSorted { index: i });
             }
-            if !p.values.iter().all(|v| p.range.contains(*v)) {
-                return Err(format!("piece {:?} holds out-of-range values", p.range));
+            if let Some(v) = p.values.iter().find(|v| !p.range.contains(**v)) {
+                return Err(Violation::OutOfRange {
+                    index: i,
+                    detail: format!("{v:?} outside {:?}", p.range),
+                });
             }
         }
         Ok(())
@@ -447,6 +447,7 @@ impl<V: ColumnValue> Writer<V> {
             self.reorg.totals(),
             self.failed_migrations,
         );
+        crate::debug_assert_valid!(snap.validate(), "epoch publish");
         self.cell.publish(snap);
     }
 }
@@ -522,6 +523,7 @@ impl<V: ColumnValue> ConcurrentColumn<V> {
         let writer = thread::Builder::new()
             .name("soc-epoch-writer".into())
             .spawn(move || writer_state.run(rx))
+            // soc-lint: allow(L1-panic-free, spawn fails only on process resource exhaustion and new has no error channel)
             .expect("spawn epoch writer thread");
         ConcurrentColumn {
             cell,
@@ -546,6 +548,7 @@ impl<V: ColumnValue> ConcurrentColumn<V> {
     fn sender(&self) -> &mpsc::Sender<WriterCmd<V>> {
         self.tx
             .as_ref()
+            // soc-lint: allow(L1-panic-free, tx is only taken by into_strategy, which consumes self)
             .expect("writer channel lives as long as self")
     }
 
@@ -608,6 +611,7 @@ impl<V: ColumnValue> ConcurrentColumn<V> {
     /// the hand-off layers use to move a column between execution modes.
     pub fn into_strategy(mut self) -> Box<dyn ColumnStrategy<V>> {
         self.tx.take();
+        // soc-lint: allow(L1-panic-free, writer is taken exactly once: into_strategy consumes self)
         let writer = self.writer.take().expect("writer joined exactly once");
         match writer.join() {
             Ok(strategy) => strategy,

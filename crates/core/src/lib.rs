@@ -69,6 +69,7 @@ pub mod segmentation;
 pub mod spec;
 pub mod strategy;
 pub mod tracker;
+pub mod validate;
 pub mod value;
 
 pub use baseline::{FullySorted, NonSegmented};
@@ -95,4 +96,5 @@ pub use strategy::{AdaptationStats, ColumnStrategy};
 pub use tracker::{
     AccessTracker, CountingTracker, EventLog, NullTracker, QueryStats, TrackerEvent,
 };
+pub use validate::Violation;
 pub use value::{ColumnValue, OrdF64};

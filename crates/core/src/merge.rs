@@ -75,6 +75,7 @@ impl MergePolicy {
             if run >= 2 {
                 column
                     .merge_segments(idx, run, tracker)
+                    // soc-lint: allow(L1-panic-free, run bounds come from the column's own piece table)
                     .expect("run bounds are valid");
                 merges += 1;
                 end -= run - 1;
@@ -116,9 +117,22 @@ impl<V: ColumnValue> MergingSegmentation<V> {
 
     fn merge_after(&mut self, q: &ValueRange<V>, tracker: &mut dyn AccessTracker) {
         self.merges += self.policy.merge_pass(self.inner.column_mut(), q, tracker) as u64;
+        let column = self.inner.column();
+        crate::debug_assert_valid!(
+            crate::validate::ranges_partition(
+                &column.domain(),
+                &column
+                    .segments()
+                    .iter()
+                    .map(|s| s.range())
+                    .collect::<Vec<_>>(),
+            ),
+            "merge pass"
+        );
     }
 }
 
+// contract: ColumnStrategy thread-safety: merge passes mutate only inside &mut self selects; &self accessors delegate to the inner column's immutable state.
 impl<V: ColumnValue> ColumnStrategy<V> for MergingSegmentation<V> {
     fn name(&self) -> String {
         format!("{}+Merge", self.inner.name())

@@ -31,6 +31,7 @@ impl<V: ColumnValue> ValueRange<V> {
     /// Panics if `lo > hi`.
     #[inline]
     pub fn must(lo: V, hi: V) -> Self {
+        // soc-lint: allow(L1-panic-free, must is the documented panic-on-misuse constructor; fallible callers use new)
         Self::new(lo, hi).expect("ValueRange::must called with lo > hi")
     }
 

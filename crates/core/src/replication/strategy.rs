@@ -138,6 +138,7 @@ impl<V: ColumnValue> AdaptiveReplication<V> {
             let node = self.tree.node(s);
             let payload = node
                 .payload()
+                // soc-lint: allow(L1-panic-free, replica-tree invariant: covering-set nodes hold materialized payloads)
                 .expect("covering-set members are materialized");
             // Compressed-domain dispatch: a count over a packed node never
             // decodes; only result extraction and replica fills do.
@@ -218,10 +219,15 @@ impl<V: ColumnValue> AdaptiveReplication<V> {
         if !matches!(self.encoding, EncodingMode::Raw) {
             self.tree.encoding_pass(&self.encoding, self.tick, tracker);
         }
+        crate::debug_assert_valid!(
+            crate::validate::replica_tree(&self.tree),
+            "adaptive replication reorganize"
+        );
         matched
     }
 }
 
+// contract: ColumnStrategy thread-safety: replica promotion mutates the tree only inside &mut self run_select; &self accessors are pure reads.
 impl<V: ColumnValue> ColumnStrategy<V> for AdaptiveReplication<V> {
     fn name(&self) -> String {
         format!("{} Repl", self.model.name())
@@ -245,6 +251,7 @@ impl<V: ColumnValue> ColumnStrategy<V> for AdaptiveReplication<V> {
             let node = self.tree.node(s);
             let payload = node
                 .payload()
+                // soc-lint: allow(L1-panic-free, replica-tree invariant: covering-set nodes hold materialized payloads)
                 .expect("covering-set members are materialized");
             if q.covers(&node.range) {
                 payload.collect_all(&mut out);

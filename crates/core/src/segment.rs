@@ -111,6 +111,7 @@ impl<V: ColumnValue> SegmentData<V> {
     pub fn values(&self) -> &[V] {
         self.payload
             .raw_values()
+            // soc-lint: allow(L1-panic-free, documented contract: values is only called on raw segments)
             .expect("values() on a packed segment; use decoded()")
     }
 

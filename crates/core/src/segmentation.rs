@@ -142,6 +142,7 @@ impl<V: ColumnValue> AdaptiveSegmentation<V> {
         // Packed payloads are counted in the compressed domain; only a
         // `collect` (partial overlap) materializes decoded values.
         let exact = exact_pieces_payload(&seg_range, seg.payload(), q)
+            // soc-lint: allow(L1-panic-free, the segment passed the overlap test above)
             .expect("segment passed the overlap test");
         if let Some(out) = out {
             seg.collect_in(q, out);
@@ -152,6 +153,7 @@ impl<V: ColumnValue> AdaptiveSegmentation<V> {
         let pieces = match self.estimator {
             SizeEstimator::Exact => exact,
             SizeEstimator::Uniform => {
+                // soc-lint: allow(L1-panic-free, the segment passed the overlap test above)
                 interpolate_pieces(&seg_range, seg_len, q).expect("segment passed the overlap test")
             }
         };
@@ -162,6 +164,7 @@ impl<V: ColumnValue> AdaptiveSegmentation<V> {
             let n_pieces = ranges.len();
             self.column
                 .replace_segment(idx, &ranges, tracker)
+                // soc-lint: allow(L1-panic-free, interpolated piece ranges tile the segment by construction)
                 .expect("piece ranges tile the segment by construction");
             // Split products are born (and were just read) at this tick, so
             // the encoding policy's idle clock starts now, not at zero.
@@ -192,10 +195,23 @@ impl<V: ColumnValue> AdaptiveSegmentation<V> {
             self.column
                 .encoding_pass(&self.encoding, self.tick, tracker);
         }
+        crate::debug_assert_valid!(
+            crate::validate::ranges_partition(
+                &self.column.domain(),
+                &self
+                    .column
+                    .segments()
+                    .iter()
+                    .map(|s| s.range())
+                    .collect::<Vec<_>>(),
+            ),
+            "adaptive segmentation reorganize"
+        );
         matched
     }
 }
 
+// contract: ColumnStrategy thread-safety: splits mutate the piece table only inside &mut self run_select; &self accessors are pure reads.
 impl<V: ColumnValue> ColumnStrategy<V> for AdaptiveSegmentation<V> {
     fn name(&self) -> String {
         format!("{} Segm", self.model.name())

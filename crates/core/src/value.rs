@@ -160,6 +160,7 @@ impl OrdF64 {
     /// Panics if `v` is NaN.
     #[inline]
     pub fn from_finite(v: f64) -> Self {
+        // soc-lint: allow(L1-panic-free, documented contract: from_finite panics on NaN; fallible callers use new)
         Self::new(v).expect("OrdF64::from_finite called with NaN")
     }
 
@@ -197,6 +198,7 @@ impl Ord for OrdF64 {
         // Safe: NaN is rejected at construction.
         self.0
             .partial_cmp(&other.0)
+            // soc-lint: allow(L1-panic-free, constructors reject NaN, so the stored value is always finite)
             .expect("OrdF64 invariant violated: NaN")
     }
 }

@@ -1,0 +1,38 @@
+// Fixture: exercises every rule's trigger shape the compliant way — the
+// whole file must produce zero findings (one justified waiver).
+
+// contract: ColumnStrategy thread-safety: fixture impl with no shared state.
+impl<V: ColumnValue> ColumnStrategy<V> for Documented<V> {
+    fn name(&self) -> String {
+        "documented".to_owned()
+    }
+}
+
+impl Documented {
+    fn segment_bytes(&self) -> Vec<u64> {
+        self.pieces.iter().map(|p| p.bytes()).collect()
+    }
+
+    fn fallible(v: Option<u32>) -> Result<u32, Error> {
+        v.ok_or(Error::Missing)
+    }
+
+    fn justified(v: Option<u32>) -> u32 {
+        // soc-lint: allow(L1-panic-free, the fixture proves justified pragmas waive)
+        v.unwrap()
+    }
+
+    fn counted(&self, q: ValueRange<u64>, tracker: &mut dyn AccessTracker) -> u64 {
+        tracker.scan(self.payload_bytes);
+        kernels::count_range(&self.values, q)
+    }
+
+    fn publishes(&self) {
+        let snap;
+        {
+            let guard = self.state.lock();
+            snap = guard.snapshot();
+        }
+        self.tx.send(snap).ok();
+    }
+}

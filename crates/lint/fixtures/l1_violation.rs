@@ -1,0 +1,23 @@
+// Fixture: every L1 token class on a library path must fire.
+
+pub fn takes_the_shortcut(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn trusts_the_caller(v: Option<u32>) -> u32 {
+    v.expect("caller promised")
+}
+
+pub fn gives_up() {
+    panic!("unreachable in practice");
+}
+
+#[cfg(test)]
+mod tests {
+    // Inside a test span none of these count.
+    #[test]
+    fn test_paths_are_exempt() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

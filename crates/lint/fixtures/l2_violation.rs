@@ -1,0 +1,12 @@
+// Fixture: a ColumnStrategy impl with no thread-safety contract marker
+// in the eight lines above it must fire.
+
+pub struct Undocumented<V> {
+    values: Vec<V>,
+}
+
+impl<V: ColumnValue> ColumnStrategy<V> for Undocumented<V> {
+    fn name(&self) -> String {
+        "undocumented".to_owned()
+    }
+}

@@ -1,0 +1,12 @@
+// Fixture: a segment_bytes body that recomputes sizes from tuple counts
+// (the PR-6 drift bug) instead of routing through a sanctioned byte
+// accessor must fire.
+
+impl DriftyColumn {
+    fn segment_bytes(&self) -> Vec<u64> {
+        self.segments
+            .iter()
+            .map(|s| (s.tuple_count * 8) as u64)
+            .collect()
+    }
+}

@@ -1,0 +1,9 @@
+// Fixture: a named lock guard still live across a send must fire.
+// (Scanned under the rel path of an epoch.rs, which L4 covers.)
+
+impl Publisher {
+    fn publish(&self) {
+        let guard = self.state.lock();
+        self.tx.send(guard.snapshot()).ok();
+    }
+}

@@ -1,0 +1,8 @@
+// Fixture: a tracker-taking function that calls a scan kernel without
+// charging or forwarding the tracker must fire.
+
+impl Scanner {
+    fn count(&self, q: ValueRange<u64>, tracker: &mut dyn AccessTracker) -> u64 {
+        kernels::count_range(&self.values, q)
+    }
+}

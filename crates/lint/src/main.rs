@@ -1,0 +1,60 @@
+//! CLI: scan the workspace, print the human report, optionally write the
+//! machine-readable findings JSON, exit nonzero on violations.
+//!
+//! ```text
+//! soc-lint [--root <dir>] [--json <path>] [--quiet]
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json: Option<PathBuf> = None;
+    let mut quiet = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage("--root needs a path"),
+            },
+            "--json" => match args.next() {
+                Some(v) => json = Some(PathBuf::from(v)),
+                None => return usage("--json needs a path"),
+            },
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                println!("usage: soc-lint [--root <dir>] [--json <path>] [--quiet]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    let report = match soc_lint::run(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("soc-lint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(path) = json {
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("soc-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if !quiet {
+        print!("{}", report.render());
+    }
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("soc-lint: {msg}\nusage: soc-lint [--root <dir>] [--json <path>] [--quiet]");
+    ExitCode::from(2)
+}

@@ -208,8 +208,11 @@ fn save_values<V: soc_core::ColumnValue + FixedCodec>(
     if values.is_empty() {
         return Ok(());
     }
+    // soc-lint: allow(L1-panic-free, guarded by the is_empty early return above; min/max of a non-empty slice always exist)
     let lo = *values.iter().min().expect("non-empty");
+    // soc-lint: allow(L1-panic-free, guarded by the is_empty early return above; min/max of a non-empty slice always exist)
     let hi = *values.iter().max().expect("non-empty");
+    // soc-lint: allow(L1-panic-free, min <= max by definition, so the range constructor cannot reject)
     let range = ValueRange::new(lo, hi).expect("min <= max");
     store.save(id, &range, values)?;
     Ok(())
@@ -390,7 +393,9 @@ impl Catalog {
 
         for key in &keys {
             if let Some(seg) = self.segmented.get(key) {
-                let meta = self.seg_meta.get(key).copied().expect("segmented has meta");
+                let meta = self.seg_meta.get(key).copied().ok_or_else(|| {
+                    CheckpointError::Unsupported(format!("{key} has no strategy metadata"))
+                })?;
                 let Some(spec) = meta.spec else {
                     return Err(CheckpointError::Unsupported(format!(
                         "{key} was registered without a StrategySpec (raw model)"
@@ -409,6 +414,7 @@ impl Catalog {
                 );
                 save_column(dir, key, &packed.head_oids(), packed.tail())?;
             } else {
+                // soc-lint: allow(L1-panic-free, the key came from the union of the maps and is not segmented)
                 let bat = self.bats.get(key).expect("key from the union");
                 let _ = writeln!(
                     manifest,
@@ -508,10 +514,14 @@ impl Catalog {
                     catalog
                         .register_segmented(schema, table, column, bat, domain_lo, domain_hi, spec)
                         .map_err(CheckpointError::Bpm)?;
-                    catalog
-                        .segmented_mut(key)
-                        .expect("just registered")
-                        .add_reorg_write_bytes(reorg);
+                    let col = catalog.segmented_mut(key).ok_or_else(|| {
+                        CheckpointError::Malformed(format!("{key} did not register"))
+                    })?;
+                    col.add_reorg_write_bytes(reorg);
+                    soc_core::debug_assert_valid!(
+                        col.validate(),
+                        format!("checkpoint load of {key}")
+                    );
                 }
                 "next_oid" if fields.len() == 3 => {
                     catalog.next_oid.insert(

@@ -91,6 +91,7 @@ pub fn load_cracked<V: ColumnValue + FixedCodec>(
     }
     let mut words = body
         .chunks_exact(8)
+        // soc-lint: allow(L1-panic-free, chunks_exact yields exactly 8-byte chunks)
         .map(|c| u64::from_le_bytes(c.try_into().expect("chunk is 8 bytes")));
     let mut sum = CHECKSUM_SEED;
     let mut next = |what: &str| -> Result<u64, StoreError> {
@@ -126,6 +127,7 @@ pub fn load_cracked<V: ColumnValue + FixedCodec>(
     if words.next().is_some() {
         return Err(malformed("trailing bytes"));
     }
+    // soc-lint: allow(L1-panic-free, the length was checked against the checksum frame above)
     let stored_sum = u64::from_le_bytes(buf[buf.len() - 8..].try_into().expect("length checked"));
     if stored_sum != sum {
         return Err(StoreError::Corrupt { path });

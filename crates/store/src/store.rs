@@ -18,6 +18,7 @@ use std::fs;
 use std::io::{Read as _, Write as _};
 use std::path::{Path, PathBuf};
 
+use soc_core::validate::{self, Violation};
 use soc_core::{ColumnValue, EncodedPayload, PiecePayload, SegId, SegmentedColumn, ValueRange};
 
 use crate::codec::FixedCodec;
@@ -216,6 +217,7 @@ impl SegmentStore {
         }
         let enc = buf[9];
         let word = |i: usize| -> u64 {
+            // soc-lint: allow(L1-panic-free, slice bounds are checked before the loop)
             u64::from_le_bytes(buf[i..i + 8].try_into().expect("bounds checked"))
         };
         let count = word(10) as usize;
@@ -254,6 +256,11 @@ impl SegmentStore {
         } else {
             let packed = EncodedPayload::from_words(enc, &body)
                 .map_err(|e| malformed(&format!("bad packed payload: {e}")))?;
+            // Internal consistency first (word counts, dictionary code
+            // bounds) — `validate_for` assumes it and would index the
+            // dictionary table with untrusted codes otherwise.
+            validate::encoded_consistent(&packed)
+                .map_err(|v| malformed(&format!("packed payload inconsistent: {v}")))?;
             packed
                 .validate_for::<V>(&range)
                 .map_err(|e| malformed(&format!("packed payload violates its range: {e}")))?;
@@ -358,28 +365,37 @@ impl SegmentStore {
             return Err(StoreError::BadColumn("store is empty".into()));
         }
         pieces.sort_by(|a, b| a.0.lo().cmp(&b.0.lo()).then(a.0.hi().cmp(&b.0.hi())));
-        for w in pieces.windows(2) {
-            let (a, b) = (&w[0].0, &w[1].0);
-            if a.overlaps(b) {
-                return Err(StoreError::UnsupportedStrategy {
-                    reason: format!(
-                        "segment ranges {a:?} and {b:?} overlap (a replica-tree checkpoint \
-                         stores nested parent and child replicas)"
-                    ),
-                });
-            }
-            if !a.adjacent_before(b) {
-                return Err(StoreError::UnsupportedStrategy {
-                    reason: format!(
-                        "gap between segment ranges {a:?} and {b:?} (a cracked or partial \
-                         checkpoint does not tile its domain)"
-                    ),
-                });
-            }
-        }
         let domain = ValueRange::new(pieces[0].0.lo(), pieces[pieces.len() - 1].0.hi())
             .ok_or_else(|| StoreError::BadColumn("empty domain".into()))?;
-        SegmentedColumn::from_encoded_pieces(domain, pieces)
-            .map_err(|e| StoreError::BadColumn(e.to_string()))
+        // Structural screening through the shared validators: a piece set
+        // whose every file passes its checksum can still be the wrong
+        // *shape* — overlapping (replica-tree checkpoint) or gapped
+        // (cracked/partial checkpoint) — and must be rejected before
+        // anything is installed.
+        let ranges: Vec<ValueRange<V>> = pieces.iter().map(|(r, _)| *r).collect();
+        match validate::ranges_partition(&domain, &ranges) {
+            Ok(()) => {}
+            Err(v @ Violation::Overlap { .. }) => {
+                return Err(StoreError::UnsupportedStrategy {
+                    reason: format!(
+                        "{v} (a replica-tree checkpoint stores nested parent and child replicas)"
+                    ),
+                });
+            }
+            Err(v @ Violation::Gap { .. }) => {
+                return Err(StoreError::UnsupportedStrategy {
+                    reason: format!(
+                        "{v} (a cracked or partial checkpoint does not tile its domain)"
+                    ),
+                });
+            }
+            Err(v) => return Err(StoreError::BadColumn(v.to_string())),
+        }
+        let restored = SegmentedColumn::from_encoded_pieces(domain, pieces)
+            .map_err(|e| StoreError::BadColumn(e.to_string()))?;
+        // Deep validation (payload consistency, tuple-count conservation)
+        // before the column is handed to the caller.
+        validate::column(&restored).map_err(|v| StoreError::BadColumn(v.to_string()))?;
+        Ok(restored)
     }
 }
