@@ -11,9 +11,11 @@
 //! ablation-merge, ablation-buffer, ablation-budget, ablation-auto-apm,
 //! ablation-estimator, ablation-placement, ablation-sharding,
 //! ablation-sql-strategy, ablation-compress; perf-sharded, perf-kernels,
-//! perf-concurrent, perf-compress (wall-clock measurements of the
-//! parallel executor, the scan kernels, the epoch-snapshot concurrent
-//! read path, and the compressed-domain scan kernels); or the groups
+//! perf-concurrent, perf-compress, perf-pruning, perf-morsel,
+//! perf-openloop (wall-clock measurements of the parallel executor, the
+//! scan kernels, the epoch-snapshot concurrent read path, the
+//! compressed-domain scan kernels, zone-map pruning, the morsel-driven
+//! batch reader, and the open-loop tail-latency run); or the groups
 //! `simulation`, `skyserver`, `ablation`, `perf`, `all`.
 //!
 //! Each figure/table is printed (tables verbatim, figures as sparkline
@@ -21,9 +23,12 @@
 //! With `--json`, a machine-readable perf baseline — per-experiment wall
 //! time, bytes scanned, serial-vs-parallel speedup — is additionally
 //! written to `<out>/BENCH_PR4.json`, the epoch-read-path experiments
-//! to `<out>/BENCH_PR5.json`, and the compression experiments — raw vs
+//! to `<out>/BENCH_PR5.json`, the compression experiments — raw vs
 //! encoded footprint, packed-scan vs decode-then-scan ms per codec — to
-//! `<out>/BENCH_PR6.json` (CI uploads all three as artifacts).
+//! `<out>/BENCH_PR6.json`, and the pruning/morsel/open-loop experiments
+//! — pruned vs unpruned bytes scanned, serial vs batch walk, p50/p99/
+//! p999 latency — to `<out>/BENCH_PR8.json` (CI uploads all four as
+//! artifacts).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -32,7 +37,8 @@ use std::time::Instant;
 use soc_bench::fig2;
 use soc_bench::perf::{
     aggregate_kernel_perf, compress_perf, concurrent_migration_perf, concurrent_read_perf,
-    kernel_count_perf, sharded_scan_perf, write_bench_json_named, PerfEntry,
+    kernel_count_perf, morsel_scan_perf, open_loop_perf, pruning_scan_perf, sharded_scan_perf,
+    write_bench_json_named, PerfEntry,
 };
 use soc_sim::experiment::ablation;
 use soc_sim::experiment::simulation::{run_simulation_matrix, SimConfig, SimulationMatrix};
@@ -413,12 +419,53 @@ fn main() -> ExitCode {
         perf6.push(entry);
         ran_perf = true;
     }
+    let mut perf8: Vec<PerfEntry> = Vec::new();
+    if wants(e, "perf-pruning", "perf") {
+        eprintln!("measuring zone-map pruning on the snapshot read path…");
+        let entry = pruning_scan_perf(opts.quick);
+        println!(
+            "{}: {} KB scanned vs {} KB unpruned ({:.1}x pruned away)",
+            entry.id,
+            entry.bytes_scanned.unwrap_or(0) / 1024,
+            entry.bytes_unpruned.unwrap_or(0) / 1024,
+            entry.speedup.unwrap_or(0.0),
+        );
+        perf8.push(entry);
+        ran_perf = true;
+    }
+    if wants(e, "perf-morsel", "perf") {
+        eprintln!("measuring morsel-driven batch reads vs the serial snapshot walk…");
+        let entry = morsel_scan_perf(opts.quick);
+        println!(
+            "{}: serial {:.3} ms, batch {:.3} ms (ratio {:.2}), accounting bit-identical",
+            entry.id,
+            entry.serial_ms.unwrap_or(0.0),
+            entry.parallel_ms.unwrap_or(0.0),
+            entry.speedup.unwrap_or(0.0),
+        );
+        perf8.push(entry);
+        ran_perf = true;
+    }
+    if wants(e, "perf-openloop", "perf") {
+        eprintln!("running the open-loop Zipf workload for tail latency…");
+        let entry = open_loop_perf(opts.quick);
+        println!(
+            "{}: p50 {:.0} us, p99 {:.0} us, p999 {:.0} us",
+            entry.id,
+            entry.p50_us.unwrap_or(0.0),
+            entry.p99_us.unwrap_or(0.0),
+            entry.p999_us.unwrap_or(0.0),
+        );
+        perf8.push(entry);
+        ran_perf = true;
+    }
 
     if em.written.is_empty() && !ran_perf {
         eprintln!(
             "error: no experiment matched {e:?}; try fig2, fig5..fig16, tab1, tab2, \
              simulation, skyserver, ablation-*, perf-sharded, perf-kernels, \
-             perf-concurrent, perf-compress, or all"
+             perf-concurrent, perf-compress, perf-pruning, perf-morsel, \
+             perf-openloop, or all"
         );
         return ExitCode::FAILURE;
     }
@@ -430,6 +477,7 @@ fn main() -> ExitCode {
             ("BENCH_PR4.json", "soc-bench-pr4", &perf),
             ("BENCH_PR5.json", "soc-bench-pr5", &perf5),
             ("BENCH_PR6.json", "soc-bench-pr6", &perf6),
+            ("BENCH_PR8.json", "soc-bench-pr8", &perf8),
         ] {
             if entries.is_empty() {
                 eprintln!("skipping {file}: no matching experiments ran");

@@ -14,11 +14,13 @@ use std::io;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
+use criterion::quantile;
 use soc_core::{
-    ConcurrentColumn, CountingTracker, NullTracker, StrategyKind, StrategySpec, ValueRange,
+    kernels, ConcurrentColumn, CountingTracker, EventLog, NullTracker, ScanPool, StrategyKind,
+    StrategySpec, ValueRange,
 };
 use soc_sim::{ExecMode, PlacementPolicy, ShardedColumn};
-use soc_workload::{uniform_values, WorkloadSpec};
+use soc_workload::{uniform_values, OpenLoopSpec, WorkloadSpec};
 
 /// One line of the perf baseline.
 #[derive(Debug, Clone)]
@@ -39,6 +41,15 @@ pub struct PerfEntry {
     pub bytes_raw: Option<u64>,
     /// Encoded footprint in bytes, for the compression experiments.
     pub bytes_encoded: Option<u64>,
+    /// Bytes the same walk would have read with zone-map pruning off
+    /// (`scanned + skipped`), for the pruning experiment.
+    pub bytes_unpruned: Option<u64>,
+    /// Median open-loop latency in microseconds.
+    pub p50_us: Option<f64>,
+    /// 99th-percentile open-loop latency in microseconds.
+    pub p99_us: Option<f64>,
+    /// 99.9th-percentile open-loop latency in microseconds.
+    pub p999_us: Option<f64>,
 }
 
 impl PerfEntry {
@@ -53,6 +64,10 @@ impl PerfEntry {
             speedup: None,
             bytes_raw: None,
             bytes_encoded: None,
+            bytes_unpruned: None,
+            p50_us: None,
+            p99_us: None,
+            p999_us: None,
         }
     }
 }
@@ -130,14 +145,14 @@ pub fn sharded_scan_perf(nodes: usize, quick: bool) -> PerfEntry {
     let _ = shard.select_count_batch(&queries, &mut tracker);
 
     PerfEntry {
-        id: format!("perf-sharded-nodes{nodes}"),
-        wall_ms: section_start.elapsed().as_secs_f64() * 1e3,
         bytes_scanned: Some(tracker.totals().read_bytes),
         serial_ms: Some(serial_ms),
         parallel_ms: Some(parallel_ms),
         speedup: Some(serial_ms / parallel_ms.max(1e-9)),
-        bytes_raw: None,
-        bytes_encoded: None,
+        ..PerfEntry::section(
+            format!("perf-sharded-nodes{nodes}"),
+            section_start.elapsed().as_secs_f64() * 1e3,
+        )
     }
 }
 
@@ -166,14 +181,14 @@ pub fn kernel_count_perf(quick: bool) -> PerfEntry {
     assert_eq!(naive_n, kernel_n, "kernel count diverged from naive filter");
 
     PerfEntry {
-        id: "perf-kernels-count".to_owned(),
-        wall_ms: section_start.elapsed().as_secs_f64() * 1e3,
         bytes_scanned: Some(n as u64 * 4),
         serial_ms: Some(naive_ms),
         parallel_ms: Some(kernel_ms),
         speedup: Some(naive_ms / kernel_ms.max(1e-9)),
-        bytes_raw: None,
-        bytes_encoded: None,
+        ..PerfEntry::section(
+            "perf-kernels-count",
+            section_start.elapsed().as_secs_f64() * 1e3,
+        )
     }
 }
 
@@ -250,14 +265,14 @@ pub fn concurrent_read_perf(quick: bool) -> PerfEntry {
     let bytes = concurrent.snapshot().storage_bytes() * readers as u64;
 
     PerfEntry {
-        id: "perf-concurrent-readers".to_owned(),
-        wall_ms: section_start.elapsed().as_secs_f64() * 1e3,
         bytes_scanned: Some(bytes),
         serial_ms: Some(serial_ms),
         parallel_ms: Some(parallel_ms),
         speedup: Some(serial_ms / parallel_ms.max(1e-9)),
-        bytes_raw: None,
-        bytes_encoded: None,
+        ..PerfEntry::section(
+            "perf-concurrent-readers",
+            section_start.elapsed().as_secs_f64() * 1e3,
+        )
     }
 }
 
@@ -318,14 +333,14 @@ pub fn concurrent_migration_perf(quick: bool) -> PerfEntry {
     );
 
     PerfEntry {
-        id: "perf-concurrent-migrate".to_owned(),
-        wall_ms: section_start.elapsed().as_secs_f64() * 1e3,
         bytes_scanned: Some(values.len() as u64 * 4 * 2),
         serial_ms: Some(quiet_ms),
         parallel_ms: Some(busy_ms),
         speedup: Some(quiet_ms / busy_ms.max(1e-9)),
-        bytes_raw: None,
-        bytes_encoded: None,
+        ..PerfEntry::section(
+            "perf-concurrent-migrate",
+            section_start.elapsed().as_secs_f64() * 1e3,
+        )
     }
 }
 
@@ -396,14 +411,16 @@ pub fn compress_perf(quick: bool) -> Vec<PerfEntry> {
             best_packed = Some((packed.bytes(), packed.clone()));
         }
         entries.push(PerfEntry {
-            id: format!("perf-compress-{}", enc.token()),
-            wall_ms: entry_start.elapsed().as_secs_f64() * 1e3,
             bytes_scanned: Some(packed.bytes()),
             serial_ms: Some(decode_ms),
             parallel_ms: Some(packed_ms),
             speedup: Some(decode_ms / packed_ms.max(1e-9)),
             bytes_raw: Some(n * 4),
             bytes_encoded: Some(packed.bytes()),
+            ..PerfEntry::section(
+                format!("perf-compress-{}", enc.token()),
+                entry_start.elapsed().as_secs_f64() * 1e3,
+            )
         });
     }
 
@@ -416,14 +433,16 @@ pub fn compress_perf(quick: bool) -> Vec<PerfEntry> {
     assert_eq!(raw_n, expect);
     assert_eq!(packed_n, expect);
     entries.push(PerfEntry {
-        id: "perf-compress-hot".to_owned(),
-        wall_ms: section_start.elapsed().as_secs_f64() * 1e3,
         bytes_scanned: Some(bytes_encoded),
         serial_ms: Some(raw_ms),
         parallel_ms: Some(packed_ms),
         speedup: Some(raw_ms / packed_ms.max(1e-9)),
         bytes_raw: Some(n * 4),
         bytes_encoded: Some(bytes_encoded),
+        ..PerfEntry::section(
+            "perf-compress-hot",
+            section_start.elapsed().as_secs_f64() * 1e3,
+        )
     });
     entries
 }
@@ -461,14 +480,161 @@ pub fn aggregate_kernel_perf(quick: bool) -> PerfEntry {
     );
 
     PerfEntry {
-        id: "perf-compress-aggregate".to_owned(),
-        wall_ms: section_start.elapsed().as_secs_f64() * 1e3,
         bytes_scanned: Some(n as u64 * 4),
         serial_ms: Some(fold_ms),
         parallel_ms: Some(fused_ms),
         speedup: Some(fold_ms / fused_ms.max(1e-9)),
-        bytes_raw: None,
-        bytes_encoded: None,
+        ..PerfEntry::section(
+            "perf-compress-aggregate",
+            section_start.elapsed().as_secs_f64() * 1e3,
+        )
+    }
+}
+
+/// Workload of the zone-map pruning and morsel experiments: the cold
+/// sorted column under APM segmentation, converged by one pass of the
+/// query stream so every piece carries tight synopsis bounds. The APM
+/// bounds are deliberately small relative to the ~10%-selectivity query
+/// width, so a typical query overlaps many pieces and only its two
+/// boundary pieces straddle.
+fn pruned_setup(quick: bool) -> (ConcurrentColumn<u32>, Vec<ValueRange<u32>>, Vec<u32>) {
+    let values = cold_sorted_column(quick);
+    let hi = *values.last().expect("non-empty");
+    let domain = ValueRange::must(0u32, hi);
+    let spec = StrategySpec::new(StrategyKind::ApmSegm).with_apm_bounds(4 * 1024, 16 * 1024);
+    let column =
+        ConcurrentColumn::from_spec(&spec, domain, values.clone()).expect("values in domain");
+    let queries = WorkloadSpec::uniform(0.1, 64, 59).generate(&domain);
+    for q in &queries {
+        let _ = column.select_count(q, &mut NullTracker);
+    }
+    column.quiesce();
+    (column, queries, values)
+}
+
+/// Measures zone-map piece pruning on the snapshot read path
+/// (`perf-pruning`): one audited pass of the query stream over the
+/// converged clustered column, with [`CountingTracker`] splitting the
+/// bytes actually scanned (`bytes_scanned`) from what the same walk
+/// reads with the synopses ignored (`bytes_unpruned` = scanned +
+/// skipped — the skip accounting carries the piece size precisely so
+/// the unpruned cost is reconstructible from one pruned run). The
+/// `speedup` field is the byte ratio; CI gates it at ≥ 3x here.
+pub fn pruning_scan_perf(quick: bool) -> PerfEntry {
+    let section_start = Instant::now();
+    let (column, queries, values) = pruned_setup(quick);
+    let snapshot = column.snapshot();
+
+    let mut tracker = CountingTracker::new();
+    for q in &queries {
+        tracker.begin_query();
+        let n = snapshot.select_count(q, &mut tracker);
+        assert_eq!(
+            n,
+            kernels::count_range(&values, q),
+            "pruned count diverged from the naive filter"
+        );
+    }
+    let pruned = tracker.totals().read_bytes;
+    let unpruned = tracker.totals().unpruned_read_bytes();
+
+    PerfEntry {
+        bytes_scanned: Some(pruned),
+        bytes_unpruned: Some(unpruned),
+        speedup: Some(unpruned as f64 / pruned.max(1) as f64),
+        ..PerfEntry::section("perf-pruning", section_start.elapsed().as_secs_f64() * 1e3)
+    }
+}
+
+/// Measures the morsel-driven batch read path against the serial
+/// per-query walk over the same snapshot (`perf-morsel`). Correctness
+/// first: the batch counts and the replayed [`EventLog`] must match the
+/// serial walk event for event (bit-identical accounting), then both
+/// paths are timed on a larger query stream. The pooled work per morsel
+/// is a binary search, so the interesting regime is overhead: the batch
+/// must stay in the same ballpark as serial, not win big.
+pub fn morsel_scan_perf(quick: bool) -> PerfEntry {
+    let section_start = Instant::now();
+    let (column, _, _) = pruned_setup(quick);
+    let snapshot = column.snapshot();
+    let mut pool = ScanPool::with_default_workers();
+    let count = if quick { 1_024 } else { 4_096 };
+    let queries = WorkloadSpec::uniform(0.1, count, 60).generate(&snapshot.domain());
+
+    let mut serial_log = EventLog::new();
+    let serial: Vec<u64> = queries
+        .iter()
+        .map(|q| snapshot.select_count(q, &mut serial_log))
+        .collect();
+    let mut batch_log = EventLog::new();
+    let batch = snapshot.select_count_batch(&queries, &mut pool, &mut batch_log);
+    assert_eq!(serial, batch, "morsel batch diverged from serial counts");
+    assert_eq!(
+        serial_log.events(),
+        batch_log.events(),
+        "morsel accounting diverged from the serial walk"
+    );
+
+    let (serial_ms, _) = best_ms(3, || {
+        queries
+            .iter()
+            .map(|q| snapshot.select_count(q, &mut NullTracker))
+            .sum::<u64>()
+    });
+    let (parallel_ms, _) = best_ms(3, || {
+        snapshot
+            .select_count_batch(&queries, &mut pool, &mut NullTracker)
+            .iter()
+            .sum::<u64>()
+    });
+
+    PerfEntry {
+        bytes_scanned: Some(batch_log.scan_bytes()),
+        serial_ms: Some(serial_ms),
+        parallel_ms: Some(parallel_ms),
+        speedup: Some(serial_ms / parallel_ms.max(1e-9)),
+        ..PerfEntry::section("perf-morsel", section_start.elapsed().as_secs_f64() * 1e3)
+    }
+}
+
+/// Runs the open-loop (arrival-rate-driven) Zipf workload against a
+/// self-organizing [`ConcurrentColumn`] (`perf-openloop`) and reports
+/// scheduled-arrival latency quantiles. Each query is issued at its
+/// Poisson arrival instant — early slots are waited out, late ones are
+/// never compressed — and latency is completion minus *scheduled*
+/// arrival, so queueing delay behind a reorganizing writer lands in the
+/// tail. p50/p99/p999 come from the shared criterion-shim
+/// [`quantile`] estimator.
+pub fn open_loop_perf(quick: bool) -> PerfEntry {
+    let section_start = Instant::now();
+    let n = if quick { 100_000 } else { 400_000 };
+    let domain = ValueRange::must(0u32, 999_999);
+    let values = uniform_values(n, &domain, 67);
+    let spec = StrategySpec::new(StrategyKind::ApmSegm).with_apm_bounds(16 * 1024, 64 * 1024);
+    let column = ConcurrentColumn::from_spec(&spec, domain, values).expect("values in domain");
+
+    let count = if quick { 800 } else { 4_000 };
+    let open = OpenLoopSpec::new(WorkloadSpec::zipf(0.02, count, 71), 4_000.0);
+    let schedule = open.schedule(&domain);
+
+    let t0 = Instant::now();
+    let mut latencies_us: Vec<f64> = Vec::with_capacity(schedule.len());
+    for a in &schedule {
+        while (t0.elapsed().as_micros() as u64) < a.at_micros {
+            std::hint::spin_loop();
+        }
+        let _ = std::hint::black_box(column.select_count(&a.query, &mut NullTracker));
+        let done = t0.elapsed().as_micros() as u64;
+        latencies_us.push((done - a.at_micros) as f64);
+    }
+    column.quiesce();
+    latencies_us.sort_unstable_by(f64::total_cmp);
+
+    PerfEntry {
+        p50_us: Some(quantile(&latencies_us, 0.50)),
+        p99_us: Some(quantile(&latencies_us, 0.99)),
+        p999_us: Some(quantile(&latencies_us, 0.999)),
+        ..PerfEntry::section("perf-openloop", section_start.elapsed().as_secs_f64() * 1e3)
     }
 }
 
@@ -537,6 +703,14 @@ pub fn write_bench_json_named(
             "bytes_encoded",
             e.bytes_encoded.map(|b| b.to_string()),
         );
+        push_field(
+            &mut line,
+            "bytes_unpruned",
+            e.bytes_unpruned.map(|b| b.to_string()),
+        );
+        push_field(&mut line, "p50_us", e.p50_us.map(|v| format!("{v:.1}")));
+        push_field(&mut line, "p99_us", e.p99_us.map(|v| format!("{v:.1}")));
+        push_field(&mut line, "p999_us", e.p999_us.map(|v| format!("{v:.1}")));
         line.push('}');
         if i + 1 < entries.len() {
             line.push(',');
@@ -623,6 +797,39 @@ mod tests {
     }
 
     #[test]
+    fn pruning_perf_meets_the_one_third_gate() {
+        let e = pruning_scan_perf(true);
+        assert_eq!(e.id, "perf-pruning");
+        let pruned = e.bytes_scanned.unwrap();
+        let unpruned = e.bytes_unpruned.unwrap();
+        assert!(pruned > 0, "boundary pieces always straddle something");
+        assert!(
+            pruned * 3 <= unpruned,
+            "pruned {pruned} B must be at most a third of unpruned {unpruned} B"
+        );
+        assert!(e.speedup.unwrap() >= 3.0);
+    }
+
+    #[test]
+    fn morsel_perf_is_bit_identical_and_reports_both_paths() {
+        // The equality asserts live inside the measurement itself; a
+        // normal return means serial and batch agreed event for event.
+        let e = morsel_scan_perf(true);
+        assert_eq!(e.id, "perf-morsel");
+        assert!(e.bytes_scanned.unwrap() > 0);
+        assert!(e.serial_ms.unwrap() > 0.0 && e.parallel_ms.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn open_loop_perf_reports_ordered_quantiles() {
+        let e = open_loop_perf(true);
+        assert_eq!(e.id, "perf-openloop");
+        let (p50, p99, p999) = (e.p50_us.unwrap(), e.p99_us.unwrap(), e.p999_us.unwrap());
+        assert!(p50 >= 0.0);
+        assert!(p50 <= p99 && p99 <= p999, "quantiles must be monotone");
+    }
+
+    #[test]
     fn named_json_writer_carries_its_schema() {
         let dir = std::env::temp_dir().join("soc_bench_json5_test");
         let entries = vec![PerfEntry::section("perf-concurrent-readers", 1.0)];
@@ -644,6 +851,9 @@ mod tests {
                 serial_ms: Some(10.0),
                 parallel_ms: Some(4.0),
                 speedup: Some(2.5),
+                bytes_unpruned: Some(4096),
+                p50_us: Some(12.34),
+                p999_us: Some(98.76),
                 ..PerfEntry::section("perf-sharded-nodes16", 99.0)
             },
         ];
@@ -653,6 +863,9 @@ mod tests {
         assert!(text.contains("\"quick\": true"));
         assert!(text.contains("\"id\": \"perf-sharded-nodes16\""));
         assert!(text.contains("\"speedup\": 2.500"));
+        assert!(text.contains("\"bytes_unpruned\": 4096"));
+        assert!(text.contains("\"p50_us\": 12.3"));
+        assert!(text.contains("\"p999_us\": 98.8"));
         // Balanced braces/brackets — a cheap structural sanity check.
         assert_eq!(text.matches('{').count(), text.matches('}').count());
         assert_eq!(text.matches('[').count(), text.matches(']').count());

@@ -11,8 +11,11 @@
 //! `sample_size` independently timed samples. When five or more samples
 //! were taken the top and bottom sample are trimmed (simple outlier
 //! rejection against scheduler blips on both tails) and the printed line
-//! reports the **min** (the least-noise estimate of the true cost) and
-//! **median** (the robust central tendency) of the surviving samples; with
+//! reports the **min** (the least-noise estimate of the true cost), the
+//! **median** (the robust central tendency), and the **p50/p99
+//! [`quantile`]s** of the surviving samples (the tail is what open-loop
+//! latency work cares about; the same interpolating quantile is exported
+//! for harnesses that aggregate their own latency distributions); with
 //! a [`Throughput`] configured it also derives **elements (or bytes) per
 //! second** from the median. No confidence intervals or HTML reports —
 //! upgrade to real criterion when a networked build is available.
@@ -320,19 +323,45 @@ impl Criterion {
         };
         let min = trimmed[0];
         let median = trimmed[trimmed.len() / 2];
+        let (p50, p99) = (quantile(trimmed, 0.50), quantile(trimmed, 0.99));
         let (stddev, ci95) = spread(trimmed);
         let rate = throughput
             .map(|t| format!(", {}", t.rate(median)))
             .unwrap_or_default();
         println!(
             "{name}: {samples} samples x {iters} iters ({} trimmed), min {}, \
-             median {} ± {} (95% CI, σ {}){rate}",
+             median {} ± {} (95% CI, σ {}), p50 {}, p99 {}{rate}",
             means.len() - trimmed.len(),
             human_time(min),
             human_time(median),
             human_time(ci95),
             human_time(stddev),
+            human_time(p50),
+            human_time(p99),
         );
+    }
+}
+
+/// The `q`-quantile (`0.0..=1.0`) of an **ascending-sorted** sample set,
+/// by linear interpolation between the two closest ranks (the "type 7"
+/// estimator of R/NumPy). `q` is clamped; an empty set yields `0.0`.
+///
+/// This is the one quantile implementation of the workspace: the shim's
+/// own sample report and the open-loop latency harness in `soc-bench`
+/// both route through it, so "p99" always means the same estimator.
+pub fn quantile(sorted: &[f64], q: f64) -> f64 {
+    match sorted {
+        [] => 0.0,
+        [x] => *x,
+        _ => {
+            let pos = q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+            let i = pos.floor() as usize;
+            let frac = pos - i as f64;
+            match sorted.get(i + 1) {
+                Some(&next) => sorted[i] * (1.0 - frac) + next * frac,
+                None => sorted[i],
+            }
+        }
     }
 }
 
@@ -449,6 +478,22 @@ mod tests {
         assert_eq!(spread(&[]), (0.0, 0.0));
         let (s, c) = spread(&[4.0, 4.0, 4.0]);
         assert_eq!((s, c), (0.0, 0.0));
+    }
+
+    #[test]
+    fn quantile_interpolates_between_ranks() {
+        let samples = [10.0, 20.0, 30.0, 40.0, 50.0];
+        assert_eq!(quantile(&samples, 0.0), 10.0);
+        assert_eq!(quantile(&samples, 1.0), 50.0);
+        assert_eq!(quantile(&samples, 0.5), 30.0);
+        // 0.25 lands exactly on rank 1; 0.9 interpolates between 40 and 50.
+        assert_eq!(quantile(&samples, 0.25), 20.0);
+        assert!((quantile(&samples, 0.9) - 46.0).abs() < 1e-12);
+        // Out-of-range q clamps; degenerate inputs do not panic.
+        assert_eq!(quantile(&samples, 1.5), 50.0);
+        assert_eq!(quantile(&samples, -0.5), 10.0);
+        assert_eq!(quantile(&[], 0.5), 0.0);
+        assert_eq!(quantile(&[7.0], 0.99), 7.0);
     }
 
     #[test]

@@ -29,6 +29,7 @@
 use std::borrow::Cow;
 
 use crate::range::ValueRange;
+use crate::synopsis::PieceSynopsis;
 use crate::value::ColumnValue;
 
 /// Which physical representation a segment's payload uses.
@@ -222,6 +223,48 @@ impl EncodedPayload {
             // the table, a width/len header, then the packed codes.
             EncodedPayload::Dict { table, words, .. } => {
                 table.len() as u64 * 8 + 16 + words.len() as u64 * 8
+            }
+        }
+    }
+
+    /// Exact `(min, max)` of the stored keys, `None` when empty — the
+    /// packed half of a piece synopsis, derived without decoding. RLE
+    /// folds its runs; Dict reads the ends of its sorted table O(1)
+    /// (packing builds the table from exactly the distinct keys present);
+    /// FOR's `base` is its minimum by construction — frame-of-reference
+    /// bounds come "for free" — but the width rounds up to whole bits, so
+    /// the exact maximum takes one pass over the packed fields (the
+    /// min-field fold rides along for hand-built payloads whose base sits
+    /// below the data).
+    pub fn key_bounds(&self) -> Option<(u64, u64)> {
+        match self {
+            EncodedPayload::Rle { runs } => runs.iter().map(|&(k, _)| k).fold(None, |b, k| {
+                Some(match b {
+                    None => (k, k),
+                    Some((mn, mx)) => (mn.min(k), mx.max(k)),
+                })
+            }),
+            EncodedPayload::For {
+                base,
+                width,
+                len,
+                words,
+            } => {
+                if *len == 0 {
+                    return None;
+                }
+                let (mut min_d, mut max_d) = (u64::MAX, 0u64);
+                for_each_field(words, *width, *len as usize, |d| {
+                    min_d = min_d.min(d);
+                    max_d = max_d.max(d);
+                });
+                Some((base.saturating_add(min_d), base.saturating_add(max_d)))
+            }
+            EncodedPayload::Dict { table, len, .. } => {
+                if *len == 0 {
+                    return None;
+                }
+                Some((*table.first()?, *table.last()?))
             }
         }
     }
@@ -866,6 +909,31 @@ impl<V: ColumnValue> PiecePayload<V> {
         }
     }
 
+    /// The piece's zone-map synopsis — exact min/max/count/sum, derived
+    /// without materializing a packed payload. The sum folds keys with
+    /// multiplicities in exactly the order [`Self::sum_range`] visits
+    /// them, so a covered query answered from the stored sum reproduces
+    /// the compressed-domain scan it replaces bit for bit. `None` for an
+    /// empty payload (or keys that no longer decode, which
+    /// [`EncodedPayload::validate_for`] rejects upstream).
+    pub fn synopsis(&self) -> Option<PieceSynopsis<V>> {
+        match self {
+            PiecePayload::Raw(v) => PieceSynopsis::from_values(v),
+            PiecePayload::Packed(p) => {
+                let (lo, hi) = p.key_bounds()?;
+                let min = V::from_key(lo)?;
+                let max = V::from_key(hi)?;
+                let mut sum = 0.0f64;
+                p.visit_all_keys(|k, n| {
+                    if let Some(v) = V::from_key(k) {
+                        sum += v.to_f64() * n as f64;
+                    }
+                });
+                Some(PieceSynopsis::new(min, max, p.len(), sum))
+            }
+        }
+    }
+
     /// Re-encodes in place. `Raw` decodes a packed payload; a packed
     /// target re-encodes from the decoded values. Returns `false` (and
     /// leaves the payload untouched) when the representation would not
@@ -1116,6 +1184,59 @@ mod tests {
                 base + rng.gen_range(0..10u32)
             })
             .collect()
+    }
+
+    #[test]
+    fn key_bounds_are_exact_for_every_codec() {
+        let values = mixed_values(5_000, 9);
+        let mn = *values.iter().min().expect("non-empty");
+        let mx = *values.iter().max().expect("non-empty");
+        for enc in [
+            SegmentEncoding::Rle,
+            SegmentEncoding::For,
+            SegmentEncoding::Dict,
+        ] {
+            let PiecePayload::Packed(p) = payload_of(&values, enc) else {
+                panic!("packed")
+            };
+            let (lo, hi) = p.key_bounds().expect("non-empty payload has bounds");
+            assert_eq!(u32::from_key(lo), Some(mn), "{enc}");
+            assert_eq!(u32::from_key(hi), Some(mx), "{enc}");
+        }
+    }
+
+    #[test]
+    fn synopsis_matches_decoded_aggregates_for_every_codec() {
+        let values = mixed_values(3_000, 13);
+        let raw = PiecePayload::Raw(values.clone());
+        let raw_syn = raw.synopsis().expect("non-empty");
+        let covering = ValueRange::must(0u32, u32::MAX);
+        assert_eq!(raw_syn.count(), values.len() as u64);
+        assert_eq!(
+            raw_syn.sum().to_bits(),
+            raw.sum_range(&covering).to_bits(),
+            "raw synopsis sum must reproduce a covering sum_range exactly"
+        );
+        for enc in [
+            SegmentEncoding::Rle,
+            SegmentEncoding::For,
+            SegmentEncoding::Dict,
+        ] {
+            let packed = payload_of(&values, enc);
+            let syn = packed.synopsis().expect("non-empty");
+            assert_eq!(
+                (syn.min(), syn.max()),
+                (raw_syn.min(), raw_syn.max()),
+                "{enc}"
+            );
+            assert_eq!(syn.count(), raw_syn.count(), "{enc}");
+            assert_eq!(
+                syn.sum().to_bits(),
+                packed.sum_range(&covering).to_bits(),
+                "{enc}: packed synopsis sum must reproduce its own covering scan"
+            );
+        }
+        assert!(PiecePayload::<u32>::Raw(Vec::new()).synopsis().is_none());
     }
 
     #[test]

@@ -114,6 +114,42 @@ pub fn sum_range<V: ColumnValue>(values: &[V], q: &ValueRange<V>) -> f64 {
     total
 }
 
+/// Sum of every value's `to_f64` projection, chunked exactly like
+/// [`sum_range`]. This is what a piece synopsis stores: because IEEE-754
+/// guarantees `1.0 * x == x`, and the chunk/accumulator structure is the
+/// same, the stored sum is bit-identical to the `sum_range` result of any
+/// query that covers the whole slice — so a pruned aggregate that answers
+/// a covered piece from its synopsis reproduces the unpruned scan exactly.
+pub fn sum_all<V: ColumnValue>(values: &[V]) -> f64 {
+    let mut total = 0.0f64;
+    for chunk in values.chunks(CHUNK) {
+        let mut acc = 0.0f64;
+        for &v in chunk {
+            acc += v.to_f64();
+        }
+        total += acc;
+    }
+    total
+}
+
+/// Min and max over the whole slice (no predicate); `None` when empty.
+/// The unconditioned fold behind synopsis construction for unsorted
+/// payloads — sorted callers read their first/last element instead.
+pub fn min_max_all<V: ColumnValue>(values: &[V]) -> Option<(V, V)> {
+    let mut iter = values.iter();
+    let &first = iter.next()?;
+    let (mut mn, mut mx) = (first, first);
+    for &v in iter {
+        if v < mn {
+            mn = v;
+        }
+        if mx < v {
+            mx = v;
+        }
+    }
+    Some((mn, mx))
+}
+
 /// One-pass fused `MIN(v), MAX(v) WHERE v IN q`; `None` when no value
 /// qualifies. The in-range test gates a pair of compare-selects, so a
 /// match never copies more than two registers — again no materialization.
@@ -257,6 +293,27 @@ mod tests {
             assert_eq!(min_max_range(&values, &q), mn.map(|m| (m, mx.unwrap())));
         }
         assert_eq!(min_max_range::<u32>(&[], &ValueRange::must(0, 9)), None);
+    }
+
+    #[test]
+    fn sum_all_is_bit_identical_to_a_covering_sum_range() {
+        let values = shuffled(3 * CHUNK + 41, 23);
+        let covering = ValueRange::must(0u32, u32::MAX);
+        assert_eq!(
+            sum_all(&values).to_bits(),
+            sum_range(&values, &covering).to_bits()
+        );
+        assert_eq!(sum_all::<u32>(&[]), 0.0);
+    }
+
+    #[test]
+    fn min_max_all_matches_iterator_fold() {
+        let values = shuffled(CHUNK + 3, 29);
+        let mn = values.iter().copied().min().unwrap();
+        let mx = values.iter().copied().max().unwrap();
+        assert_eq!(min_max_all(&values), Some((mn, mx)));
+        assert_eq!(min_max_all::<u32>(&[]), None);
+        assert_eq!(min_max_all(&[7u32]), Some((7, 7)));
     }
 
     #[test]

@@ -61,6 +61,7 @@ pub mod kernels;
 pub mod merge;
 pub mod meta;
 pub mod model;
+pub mod morsel;
 pub mod paired;
 pub mod range;
 pub mod replication;
@@ -68,6 +69,7 @@ pub mod segment;
 pub mod segmentation;
 pub mod spec;
 pub mod strategy;
+pub mod synopsis;
 pub mod tracker;
 pub mod validate;
 pub mod value;
@@ -86,6 +88,7 @@ pub use model::{
     AdaptivePageModel, AlwaysSplit, AutoTunedApm, GaussianDice, NeverSplit, SegmentationModel,
     SplitDecision, SplitGeometry, Technique, WhichBound,
 };
+pub use morsel::ScanPool;
 pub use paired::{pair_rows, Pair};
 pub use range::ValueRange;
 pub use replication::{AdaptiveReplication, ReplicaTree};
@@ -93,6 +96,7 @@ pub use segment::{SegId, SegIdGen, SegmentData};
 pub use segmentation::AdaptiveSegmentation;
 pub use spec::{StrategyKind, StrategySpec};
 pub use strategy::{AdaptationStats, ColumnStrategy};
+pub use synopsis::{PieceSynopsis, SynopsisClass};
 pub use tracker::{
     AccessTracker, CountingTracker, EventLog, NullTracker, QueryStats, TrackerEvent,
 };

@@ -1,0 +1,325 @@
+//! Morsel-driven parallel scan execution (Leis et al., SIGMOD 2014,
+//! adapted to the epoch-snapshot read path of [`crate::epoch`]).
+//!
+//! A [`ScanPool`] owns a small fixed set of worker threads and a
+//! work-stealing deque per worker. Callers hand it a batch of independent
+//! *morsels* — closures over one piece of one query — and get the results
+//! back **in submission order**, whatever order the workers finished in.
+//! That ordering contract is what lets the epoch read path merge
+//! per-morsel [`crate::EventLog`]s piece-by-piece and stay bit-identical
+//! to a serial scan: same events, same order, same f64 accumulation.
+//!
+//! Design notes:
+//!
+//! - Workers pop their own deque from the front and steal from the *back*
+//!   of a victim, the classic contention-minimizing split.
+//! - Jobs are distributed round-robin at submission, so a balanced batch
+//!   never steals at all; stealing only pays when morsels are skewed
+//!   (one straddling piece much larger than the rest).
+//! - A panicking morsel is caught on the worker and re-raised on the
+//!   submitting thread ([`std::panic::resume_unwind`]), so a poisoned
+//!   scan cannot silently drop results.
+//! - The pool is deliberately *not* global: benches and the concurrent
+//!   column create one next to the data they scan, and `Drop` joins the
+//!   workers, so tests cannot leak threads.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Shared state between the pool handle and its workers.
+struct PoolShared {
+    /// One deque per worker. Owners pop the front; thieves take the back.
+    deques: Vec<Mutex<VecDeque<Job>>>,
+    /// Wakes parked workers when jobs arrive or shutdown begins.
+    signal: Condvar,
+    /// Guard for [`Self::signal`]; counts outstanding (queued) jobs.
+    queued: Mutex<usize>,
+    /// Set once by `Drop`; workers drain their deques and exit.
+    shutdown: AtomicBool,
+}
+
+/// A fixed pool of scan workers with per-worker work-stealing deques.
+///
+/// See the module docs for the execution model. The public surface is
+/// intentionally tiny: construct with a worker count, call
+/// [`Self::execute`] with a batch of closures, receive results in
+/// submission order.
+pub struct ScanPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<JoinHandle<()>>,
+    /// Round-robin cursor so consecutive `execute` calls spread load.
+    next_deque: usize,
+}
+
+impl std::fmt::Debug for ScanPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScanPool")
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl ScanPool {
+    /// Spawns a pool of `workers` threads (clamped to at least one).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let shared = Arc::new(PoolShared {
+            deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            signal: Condvar::new(),
+            queued: Mutex::new(0),
+            shutdown: AtomicBool::new(false),
+        });
+        let handles = (0..workers)
+            .map(|me| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("soc-scan-{me}"))
+                    .spawn(move || worker_loop(me, &shared))
+                    // soc-lint: allow(L1-panic-free, thread spawn failure at pool construction is unrecoverable)
+                    .expect("spawn scan worker")
+            })
+            .collect();
+        ScanPool {
+            shared,
+            workers: handles,
+            next_deque: 0,
+        }
+    }
+
+    /// A pool sized to the machine: one worker per available core, capped
+    /// at 8 (snapshot scans are memory-bound; more threads only thrash).
+    pub fn with_default_workers() -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        ScanPool::new(cores.min(8))
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Runs every morsel on the pool and returns their results **in
+    /// submission order**, blocking until the whole batch finishes.
+    ///
+    /// If any morsel panics, the panic is re-raised here after the rest
+    /// of the batch has been collected or abandoned.
+    pub fn execute<R, F>(&mut self, morsels: Vec<F>) -> Vec<R>
+    where
+        R: Send + 'static,
+        F: FnOnce() -> R + Send + 'static,
+    {
+        let n = morsels.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        // One result slot per morsel; workers fill them out of order and
+        // the submission-order read below restores determinism.
+        type Slot<R> = Mutex<Option<std::thread::Result<R>>>;
+        let slots: Arc<Vec<Slot<R>>> = Arc::new((0..n).map(|_| Mutex::new(None)).collect());
+        let done = Arc::new((Mutex::new(0usize), Condvar::new()));
+
+        let workers = self.workers.len();
+        // Announce the batch *before* pushing any job, so a worker that
+        // dequeues instantly can never drive the queued count negative.
+        {
+            let mut queued = lock_clean(&self.shared.queued);
+            *queued += n;
+        }
+        for (i, morsel) in morsels.into_iter().enumerate() {
+            let slots = Arc::clone(&slots);
+            let done = Arc::clone(&done);
+            let job: Job = Box::new(move || {
+                let outcome = catch_unwind(AssertUnwindSafe(morsel));
+                *lock_clean(&slots[i]) = Some(outcome);
+                let (count, cv) = &*done;
+                *lock_clean(count) += 1;
+                cv.notify_all();
+            });
+            let target = (self.next_deque + i) % workers;
+            lock_clean(&self.shared.deques[target]).push_back(job);
+        }
+        self.next_deque = (self.next_deque + n) % workers;
+        self.shared.signal.notify_all();
+
+        // Wait for the batch, then read the slots back in order. The done
+        // counter only proves the closures *ran*; workers may still hold
+        // their Arc clones for a moment, so results are taken out of the
+        // shared slots rather than by unwrapping the Arc.
+        let (count, cv) = &*done;
+        let mut finished = lock_clean(count);
+        while *finished < n {
+            finished = match cv.wait(finished) {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+        drop(finished);
+
+        let mut results = Vec::with_capacity(n);
+        let mut panic = None;
+        for slot in slots.iter() {
+            match lock_clean(slot).take() {
+                Some(Ok(r)) => results.push(r),
+                Some(Err(p)) => panic = Some(p),
+                // soc-lint: allow(L1-panic-free, the done-counter proves every slot was filled)
+                None => unreachable!("morsel counted as done without a result"),
+            }
+        }
+        if let Some(p) = panic {
+            std::panic::resume_unwind(p);
+        }
+        results
+    }
+}
+
+impl Drop for ScanPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.signal.notify_all();
+        for handle in self.workers.drain(..) {
+            // A worker that panicked already re-raised through the result
+            // slot; ignore the join error to avoid a double panic in drop.
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Locks a mutex, shrugging off poisoning: every job runs under
+/// `catch_unwind`, so the protected state is never left mid-update.
+fn lock_clean<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn worker_loop(me: usize, shared: &PoolShared) {
+    loop {
+        // Own deque first (front), then steal (back) round-robin.
+        let job = take_job(me, shared);
+        match job {
+            Some(job) => {
+                job();
+            }
+            None => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Park until new work or shutdown is signalled.
+                let queued = lock_clean(&shared.queued);
+                if *queued == 0 && !shared.shutdown.load(Ordering::SeqCst) {
+                    let _unused = match shared.signal.wait(queued) {
+                        Ok(g) => g,
+                        Err(poisoned) => poisoned.into_inner(),
+                    };
+                }
+            }
+        }
+    }
+}
+
+fn take_job(me: usize, shared: &PoolShared) -> Option<Job> {
+    let n = shared.deques.len();
+    for offset in 0..n {
+        let victim = (me + offset) % n;
+        let mut deque = lock_clean(&shared.deques[victim]);
+        let job = if offset == 0 {
+            deque.pop_front()
+        } else {
+            deque.pop_back()
+        };
+        if let Some(job) = job {
+            drop(deque);
+            let mut queued = lock_clean(&shared.queued);
+            *queued = queued.saturating_sub(1);
+            return Some(job);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        let mut pool = ScanPool::new(4);
+        let morsels: Vec<_> = (0..64u64)
+            .map(|i| {
+                move || {
+                    // Reverse the natural finish order: early morsels are slow.
+                    if i < 8 {
+                        std::thread::sleep(std::time::Duration::from_millis(64 - i));
+                    }
+                    i * 10
+                }
+            })
+            .collect();
+        let results = pool.execute(morsels);
+        assert_eq!(results, (0..64u64).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let mut pool = ScanPool::new(2);
+        let results: Vec<u32> = pool.execute(Vec::<fn() -> u32>::new());
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn single_worker_pool_still_completes() {
+        let mut pool = ScanPool::new(1);
+        let results = pool.execute((0..10).map(|i| move || i + 1).collect::<Vec<_>>());
+        assert_eq!(results, (1..=10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn consecutive_batches_reuse_the_workers() {
+        let mut pool = ScanPool::new(3);
+        for round in 0..5u64 {
+            let results = pool.execute((0..7).map(|i| move || round * 100 + i).collect::<Vec<_>>());
+            assert_eq!(results, (0..7).map(|i| round * 100 + i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn skewed_batches_get_stolen() {
+        // One giant morsel plus many tiny ones: with stealing, the tiny
+        // ones finish on other workers while the giant one runs. We can't
+        // observe the schedule directly, but the batch must complete and
+        // stay ordered.
+        let mut pool = ScanPool::new(4);
+        let mut morsels: Vec<Box<dyn FnOnce() -> u64 + Send>> = vec![Box::new(|| {
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            0
+        })];
+        for i in 1..40u64 {
+            morsels.push(Box::new(move || i));
+        }
+        let results = pool.execute(morsels);
+        assert_eq!(results, (0..40).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn morsel_panic_propagates_to_the_caller() {
+        let mut pool = ScanPool::new(2);
+        let morsels: Vec<Box<dyn FnOnce() -> u32 + Send>> = vec![
+            Box::new(|| 1),
+            Box::new(|| panic!("scan failed")),
+            Box::new(|| 3),
+        ];
+        let outcome = catch_unwind(AssertUnwindSafe(|| pool.execute(morsels)));
+        assert!(outcome.is_err(), "the morsel panic must reach the caller");
+        // The pool survives a panicked batch.
+        let results = pool.execute(vec![|| 7u32]);
+        assert_eq!(results, vec![7]);
+    }
+}

@@ -4,6 +4,7 @@ use std::borrow::Cow;
 
 use crate::compress::{EncodingMode, PiecePayload, SegmentEncoding, SegmentHeat};
 use crate::range::ValueRange;
+use crate::synopsis::{PieceSynopsis, SynopsisClass};
 use crate::tracker::AccessTracker;
 use crate::value::ColumnValue;
 
@@ -52,12 +53,23 @@ impl SegIdGen {
 /// [`crate::compress`]; [`Self::count_in`]/[`Self::collect_in`] dispatch
 /// to the compressed-domain kernels, so every strategy built on
 /// `SegmentData` inherits per-segment compression transparently.
+///
+/// Each segment also caches a [`PieceSynopsis`] (exact min/max/count/sum),
+/// recomputed whenever the payload changes — construction, restore, and
+/// every encode step. The pure-read scan methods consult it first: a
+/// provably disjoint predicate answers without touching the payload, and
+/// a covering one answers counts and sums O(1) from the stored
+/// aggregates. The synopsis bounds are usually *tighter* than `range`
+/// (the range is the reorganization partition; the data inside it
+/// clusters), which is where zone-map pruning wins over the range check
+/// alone.
 #[derive(Debug, Clone)]
 pub struct SegmentData<V> {
     id: SegId,
     range: ValueRange<V>,
     payload: PiecePayload<V>,
     heat: SegmentHeat,
+    synopsis: Option<PieceSynopsis<V>>,
 }
 
 impl<V: ColumnValue> SegmentData<V> {
@@ -67,11 +79,14 @@ impl<V: ColumnValue> SegmentData<V> {
             values.iter().all(|v| range.contains(*v)),
             "segment values must lie within the segment range"
         );
+        let payload = PiecePayload::Raw(values);
+        let synopsis = payload.synopsis();
         SegmentData {
             id,
             range,
-            payload: PiecePayload::Raw(values),
+            payload,
             heat: SegmentHeat::default(),
+            synopsis,
         }
     }
 
@@ -82,12 +97,26 @@ impl<V: ColumnValue> SegmentData<V> {
             payload.decoded().iter().all(|v| range.contains(*v)),
             "segment values must lie within the segment range"
         );
+        let synopsis = payload.synopsis();
         SegmentData {
             id,
             range,
             payload,
             heat: SegmentHeat::default(),
+            synopsis,
         }
+    }
+
+    /// The cached zone-map synopsis (`None` for an empty segment).
+    #[inline]
+    pub fn synopsis(&self) -> Option<PieceSynopsis<V>> {
+        self.synopsis
+    }
+
+    /// Recomputes the cached synopsis from the current payload — called
+    /// after every payload mutation so the cache can never go stale.
+    fn refresh_synopsis(&mut self) {
+        self.synopsis = self.payload.synopsis();
     }
 
     /// Segment identity.
@@ -187,6 +216,10 @@ impl<V: ColumnValue> SegmentData<V> {
         let old = self.payload.bytes();
         if self.payload.reencode(enc) {
             self.heat.note_flip(tick);
+            // The synopsis sum tracks the *current* layout's accumulation
+            // order (raw chunked vs. packed key-visit), so a representation
+            // change must refresh it even though the values are unchanged.
+            self.refresh_synopsis();
             Some((old, self.payload.bytes()))
         } else {
             None
@@ -203,6 +236,7 @@ impl<V: ColumnValue> SegmentData<V> {
         let old = self.payload.bytes();
         if self.payload.pack_best() {
             self.heat.note_flip(tick);
+            self.refresh_synopsis();
             Some((old, self.payload.bytes()))
         } else {
             self.heat.note_flip(tick);
@@ -227,6 +261,7 @@ impl<V: ColumnValue> SegmentData<V> {
         let delta =
             crate::compress::apply_encoding_step(&mut self.payload, &mut self.heat, mode, tick);
         if let Some((old, new)) = delta {
+            self.refresh_synopsis();
             tracker.free(self.id, old);
             tracker.materialize(self.id, new);
             true
@@ -235,40 +270,71 @@ impl<V: ColumnValue> SegmentData<V> {
         }
     }
 
+    /// Classifies `q` against the cached synopsis. An empty segment has
+    /// no synopsis and nothing to find, so it classifies as disjoint.
+    #[inline]
+    fn classify(&self, q: &ValueRange<V>) -> SynopsisClass {
+        match &self.synopsis {
+            Some(s) => s.classify(q),
+            None => SynopsisClass::Disjoint,
+        }
+    }
+
     /// Counts the stored values inside `q` without materializing them.
     ///
-    /// A query covering the whole segment range is answered from the
-    /// length alone; otherwise the scan dispatches on the encoding —
-    /// branchless [`crate::kernels::count_range`] for raw payloads, the
-    /// compressed-domain kernels for packed ones. **No decoded value is
-    /// ever materialized on this path.**
+    /// The cached synopsis answers the easy classes without touching the
+    /// payload: a disjoint query is zero, a covering one is the length
+    /// (the synopsis bounds are tighter than `range`, so this fires more
+    /// often than the old whole-range shortcut). Only a straddling query
+    /// scans — branchless [`crate::kernels::count_range`] for raw
+    /// payloads, the compressed-domain kernels for packed ones. **No
+    /// decoded value is ever materialized on this path.**
     pub fn count_in(&self, q: &ValueRange<V>) -> u64 {
-        if q.covers(&self.range) {
-            return self.len();
+        match self.classify(q) {
+            SynopsisClass::Disjoint => 0,
+            SynopsisClass::Covered => self.len(),
+            SynopsisClass::Straddle => self.payload.count_range(q),
         }
-        self.payload.count_range(q)
     }
 
     /// Copies the stored values inside `q` into `out`.
     ///
-    /// A covering query appends the whole payload (decoding a packed one);
-    /// partial overlap materializes only the matching tuples.
+    /// A disjoint query returns untouched; a covering one appends the
+    /// whole payload (decoding a packed one); only partial overlap
+    /// filters tuple by tuple.
     pub fn collect_in(&self, q: &ValueRange<V>, out: &mut Vec<V>) {
-        if q.covers(&self.range) {
-            self.payload.collect_all(out);
-            return;
+        match self.classify(q) {
+            SynopsisClass::Disjoint => {}
+            SynopsisClass::Covered => self.payload.collect_all(out),
+            SynopsisClass::Straddle => self.payload.collect_range(q, out),
         }
-        self.payload.collect_range(q, out);
     }
 
     /// One-pass fused `SUM(v) WHERE v IN q` over this segment.
+    ///
+    /// Disjoint queries are 0.0 and covering ones return the synopsis sum
+    /// — bit-identical to the scan it replaces, because the stored sum is
+    /// accumulated in the current layout's kernel order (see
+    /// [`crate::synopsis`]).
     pub fn sum_in(&self, q: &ValueRange<V>) -> f64 {
-        self.payload.sum_range(q)
+        match (&self.synopsis, self.classify(q)) {
+            (_, SynopsisClass::Disjoint) => 0.0,
+            (Some(s), SynopsisClass::Covered) => s.sum(),
+            _ => self.payload.sum_range(q),
+        }
     }
 
     /// One-pass fused `MIN/MAX(v) WHERE v IN q` over this segment.
+    ///
+    /// Answered O(1) from the synopsis when `q` covers the bounds — they
+    /// are exact, never widened, so this is safe (the whole reason
+    /// [`PieceSynopsis`] refuses conservative bounds).
     pub fn min_max_in(&self, q: &ValueRange<V>) -> Option<(V, V)> {
-        self.payload.min_max_range(q)
+        match (&self.synopsis, self.classify(q)) {
+            (_, SynopsisClass::Disjoint) => None,
+            (Some(s), SynopsisClass::Covered) => Some((s.min(), s.max())),
+            _ => self.payload.min_max_range(q),
+        }
     }
 
     /// Splits the segment's values across an ordered list of sub-ranges that
@@ -362,6 +428,81 @@ mod tests {
     fn count_full_cover_shortcut() {
         let (s, _) = seg(10, 20, &[10, 15, 20]);
         assert_eq!(s.count_in(&ValueRange::must(0, 100)), 3);
+    }
+
+    #[test]
+    fn synopsis_bounds_are_tighter_than_the_range() {
+        // Range says [0, 100]; the data only spans [20, 60].
+        let (s, _) = seg(0, 100, &[20, 40, 60]);
+        let syn = s.synopsis().expect("non-empty segment has a synopsis");
+        assert_eq!((syn.min(), syn.max(), syn.count()), (20, 60, 3));
+        // A query inside the range but outside the data prunes to zero...
+        assert_eq!(s.count_in(&ValueRange::must(61, 100)), 0);
+        assert_eq!(s.sum_in(&ValueRange::must(0, 19)), 0.0);
+        assert_eq!(s.min_max_in(&ValueRange::must(61, 100)), None);
+        let mut out = Vec::new();
+        s.collect_in(&ValueRange::must(61, 100), &mut out);
+        assert!(out.is_empty());
+        // ...and one covering only the data (not the range) answers O(1).
+        assert_eq!(s.count_in(&ValueRange::must(20, 60)), 3);
+        assert_eq!(s.sum_in(&ValueRange::must(20, 60)), 120.0);
+        assert_eq!(s.min_max_in(&ValueRange::must(20, 60)), Some((20, 60)));
+    }
+
+    #[test]
+    fn fast_paths_agree_with_payload_scans_when_packed() {
+        let values: Vec<u32> = (0..512).map(|i| 100 + (i * 7) % 400).collect();
+        let (mut s, _) = seg(0, 999, &values);
+        for enc in [
+            SegmentEncoding::Rle,
+            SegmentEncoding::For,
+            SegmentEncoding::Dict,
+        ] {
+            s.reencode(enc, 1).expect("u32 payloads pack");
+            assert_eq!(s.encoding(), enc);
+            for q in [
+                ValueRange::must(0, 99),    // disjoint below the data
+                ValueRange::must(500, 999), // disjoint above the data
+                ValueRange::must(100, 499), // covers the data exactly
+                ValueRange::must(0, 999),   // covers via the range too
+                ValueRange::must(150, 350), // straddles
+            ] {
+                assert_eq!(s.count_in(&q), s.payload().count_range(&q), "{q:?}");
+                assert_eq!(
+                    s.sum_in(&q).to_bits(),
+                    s.payload().sum_range(&q).to_bits(),
+                    "covered sums must be bit-identical for {q:?}"
+                );
+                assert_eq!(s.min_max_in(&q), s.payload().min_max_range(&q), "{q:?}");
+                let (mut fast, mut slow) = (Vec::new(), Vec::new());
+                s.collect_in(&q, &mut fast);
+                s.payload().collect_range(&q, &mut slow);
+                assert_eq!(fast, slow, "{q:?}");
+            }
+            s.reencode(SegmentEncoding::Raw, 2).expect("unpack");
+        }
+    }
+
+    #[test]
+    fn encode_steps_keep_the_synopsis_fresh() {
+        let (mut s, _) = seg(0, 999, &[7, 7, 7, 900]);
+        let before = s.synopsis().expect("non-empty");
+        s.pack_best(5);
+        let after = s.synopsis().expect("still non-empty");
+        assert_eq!((before.min(), before.max()), (after.min(), after.max()));
+        assert_eq!(before.count(), after.count());
+        // The packed sum must match the packed scan, bit for bit.
+        let all = ValueRange::must(0u32, 999);
+        assert_eq!(after.sum().to_bits(), s.payload().sum_range(&all).to_bits());
+    }
+
+    #[test]
+    fn empty_segment_prunes_everything() {
+        let (s, _) = seg(0, 99, &[]);
+        assert_eq!(s.synopsis(), None);
+        assert_eq!(s.count_in(&ValueRange::must(0, 99)), 0);
+        assert_eq!(s.sum_in(&ValueRange::must(0, 99)), 0.0);
+        assert_eq!(s.min_max_in(&ValueRange::must(0, 99)), None);
     }
 
     #[test]

@@ -50,6 +50,20 @@ pub trait AccessTracker {
     /// Fired when a split replaces a segment and when Algorithm 5 drops a
     /// fully replicated segment from the replica tree.
     fn free(&mut self, seg: SegId, bytes: u64);
+
+    /// Segment `seg` was *pruned*: a piece synopsis (min/max/count/sum)
+    /// proved the query needs none of its bytes, so the read path skipped
+    /// it — or answered it O(1) from the synopsis — without touching the
+    /// payload. `bytes` is the footprint the scan *would* have charged, so
+    /// `read_bytes + pruned_bytes` reconstructs the unpruned cost of the
+    /// same query without a second execution.
+    ///
+    /// Pruned segments charge **zero** scan bytes by contract (soc-lint
+    /// rule L5 guards the event-replay side of this). The default is a
+    /// no-op so trackers that predate pruning keep compiling.
+    fn skip(&mut self, seg: SegId, bytes: u64) {
+        let _ = (seg, bytes);
+    }
 }
 
 /// Counters for one query (one "epoch") of tracked work.
@@ -65,6 +79,10 @@ pub struct QueryStats {
     pub segments_scanned: u64,
     /// Number of segments materialized.
     pub segments_materialized: u64,
+    /// Number of segments pruned by synopsis (answered without a scan).
+    pub segments_pruned: u64,
+    /// Bytes the pruned segments would have cost an unpruned scan.
+    pub pruned_bytes: u64,
 }
 
 impl QueryStats {
@@ -75,6 +93,14 @@ impl QueryStats {
         self.freed_bytes += other.freed_bytes;
         self.segments_scanned += other.segments_scanned;
         self.segments_materialized += other.segments_materialized;
+        self.segments_pruned += other.segments_pruned;
+        self.pruned_bytes += other.pruned_bytes;
+    }
+
+    /// What an unpruned execution of the same queries would have read:
+    /// actual scan bytes plus the bytes synopsis pruning skipped.
+    pub fn unpruned_read_bytes(&self) -> u64 {
+        self.read_bytes + self.pruned_bytes
     }
 }
 
@@ -142,6 +168,13 @@ impl AccessTracker for CountingTracker {
         self.current.freed_bytes += bytes;
         self.total.freed_bytes += bytes;
     }
+
+    fn skip(&mut self, _seg: SegId, bytes: u64) {
+        self.current.segments_pruned += 1;
+        self.current.pruned_bytes += bytes;
+        self.total.segments_pruned += 1;
+        self.total.pruned_bytes += bytes;
+    }
 }
 
 /// One recorded [`AccessTracker`] callback.
@@ -153,6 +186,8 @@ pub enum TrackerEvent {
     Materialize(SegId, u64),
     /// A [`AccessTracker::free`] of `bytes` from segment `seg`.
     Free(SegId, u64),
+    /// An [`AccessTracker::skip`]: segment `seg` pruned, `bytes` unread.
+    Skip(SegId, u64),
 }
 
 /// A tracker that records every event verbatim for later replay.
@@ -198,13 +233,17 @@ impl EventLog {
             .sum()
     }
 
-    /// Re-fires every recorded event, in order, at `target`.
+    /// Re-fires every recorded event, in order, at `target`. A recorded
+    /// prune replays as a prune — mapping [`TrackerEvent::Skip`] to a
+    /// scan charge would re-introduce exactly the bytes the pruner proved
+    /// were never read (soc-lint rule L5 watches for that mistake).
     pub fn replay_into(&self, target: &mut dyn AccessTracker) {
         for e in &self.events {
             match *e {
                 TrackerEvent::Scan(seg, bytes) => target.scan(seg, bytes),
                 TrackerEvent::Materialize(seg, bytes) => target.materialize(seg, bytes),
                 TrackerEvent::Free(seg, bytes) => target.free(seg, bytes),
+                TrackerEvent::Skip(seg, bytes) => target.skip(seg, bytes),
             }
         }
     }
@@ -221,6 +260,10 @@ impl AccessTracker for EventLog {
 
     fn free(&mut self, seg: SegId, bytes: u64) {
         self.events.push(TrackerEvent::Free(seg, bytes));
+    }
+
+    fn skip(&mut self, seg: SegId, bytes: u64) {
+        self.events.push(TrackerEvent::Skip(seg, bytes));
     }
 }
 
@@ -270,11 +313,30 @@ mod tests {
             freed_bytes: 3,
             segments_scanned: 4,
             segments_materialized: 5,
+            segments_pruned: 6,
+            pruned_bytes: 7,
         };
         let mut b = a;
         b.absorb(&a);
         assert_eq!(b.read_bytes, 2);
         assert_eq!(b.segments_materialized, 10);
+        assert_eq!(b.segments_pruned, 12);
+        assert_eq!(b.pruned_bytes, 14);
+    }
+
+    #[test]
+    fn skip_counts_pruned_not_read() {
+        let mut t = CountingTracker::new();
+        t.begin_query();
+        t.scan(SegId(1), 100);
+        t.skip(SegId(2), 400);
+        t.skip(SegId(3), 50);
+        let s = t.query_stats();
+        assert_eq!(s.read_bytes, 100, "pruned segments charge zero reads");
+        assert_eq!(s.segments_scanned, 1);
+        assert_eq!(s.segments_pruned, 2);
+        assert_eq!(s.pruned_bytes, 450);
+        assert_eq!(s.unpruned_read_bytes(), 550);
     }
 
     #[test]
@@ -312,20 +374,24 @@ mod tests {
         log.scan(SegId(5), 64);
         log.materialize(SegId(6), 32);
         log.free(SegId(5), 64);
+        log.skip(SegId(7), 128);
         assert_eq!(
             log.events(),
             &[
                 TrackerEvent::Scan(SegId(5), 64),
                 TrackerEvent::Materialize(SegId(6), 32),
                 TrackerEvent::Free(SegId(5), 64),
+                TrackerEvent::Skip(SegId(7), 128),
             ]
         );
+        assert_eq!(log.scan_bytes(), 64, "skips never count as scan bytes");
 
         // Replaying into a CountingTracker gives the direct-observation counters.
         let mut direct = CountingTracker::new();
         direct.scan(SegId(5), 64);
         direct.materialize(SegId(6), 32);
         direct.free(SegId(5), 64);
+        direct.skip(SegId(7), 128);
         let mut replayed = CountingTracker::new();
         log.replay_into(&mut replayed);
         assert_eq!(replayed.totals(), direct.totals());
@@ -337,5 +403,6 @@ mod tests {
         t.scan(SegId(0), u64::MAX);
         t.materialize(SegId(0), u64::MAX);
         t.free(SegId(0), u64::MAX);
+        t.skip(SegId(0), u64::MAX);
     }
 }

@@ -22,9 +22,11 @@
 
 use crate::column::SegmentedColumn;
 use crate::compress::{EncodedPayload, PiecePayload};
+use crate::kernels;
 use crate::range::ValueRange;
 use crate::replication::ReplicaTree;
 use crate::strategy::ColumnStrategy;
+use crate::synopsis::PieceSynopsis;
 use crate::value::ColumnValue;
 
 /// A structural invariant violation, carrying enough context to locate
@@ -90,6 +92,14 @@ pub enum Violation {
         /// Length of the byte vector.
         bytes: usize,
     },
+    /// A piece's zone-map synopsis disagrees with its data — pruning
+    /// decisions made from it would be wrong.
+    Synopsis {
+        /// Index of the offending piece.
+        index: usize,
+        /// What disagreed (bounds, count or sum), rendered.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for Violation {
@@ -117,6 +127,9 @@ impl std::fmt::Display for Violation {
             }
             Violation::Pairing { ranges, bytes } => {
                 write!(f, "{ranges} piece ranges but {bytes} byte entries")
+            }
+            Violation::Synopsis { index, detail } => {
+                write!(f, "piece {index} synopsis inconsistent: {detail}")
             }
         }
     }
@@ -265,9 +278,56 @@ pub fn payload<V: ColumnValue>(
     Ok(())
 }
 
+/// Checks a piece's cached zone-map synopsis against its decoded values:
+/// exact bounds (they answer covered `MIN`/`MAX` directly, so "roughly
+/// right" is wrong), exact count, and a sum within a tiny relative
+/// tolerance of a fresh accumulation — the stored sum is computed in the
+/// *layout's* kernel order, which may differ from this check's re-fold by
+/// rounding only.
+///
+/// An empty piece must carry no synopsis, and a non-empty one must carry
+/// one: a missing synopsis silently disables pruning, which is a bug
+/// worth catching, not a degraded mode.
+pub fn synopsis_consistent<V: ColumnValue>(
+    syn: Option<&PieceSynopsis<V>>,
+    values: &[V],
+) -> Result<(), Violation> {
+    let fail = |detail: String| Violation::Synopsis { index: 0, detail };
+    let Some(syn) = syn else {
+        if values.is_empty() {
+            return Ok(());
+        }
+        return Err(fail(format!("{} values but no synopsis", values.len())));
+    };
+    let Some((min, max)) = kernels::min_max_all(values) else {
+        return Err(fail("synopsis over an empty piece".into()));
+    };
+    if syn.count() != values.len() as u64 {
+        return Err(fail(format!(
+            "count {} but {} values",
+            syn.count(),
+            values.len()
+        )));
+    }
+    if syn.min() != min || syn.max() != max {
+        return Err(fail(format!(
+            "bounds [{:?}, {:?}] but data spans [{min:?}, {max:?}]",
+            syn.min(),
+            syn.max()
+        )));
+    }
+    let expect = kernels::sum_all(values);
+    let tolerance = expect.abs().max(1.0) * 1e-9;
+    if (syn.sum() - expect).abs() > tolerance {
+        return Err(fail(format!("sum {} but values total {expect}", syn.sum())));
+    }
+    Ok(())
+}
+
 /// Deep structural validation of a [`SegmentedColumn`]: segment ranges
-/// partition the domain, every payload is consistent and in range, and
-/// the per-segment tuple counts sum to the recorded total.
+/// partition the domain, every payload is consistent and in range, every
+/// cached synopsis matches its data, and the per-segment tuple counts sum
+/// to the recorded total.
 pub fn column<V: ColumnValue>(col: &SegmentedColumn<V>) -> Result<(), Violation> {
     let domain = col.domain();
     let ranges: Vec<ValueRange<V>> = col.segments().iter().map(|s| s.range()).collect();
@@ -275,6 +335,8 @@ pub fn column<V: ColumnValue>(col: &SegmentedColumn<V>) -> Result<(), Violation>
     let mut count = 0u64;
     for (i, seg) in col.segments().iter().enumerate() {
         payload(&seg.range(), seg.payload()).map_err(|v| at_index(v, i))?;
+        let syn = seg.synopsis();
+        synopsis_consistent(syn.as_ref(), &seg.decoded()).map_err(|v| at_index(v, i))?;
         count += seg.len();
     }
     if count != col.total_len() {
@@ -290,6 +352,7 @@ fn at_index(v: Violation, index: usize) -> Violation {
     match v {
         Violation::OutOfRange { detail, .. } => Violation::OutOfRange { index, detail },
         Violation::Payload { reason, .. } => Violation::Payload { index, reason },
+        Violation::Synopsis { detail, .. } => Violation::Synopsis { index, detail },
         other => other,
     }
 }
@@ -438,6 +501,43 @@ mod tests {
         assert!(matches!(
             payload(&r(0, 99), &p),
             Err(Violation::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn synopsis_consistent_accepts_exact_and_rejects_drift() {
+        let values = [5u32, 10, 20];
+        let good = PieceSynopsis::from_values(&values).expect("non-empty");
+        synopsis_consistent(Some(&good), &values).unwrap();
+        synopsis_consistent::<u32>(None, &[]).unwrap();
+
+        // A non-empty piece without a synopsis silently disables pruning.
+        assert!(matches!(
+            synopsis_consistent::<u32>(None, &values),
+            Err(Violation::Synopsis { .. })
+        ));
+        // A synopsis over an empty piece claims data that is not there.
+        assert!(matches!(
+            synopsis_consistent(Some(&good), &[]),
+            Err(Violation::Synopsis { .. })
+        ));
+        // Narrowed bounds would corrupt covered MIN/MAX answers.
+        let narrowed = PieceSynopsis::new(6u32, 20, 3, 35.0);
+        assert!(matches!(
+            synopsis_consistent(Some(&narrowed), &values),
+            Err(Violation::Synopsis { .. })
+        ));
+        // Wrong count corrupts covered COUNT answers.
+        let miscounted = PieceSynopsis::new(5u32, 20, 4, 35.0);
+        assert!(matches!(
+            synopsis_consistent(Some(&miscounted), &values),
+            Err(Violation::Synopsis { .. })
+        ));
+        // A drifted sum corrupts covered SUM answers.
+        let missummed = PieceSynopsis::new(5u32, 20, 3, 36.5);
+        assert!(matches!(
+            synopsis_consistent(Some(&missummed), &values),
+            Err(Violation::Synopsis { .. })
         ));
     }
 

@@ -27,6 +27,15 @@ impl Documented {
         kernels::count_range(&self.values, q)
     }
 
+    fn replays(&self, events: &[TrackerEvent], target: &mut dyn AccessTracker) {
+        for e in events {
+            match e {
+                TrackerEvent::Scan(seg, bytes) => target.scan(*seg, *bytes),
+                TrackerEvent::Skip(seg, bytes) => target.skip(*seg, *bytes),
+            }
+        }
+    }
+
     fn publishes(&self) {
         let snap;
         {

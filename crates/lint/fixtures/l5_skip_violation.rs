@@ -1,0 +1,25 @@
+// Fixture: a match arm that replays a pruned (Skip) event as a scan
+// charge must fire — skipped bytes were never read, and recharging them
+// double-counts the reconstructed unpruned cost. Both the expression-arm
+// and the block-arm shape are covered.
+
+fn replay(events: &[TrackerEvent], target: &mut dyn AccessTracker) {
+    for e in events {
+        match e {
+            TrackerEvent::Scan(seg, bytes) => target.scan(*seg, *bytes),
+            TrackerEvent::Skip(seg, bytes) => target.scan(*seg, *bytes),
+        }
+    }
+}
+
+fn replay_blocks(events: &[TrackerEvent], target: &mut dyn AccessTracker) {
+    for e in events {
+        match e {
+            TrackerEvent::Scan(seg, bytes) => target.scan(*seg, *bytes),
+            TrackerEvent::Skip(seg, bytes) => {
+                let charged = *bytes;
+                target.scan(*seg, charged);
+            }
+        }
+    }
+}

@@ -233,6 +233,12 @@ const L5_PAYLOAD_SCANS: [&str; 2] = [".count_in(", ".collect_in("];
 /// charge the tracker (`.scan(`) or forward it; a kernel call with the
 /// tracker ignored is exactly the unaccounted-read bug class the paper's
 /// byte figures cannot tolerate.
+///
+/// Pruning sub-check: a match arm on a `Skip` event must not charge
+/// `.scan(`. A pruned piece was skipped precisely because it was never
+/// read; replaying its bytes as a scan silently double-counts them (the
+/// unpruned cost is reconstructed as `read + pruned`, so a skip turned
+/// scan inflates both sides).
 pub fn l5_scan_accounting(file: &SourceFile, out: &mut Vec<Finding>) {
     const RULE: &str = "L5-scan-accounting";
     if !file.rel.starts_with("crates/core/src/") && !file.rel.starts_with("crates/sim/src/") {
@@ -296,6 +302,37 @@ pub fn l5_scan_accounting(file: &SourceFile, out: &mut Vec<Finding>) {
                 RULE,
                 "kernel scan in a tracker-taking function without a tracker charge \
                  (.scan) or forwarding — reads must be accounted"
+                    .to_owned(),
+            ));
+        }
+    }
+    for (i, line) in file.code_lines.iter().enumerate() {
+        if file.in_test[i] {
+            continue;
+        }
+        let Some(arrow) = line.find("=>") else {
+            continue;
+        };
+        if !line[..arrow].contains("Skip") {
+            continue;
+        }
+        let after = &line[arrow + 2..];
+        let charges_scan = match after.find('{') {
+            // A block arm: check the whole arm body.
+            Some(b) => {
+                match_braces(&file.code_lines, i, arrow + 2 + b).is_some_and(|(open, close)| {
+                    file.code_lines[open..=close].join("\n").contains(".scan(")
+                })
+            }
+            None => after.contains(".scan("),
+        };
+        if charges_scan {
+            out.push(finding(
+                file,
+                i,
+                RULE,
+                "a Skip-event arm charges .scan( — a pruned piece was never read; \
+                 replay it with .skip or leave it unaccounted"
                     .to_owned(),
             ));
         }

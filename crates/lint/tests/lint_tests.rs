@@ -86,6 +86,15 @@ fn l5_fixture_fires_on_unaccounted_kernel_scan() {
 }
 
 #[test]
+fn l5_skip_fixture_fires_on_both_arm_shapes() {
+    let report = scan(
+        "crates/core/src/fixture.rs",
+        include_str!("../fixtures/l5_skip_violation.rs"),
+    );
+    assert_eq!(rules_hit(&report), ["L5-scan-accounting"; 2], "{report:?}");
+}
+
+#[test]
 fn clean_fixture_passes_every_rule() {
     let report = scan(
         "crates/core/src/epoch.rs",

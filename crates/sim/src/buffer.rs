@@ -33,6 +33,11 @@ pub struct IoStats {
     pub segments_materialized: u64,
     /// Bytes of segments released.
     pub freed_bytes: u64,
+    /// Segments zone-map pruning skipped without reading.
+    pub segments_pruned: u64,
+    /// Bytes of pruned segments — what an unpruned scan would have read
+    /// on top of `mem_read_bytes`.
+    pub pruned_bytes: u64,
 }
 
 impl IoStats {
@@ -47,6 +52,8 @@ impl IoStats {
         self.segments_scanned += other.segments_scanned;
         self.segments_materialized += other.segments_materialized;
         self.freed_bytes += other.freed_bytes;
+        self.segments_pruned += other.segments_pruned;
+        self.pruned_bytes += other.pruned_bytes;
     }
 }
 
@@ -279,11 +286,15 @@ mod tests {
             segments_scanned: 7,
             segments_materialized: 8,
             freed_bytes: 9,
+            segments_pruned: 10,
+            pruned_bytes: 11,
         };
         let b = a;
         a.absorb(&b);
         assert_eq!(a.mem_read_bytes, 2);
         assert_eq!(a.freed_bytes, 18);
         assert_eq!(a.disk_write_seeks, 12);
+        assert_eq!(a.segments_pruned, 20);
+        assert_eq!(a.pruned_bytes, 22);
     }
 }

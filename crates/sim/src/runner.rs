@@ -104,6 +104,14 @@ impl AccessTracker for SimTracker {
             buf.on_free(seg);
         }
     }
+
+    fn skip(&mut self, _seg: SegId, bytes: u64) {
+        // A pruned segment moves no bytes and — unlike a scan — is never
+        // faulted into the buffer pool: skipping residency churn is
+        // precisely the benefit being measured.
+        self.current.segments_pruned += 1;
+        self.current.pruned_bytes += bytes;
+    }
 }
 
 /// Everything recorded about one query of a run.

@@ -58,8 +58,9 @@ pub mod prelude {
         pair_rows, AccessTracker, AdaptationStats, AdaptivePageModel, AdaptiveReplication,
         AdaptiveSegmentation, ColumnStrategy, ColumnValue, ConcurrentColumn, CountingTracker,
         CrackedColumn, EventLog, FullySorted, GaussianDice, MergePolicy, NonSegmented, NullTracker,
-        OrdF64, Pair, ReplicaTree, SegmentationModel, SegmentedColumn, SizeEstimator, StrategyKind,
-        StrategySnapshot, StrategySpec, TrackerEvent, ValueRange,
+        OrdF64, Pair, PieceSynopsis, ReplicaTree, ScanPool, SegmentationModel, SegmentedColumn,
+        SizeEstimator, StrategyKind, StrategySnapshot, StrategySpec, SynopsisClass, TrackerEvent,
+        ValueRange,
     };
     pub use soc_sim::{
         build_strategy, run_queries, CostModel, ExecMode, MigrationReport, Placement,

@@ -4,7 +4,8 @@
 //! For arbitrary valid structures the validators accept; for every
 //! seeded corruption class — overlapping pieces, gapped/out-of-order
 //! piece lists, truncated or length-drifted encoded payloads, zero-length
-//! RLE runs, out-of-bounds dictionary codes, out-of-range raw values —
+//! RLE runs, out-of-bounds dictionary codes, out-of-range raw values,
+//! drifted or missing piece synopses —
 //! the matching validator must reject. This is the proptest counterpart
 //! of the `debug_assert_valid!` boundary checks: a reorganization bug
 //! that produces any of these shapes cannot pass silently.
@@ -180,6 +181,44 @@ proptest! {
         values[stray % 20] = lo + span + 1;
         let bad = PiecePayload::Raw(values);
         prop_assert!(matches!(validate::payload(&range, &bad), Err(Violation::OutOfRange { .. })), "expected an OutOfRange violation");
+    }
+
+    #[test]
+    fn synopsis_drift_is_rejected(
+        values in vec(0u32..=DOMAIN_HI, 1..300),
+        bump in 1u32..50,
+        class in 0usize..5,
+    ) {
+        let good = PieceSynopsis::from_values(&values).expect("non-empty");
+        prop_assert!(validate::synopsis_consistent(Some(&good), &values).is_ok());
+
+        // One corruption per class: every synopsis axis is exact (the
+        // sum up to a relative epsilon far below an off-by-one), so any
+        // injected drift must be caught.
+        let bad = match class {
+            0 => PieceSynopsis::new(good.min() + bump, good.max(), good.count(), good.sum()),
+            1 => PieceSynopsis::new(good.min(), good.max() + bump, good.count(), good.sum()),
+            2 => PieceSynopsis::new(
+                good.min(),
+                good.max(),
+                good.count() + u64::from(bump),
+                good.sum(),
+            ),
+            3 => PieceSynopsis::new(
+                good.min(),
+                good.max(),
+                good.count(),
+                good.sum() + f64::from(bump),
+            ),
+            _ => {
+                // A piece holding data with no synopsis at all.
+                let err = validate::synopsis_consistent(None, &values);
+                prop_assert!(matches!(err, Err(Violation::Synopsis { .. })), "{err:?}");
+                return Ok(());
+            }
+        };
+        let err = validate::synopsis_consistent(Some(&bad), &values);
+        prop_assert!(matches!(err, Err(Violation::Synopsis { .. })), "{err:?}");
     }
 
     #[test]
