@@ -12,11 +12,12 @@
 //! ablation-estimator, ablation-placement, ablation-sharding,
 //! ablation-sql-strategy, ablation-compress; perf-sharded, perf-kernels,
 //! perf-concurrent, perf-compress, perf-pruning, perf-morsel,
-//! perf-openloop (wall-clock measurements of the parallel executor, the
-//! scan kernels, the epoch-snapshot concurrent read path, the
-//! compressed-domain scan kernels, zone-map pruning, the morsel-driven
-//! batch reader, and the open-loop tail-latency run); or the groups
-//! `simulation`, `skyserver`, `ablation`, `perf`, `all`.
+//! perf-openloop, perf-overload (wall-clock measurements of the parallel
+//! executor, the scan kernels, the epoch-snapshot concurrent read path,
+//! the compressed-domain scan kernels, zone-map pruning, the
+//! morsel-driven batch reader, the open-loop tail-latency run, and the
+//! admission-gate overload/recovery run); or the groups `simulation`,
+//! `skyserver`, `ablation`, `perf`, `all`.
 //!
 //! Each figure/table is printed (tables verbatim, figures as sparkline
 //! summaries) and written as CSV under `--out` (default `results/`).
@@ -27,8 +28,10 @@
 //! encoded footprint, packed-scan vs decode-then-scan ms per codec — to
 //! `<out>/BENCH_PR6.json`, and the pruning/morsel/open-loop experiments
 //! — pruned vs unpruned bytes scanned, serial vs batch walk, p50/p99/
-//! p999 latency — to `<out>/BENCH_PR8.json` (CI uploads all four as
-//! artifacts).
+//! p999 latency — to `<out>/BENCH_PR8.json`, and the overload/recovery
+//! experiments — shed rate, goodput, served-tail quantiles with the
+//! admission gate off vs on at 2× saturation, worker-rebuild recovery
+//! time — to `<out>/BENCH_PR9.json` (CI uploads all five as artifacts).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -37,8 +40,8 @@ use std::time::Instant;
 use soc_bench::fig2;
 use soc_bench::perf::{
     aggregate_kernel_perf, compress_perf, concurrent_migration_perf, concurrent_read_perf,
-    kernel_count_perf, morsel_scan_perf, open_loop_perf, pruning_scan_perf, sharded_scan_perf,
-    write_bench_json_named, PerfEntry,
+    kernel_count_perf, morsel_scan_perf, open_loop_perf, overload_perf, pruning_scan_perf,
+    sharded_scan_perf, write_bench_json_named, PerfEntry,
 };
 use soc_sim::experiment::ablation;
 use soc_sim::experiment::simulation::{run_simulation_matrix, SimConfig, SimulationMatrix};
@@ -459,13 +462,33 @@ fn main() -> ExitCode {
         perf8.push(entry);
         ran_perf = true;
     }
+    let mut perf9: Vec<PerfEntry> = Vec::new();
+    if wants(e, "perf-overload", "perf") {
+        eprintln!("running the 2x-saturation overload run, admission gate off vs on…");
+        for entry in overload_perf(opts.quick) {
+            match entry.recovery_ms {
+                Some(r) => println!("{}: worker rebuild absorbed in {:.2} ms", entry.id, r),
+                None => println!(
+                    "{}: shed {:.1}%, goodput {:.0} q/s, p50 {:.0} us, p99 {:.0} us, p999 {:.0} us",
+                    entry.id,
+                    entry.shed_rate.unwrap_or(0.0) * 100.0,
+                    entry.goodput_qps.unwrap_or(0.0),
+                    entry.p50_us.unwrap_or(0.0),
+                    entry.p99_us.unwrap_or(0.0),
+                    entry.p999_us.unwrap_or(0.0),
+                ),
+            }
+            perf9.push(entry);
+        }
+        ran_perf = true;
+    }
 
     if em.written.is_empty() && !ran_perf {
         eprintln!(
             "error: no experiment matched {e:?}; try fig2, fig5..fig16, tab1, tab2, \
              simulation, skyserver, ablation-*, perf-sharded, perf-kernels, \
              perf-concurrent, perf-compress, perf-pruning, perf-morsel, \
-             perf-openloop, or all"
+             perf-openloop, perf-overload, or all"
         );
         return ExitCode::FAILURE;
     }
@@ -478,6 +501,7 @@ fn main() -> ExitCode {
             ("BENCH_PR5.json", "soc-bench-pr5", &perf5),
             ("BENCH_PR6.json", "soc-bench-pr6", &perf6),
             ("BENCH_PR8.json", "soc-bench-pr8", &perf8),
+            ("BENCH_PR9.json", "soc-bench-pr9", &perf9),
         ] {
             if entries.is_empty() {
                 eprintln!("skipping {file}: no matching experiments ran");

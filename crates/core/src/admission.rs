@@ -1,0 +1,451 @@
+//! Admission control for the concurrent read path.
+//!
+//! The paper's serving story — answer queries *while* the column
+//! reorganizes itself — says nothing about what happens when queries
+//! arrive faster than they complete. Without a bound, overload turns into
+//! unbounded queueing and the open-loop tail (`perf-openloop`) inflates
+//! without limit. An [`AdmissionGate`] bounds the damage at the door: a
+//! fixed number of in-flight permits, a bounded wait queue with a
+//! per-query deadline, and a typed [`QueryError`] for everything that
+//! does not get served, so callers distinguish "the system said no"
+//! (shed), "the system said not-in-time" (deadline), and "the system
+//! served a possibly stale answer" (degraded) from an actual result.
+//!
+//! Three [`AdmissionPolicy`] modes cover the design space the overload
+//! benchmark compares:
+//!
+//! * **queue-then-shed** — wait (bounded queue, bounded time) for a
+//!   permit; shed only when the queue itself is full, time out when the
+//!   deadline passes first.
+//! * **shed-immediately** — no queue at all; an arrival that finds every
+//!   permit taken is shed on the spot (the lowest-latency contract: every
+//!   admitted query runs immediately).
+//! * **serve-stale** — over capacity, degrade instead of refuse: the
+//!   caller is told to answer from the current published snapshot
+//!   *without* enqueueing reorganization work, trading adaptation
+//!   progress for availability.
+//!
+//! The gate is strategy-agnostic: it hands out permits, it does not run
+//! queries. The [`ConcurrentColumn`](crate::ConcurrentColumn) gated
+//! wrappers (`select_count_gated`, …) tie a permit's lifetime to one
+//! query and implement the degraded snapshot path.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Why a query was not served normally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryError {
+    /// Load shedding: the gate refused the query outright (permits and,
+    /// under queue-then-shed, the wait queue were full).
+    Shed,
+    /// The query waited for a permit past its deadline.
+    DeadlineExceeded,
+    /// The gate is over capacity and the policy is
+    /// [`AdmissionPolicy::ServeStale`]: the caller should serve from the
+    /// current snapshot without scheduling reorganization. The gated
+    /// column wrappers absorb this variant into a degraded answer; it
+    /// only surfaces to direct [`AdmissionGate::admit`] callers.
+    Degraded,
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Shed => write!(f, "query shed by admission control"),
+            QueryError::DeadlineExceeded => write!(f, "query deadline exceeded while queued"),
+            QueryError::Degraded => write!(f, "over capacity: serve from the stale snapshot"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// What the gate does with an arrival that finds every permit taken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionPolicy {
+    /// Wait in a bounded queue until a permit frees or the deadline
+    /// passes; shed only when the queue is full.
+    #[default]
+    QueueThenShed,
+    /// Never queue: shed on the spot.
+    ShedImmediately,
+    /// Never queue: tell the caller to serve a degraded (stale-snapshot,
+    /// no-reorganization) answer.
+    ServeStale,
+}
+
+/// Gate sizing and policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Queries allowed to execute concurrently.
+    pub max_in_flight: usize,
+    /// Arrivals allowed to wait for a permit (queue-then-shed only).
+    pub max_queue: usize,
+    /// How long a queued arrival may wait before `DeadlineExceeded`.
+    pub deadline: Duration,
+    /// What happens when every permit is taken.
+    pub policy: AdmissionPolicy,
+}
+
+impl Default for AdmissionConfig {
+    /// In-flight matched to the machine's parallelism, a queue twice as
+    /// deep, and a 50 ms deadline — a serving default, not a benchmark
+    /// tuning.
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism().map_or(2, |n| n.get());
+        AdmissionConfig {
+            max_in_flight: cores,
+            max_queue: cores * 2,
+            deadline: Duration::from_millis(50),
+            policy: AdmissionPolicy::QueueThenShed,
+        }
+    }
+}
+
+impl AdmissionConfig {
+    /// A config with the given permit count and the defaults elsewhere.
+    pub fn with_in_flight(max_in_flight: usize) -> Self {
+        AdmissionConfig {
+            max_in_flight: max_in_flight.max(1),
+            ..AdmissionConfig::default()
+        }
+    }
+
+    /// Replaces the queue bound.
+    #[must_use]
+    pub fn queue(mut self, max_queue: usize) -> Self {
+        self.max_queue = max_queue;
+        self
+    }
+
+    /// Replaces the queued-wait deadline.
+    #[must_use]
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Replaces the over-capacity policy.
+    #[must_use]
+    pub fn policy(mut self, policy: AdmissionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+}
+
+/// Counter snapshot of everything the gate decided so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// Queries that received a permit (immediately or after queueing).
+    pub admitted: u64,
+    /// Queries refused outright.
+    pub shed: u64,
+    /// Queries that timed out waiting for a permit.
+    pub deadline_exceeded: u64,
+    /// Queries redirected to the degraded stale-snapshot path.
+    pub degraded: u64,
+    /// Admitted queries that had to wait in the queue first.
+    pub queued_waits: u64,
+}
+
+impl AdmissionStats {
+    /// Arrivals the gate saw, over every outcome.
+    pub fn arrivals(&self) -> u64 {
+        self.admitted + self.shed + self.deadline_exceeded + self.degraded
+    }
+
+    /// Fraction of arrivals refused (shed or deadline-exceeded); 0 when
+    /// nothing arrived.
+    pub fn shed_rate(&self) -> f64 {
+        let refused = self.shed + self.deadline_exceeded;
+        let total = self.arrivals();
+        if total == 0 {
+            0.0
+        } else {
+            refused as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct GateState {
+    in_flight: usize,
+    queued: usize,
+}
+
+#[derive(Debug)]
+struct GateInner {
+    cfg: AdmissionConfig,
+    state: Mutex<GateState>,
+    freed: Condvar,
+    admitted: AtomicU64,
+    shed: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    degraded: AtomicU64,
+    queued_waits: AtomicU64,
+}
+
+/// Lock acquisition that shrugs off poisoning: the gate state is a pair
+/// of counters, valid after any panic unwinds through a waiter.
+fn lock_clean<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A bounded-concurrency admission gate. Cloning shares the gate.
+///
+/// ```
+/// use soc_core::{AdmissionConfig, AdmissionGate, AdmissionPolicy, QueryError};
+///
+/// let gate = AdmissionGate::new(
+///     AdmissionConfig::with_in_flight(1).policy(AdmissionPolicy::ShedImmediately),
+/// );
+/// let permit = gate.admit().expect("first query admitted");
+/// assert_eq!(gate.admit().unwrap_err(), QueryError::Shed);
+/// drop(permit);
+/// assert!(gate.admit().is_ok(), "freed permit re-admits");
+/// assert_eq!(gate.stats().shed, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdmissionGate {
+    inner: Arc<GateInner>,
+}
+
+impl AdmissionGate {
+    /// A gate over `cfg` (permit count is clamped to at least 1).
+    pub fn new(cfg: AdmissionConfig) -> Self {
+        let cfg = AdmissionConfig {
+            max_in_flight: cfg.max_in_flight.max(1),
+            ..cfg
+        };
+        AdmissionGate {
+            inner: Arc::new(GateInner {
+                cfg,
+                state: Mutex::new(GateState::default()),
+                freed: Condvar::new(),
+                admitted: AtomicU64::new(0),
+                shed: AtomicU64::new(0),
+                deadline_exceeded: AtomicU64::new(0),
+                degraded: AtomicU64::new(0),
+                queued_waits: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The configuration this gate enforces.
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.inner.cfg
+    }
+
+    /// Requests a permit for one query (or one batch).
+    ///
+    /// Returns the permit, or the typed reason the query must not run
+    /// normally. Blocks at most [`AdmissionConfig::deadline`] and only
+    /// under [`AdmissionPolicy::QueueThenShed`]; the other policies
+    /// return immediately.
+    ///
+    /// # Errors
+    /// [`QueryError::Shed`] when refused, [`QueryError::DeadlineExceeded`]
+    /// when the queued wait timed out, [`QueryError::Degraded`] when the
+    /// policy asks the caller to serve a stale answer instead.
+    pub fn admit(&self) -> Result<Permit, QueryError> {
+        let inner = &self.inner;
+        let mut st = lock_clean(&inner.state);
+        if st.in_flight < inner.cfg.max_in_flight {
+            st.in_flight += 1;
+            drop(st);
+            inner.admitted.fetch_add(1, Ordering::Relaxed);
+            return Ok(Permit {
+                inner: Arc::clone(inner),
+            });
+        }
+        match inner.cfg.policy {
+            AdmissionPolicy::ShedImmediately => {
+                drop(st);
+                inner.shed.fetch_add(1, Ordering::Relaxed);
+                Err(QueryError::Shed)
+            }
+            AdmissionPolicy::ServeStale => {
+                drop(st);
+                inner.degraded.fetch_add(1, Ordering::Relaxed);
+                Err(QueryError::Degraded)
+            }
+            AdmissionPolicy::QueueThenShed => {
+                if st.queued >= inner.cfg.max_queue {
+                    drop(st);
+                    inner.shed.fetch_add(1, Ordering::Relaxed);
+                    return Err(QueryError::Shed);
+                }
+                st.queued += 1;
+                inner.queued_waits.fetch_add(1, Ordering::Relaxed);
+                let deadline = Instant::now() + inner.cfg.deadline;
+                loop {
+                    if st.in_flight < inner.cfg.max_in_flight {
+                        st.queued -= 1;
+                        st.in_flight += 1;
+                        drop(st);
+                        inner.admitted.fetch_add(1, Ordering::Relaxed);
+                        return Ok(Permit {
+                            inner: Arc::clone(inner),
+                        });
+                    }
+                    let now = Instant::now();
+                    if now >= deadline {
+                        st.queued -= 1;
+                        drop(st);
+                        inner.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                        return Err(QueryError::DeadlineExceeded);
+                    }
+                    st = inner
+                        .freed
+                        .wait_timeout(st, deadline - now)
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .0;
+                }
+            }
+        }
+    }
+
+    /// Permits currently held.
+    pub fn in_flight(&self) -> usize {
+        lock_clean(&self.inner.state).in_flight
+    }
+
+    /// A snapshot of every decision counter.
+    pub fn stats(&self) -> AdmissionStats {
+        let inner = &self.inner;
+        AdmissionStats {
+            admitted: inner.admitted.load(Ordering::Relaxed),
+            shed: inner.shed.load(Ordering::Relaxed),
+            deadline_exceeded: inner.deadline_exceeded.load(Ordering::Relaxed),
+            degraded: inner.degraded.load(Ordering::Relaxed),
+            queued_waits: inner.queued_waits.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One admitted query's slot; dropping it frees the permit and wakes one
+/// queued waiter.
+#[derive(Debug)]
+pub struct Permit {
+    inner: Arc<GateInner>,
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        let mut st = lock_clean(&self.inner.state);
+        st.in_flight = st.in_flight.saturating_sub(1);
+        drop(st);
+        self.inner.freed.notify_one();
+    }
+}
+
+/// A served answer plus whether it took the degraded (stale-snapshot,
+/// no-reorganization) path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Admitted<T> {
+    /// The query result.
+    pub value: T,
+    /// True when served from the stale snapshot under
+    /// [`AdmissionPolicy::ServeStale`] overload.
+    pub degraded: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn gate(policy: AdmissionPolicy, in_flight: usize, queue: usize, ms: u64) -> AdmissionGate {
+        AdmissionGate::new(
+            AdmissionConfig::with_in_flight(in_flight)
+                .queue(queue)
+                .deadline(Duration::from_millis(ms))
+                .policy(policy),
+        )
+    }
+
+    #[test]
+    fn permits_free_on_drop() {
+        let g = gate(AdmissionPolicy::ShedImmediately, 2, 0, 10);
+        let a = g.admit().unwrap();
+        let b = g.admit().unwrap();
+        assert_eq!(g.in_flight(), 2);
+        assert_eq!(g.admit().unwrap_err(), QueryError::Shed);
+        drop(a);
+        let c = g.admit().unwrap();
+        drop(b);
+        drop(c);
+        assert_eq!(g.in_flight(), 0);
+        let s = g.stats();
+        assert_eq!((s.admitted, s.shed), (3, 1));
+        assert_eq!(s.arrivals(), 4);
+    }
+
+    #[test]
+    fn serve_stale_reports_degraded_not_shed() {
+        let g = gate(AdmissionPolicy::ServeStale, 1, 0, 10);
+        let _p = g.admit().unwrap();
+        assert_eq!(g.admit().unwrap_err(), QueryError::Degraded);
+        let s = g.stats();
+        assert_eq!((s.shed, s.degraded), (0, 1));
+        assert!(
+            s.shed_rate() == 0.0,
+            "degraded answers are served, not refused"
+        );
+    }
+
+    #[test]
+    fn queue_then_shed_times_out_with_a_deadline_error() {
+        let g = gate(AdmissionPolicy::QueueThenShed, 1, 4, 20);
+        let _p = g.admit().unwrap();
+        let t0 = Instant::now();
+        assert_eq!(g.admit().unwrap_err(), QueryError::DeadlineExceeded);
+        assert!(t0.elapsed() >= Duration::from_millis(20));
+        assert_eq!(g.stats().deadline_exceeded, 1);
+    }
+
+    #[test]
+    fn full_queue_sheds_immediately() {
+        let g = gate(AdmissionPolicy::QueueThenShed, 1, 0, 1_000);
+        let _p = g.admit().unwrap();
+        let t0 = Instant::now();
+        assert_eq!(g.admit().unwrap_err(), QueryError::Shed);
+        assert!(
+            t0.elapsed() < Duration::from_millis(500),
+            "a full queue must not wait out the deadline"
+        );
+    }
+
+    #[test]
+    fn queued_waiter_wakes_when_a_permit_frees() {
+        let g = gate(AdmissionPolicy::QueueThenShed, 1, 4, 5_000);
+        let p = g.admit().unwrap();
+        let g2 = g.clone();
+        let waiter = thread::spawn(move || g2.admit().map(drop));
+        // Give the waiter time to enter the queue, then free the permit.
+        thread::sleep(Duration::from_millis(30));
+        drop(p);
+        waiter.join().unwrap().expect("queued waiter admitted");
+        let s = g.stats();
+        assert_eq!(s.admitted, 2);
+        assert_eq!(s.queued_waits, 1);
+        assert_eq!(g.in_flight(), 0);
+    }
+
+    #[test]
+    fn shed_rate_counts_refusals_only() {
+        let s = AdmissionStats {
+            admitted: 6,
+            shed: 2,
+            deadline_exceeded: 1,
+            degraded: 1,
+            queued_waits: 3,
+        };
+        assert_eq!(s.arrivals(), 10);
+        assert!((s.shed_rate() - 0.3).abs() < 1e-12);
+        assert_eq!(AdmissionStats::default().shed_rate(), 0.0);
+    }
+}

@@ -52,9 +52,10 @@ use std::sync::mpsc;
 use std::sync::{Arc, RwLock};
 use std::thread;
 
+use crate::admission::{AdmissionGate, Admitted, QueryError};
 use crate::column::ColumnError;
 use crate::kernels;
-use crate::morsel::ScanPool;
+use crate::morsel::{ScanError, ScanPool};
 use crate::range::ValueRange;
 use crate::segment::{SegId, SegIdGen};
 use crate::spec::StrategySpec;
@@ -442,6 +443,102 @@ impl<V: ColumnValue> StrategySnapshot<V> {
             .collect()
     }
 
+    /// As [`Self::select_count_batch`], but a query whose pooled morsels
+    /// hit a dead or panicked worker fails typed instead of unwinding the
+    /// coordinator — the rest of the batch still answers.
+    ///
+    /// A failed query replays none of its accounting (its scan never
+    /// completed); every successful query's counts and tracker events are
+    /// bit-identical to the serial path, replayed in (query, piece) order.
+    pub fn try_select_count_batch(
+        &self,
+        queries: &[ValueRange<V>],
+        pool: &mut ScanPool,
+        tracker: &mut dyn AccessTracker,
+    ) -> Vec<Result<u64, ScanError>> {
+        /// One (query, piece) unit of the batch plan.
+        enum Unit {
+            /// Resolved inline by the coordinator.
+            Inline { id: SegId, bytes: u64, count: u64 },
+            /// A straddling scan running on the pool, by job index.
+            Pooled(usize),
+        }
+
+        let mut plans: Vec<Vec<Unit>> = Vec::with_capacity(queries.len());
+        let mut jobs: Vec<Box<dyn FnOnce() -> (u64, EventLog) + Send>> = Vec::new();
+        for q in queries {
+            let mut units = Vec::new();
+            for p in self.overlapping(q) {
+                match p.classify(q) {
+                    SynopsisClass::Disjoint => units.push(Unit::Inline {
+                        id: p.id,
+                        bytes: p.bytes,
+                        count: 0,
+                    }),
+                    SynopsisClass::Covered => units.push(Unit::Inline {
+                        id: p.id,
+                        bytes: p.bytes,
+                        count: p.values.len() as u64,
+                    }),
+                    SynopsisClass::Straddle => {
+                        let values = Arc::clone(&p.values);
+                        let (id, bytes, q) = (p.id, p.bytes, *q);
+                        jobs.push(Box::new(move || {
+                            let mut log = EventLog::new();
+                            log.scan(id, bytes);
+                            let (s, e) = kernels::sorted_run(&values, &q);
+                            ((e - s) as u64, log)
+                        }));
+                        units.push(Unit::Pooled(jobs.len() - 1));
+                    }
+                }
+            }
+            plans.push(units);
+        }
+
+        let mut done: Vec<Option<Result<(u64, EventLog), ScanError>>> =
+            pool.try_execute(jobs).into_iter().map(Some).collect();
+        plans
+            .into_iter()
+            .map(|units| {
+                // Peek first: if any of this query's morsels failed, the
+                // whole query fails typed and none of its accounting
+                // replays — partial replay would corrupt the tracker
+                // contract.
+                let failed = units.iter().find_map(|unit| match unit {
+                    Unit::Pooled(i) => match done[*i].as_ref() {
+                        Some(Err(e)) => Some(e.clone()),
+                        _ => None,
+                    },
+                    Unit::Inline { .. } => None,
+                });
+                if let Some(e) = failed {
+                    return Err(e);
+                }
+                let mut n = 0;
+                for unit in units {
+                    match unit {
+                        Unit::Inline { id, bytes, count } => {
+                            tracker.skip(id, bytes);
+                            n += count;
+                        }
+                        Unit::Pooled(i) => match done[i].take() {
+                            Some(Ok((count, log))) => {
+                                log.replay_into(tracker);
+                                n += count;
+                            }
+                            // soc-lint: allow(L1-panic-free, errors were peeked above and each planned index is taken exactly once)
+                            _ => {
+                                unreachable!("each surviving morsel result is Ok and consumed once")
+                            }
+                        },
+                    }
+                }
+                Ok(n)
+            })
+            .collect()
+    }
+
     /// The epoch number (0 = the construction snapshot).
     pub fn epoch(&self) -> u64 {
         self.epoch
@@ -674,8 +771,12 @@ impl<V: ColumnValue> Writer<V> {
 /// ```
 pub struct ConcurrentColumn<V: ColumnValue> {
     cell: Arc<SnapshotCell<V>>,
-    tx: Option<mpsc::Sender<WriterCmd<V>>>,
+    tx: Option<mpsc::SyncSender<WriterCmd<V>>>,
     writer: Option<thread::JoinHandle<Box<dyn ColumnStrategy<V>>>>,
+    /// Reorganization hints dropped because the bounded writer queue was
+    /// full — the explicit backpressure counter behind
+    /// [`QueryStats::reorg_hints_dropped`].
+    hints_dropped: AtomicU64,
 }
 
 impl<V: ColumnValue> std::fmt::Debug for ConcurrentColumn<V> {
@@ -687,11 +788,30 @@ impl<V: ColumnValue> std::fmt::Debug for ConcurrentColumn<V> {
 }
 
 impl<V: ColumnValue> ConcurrentColumn<V> {
+    /// The default bound of the writer command queue: deep enough that a
+    /// bursty reader never drops hints in normal operation, small enough
+    /// that overload cannot buffer unbounded reorganization debt.
+    pub const DEFAULT_QUEUE_CAPACITY: usize = 1024;
+
     /// Wraps an already-built strategy (any of the nine kinds, or a whole
     /// sharded column — anything implementing the trait), spawning the
     /// writer thread. `domain` must cover the strategy's values; it is the
-    /// range migrations rebuild over.
+    /// range migrations rebuild over. The writer queue is bounded at
+    /// [`Self::DEFAULT_QUEUE_CAPACITY`].
     pub fn new(strategy: Box<dyn ColumnStrategy<V>>, domain: ValueRange<V>) -> Self {
+        Self::with_queue_capacity(strategy, domain, Self::DEFAULT_QUEUE_CAPACITY)
+    }
+
+    /// As [`Self::new`] with an explicit writer-queue bound (clamped to at
+    /// least 1). When the queue is full, reorganization *hints* from the
+    /// read path are dropped and counted (never blocked on — hints are
+    /// advisory); control commands ([`Self::set_strategy`],
+    /// [`Self::quiesce`]) block until the writer drains.
+    pub fn with_queue_capacity(
+        strategy: Box<dyn ColumnStrategy<V>>,
+        domain: ValueRange<V>,
+        queue_capacity: usize,
+    ) -> Self {
         let mut ids = SegIdGen::new();
         let initial = StrategySnapshot::capture(
             strategy.as_ref(),
@@ -707,7 +827,9 @@ impl<V: ColumnValue> ConcurrentColumn<V> {
             snap: RwLock::new(Arc::new(initial)),
             epoch: AtomicU64::new(0),
         });
-        let (tx, rx) = mpsc::channel();
+        // Bounded by design: an unbounded channel here would let overload
+        // buffer reorganization work without limit (soc-lint rule L6).
+        let (tx, rx) = mpsc::sync_channel(queue_capacity.max(1));
         let writer_state = Writer {
             strategy,
             domain,
@@ -727,6 +849,7 @@ impl<V: ColumnValue> ConcurrentColumn<V> {
             cell,
             tx: Some(tx),
             writer: Some(writer),
+            hints_dropped: AtomicU64::new(0),
         }
     }
 
@@ -743,11 +866,28 @@ impl<V: ColumnValue> ConcurrentColumn<V> {
         Ok(Self::new(spec.build(domain, values)?, domain))
     }
 
-    fn sender(&self) -> &mpsc::Sender<WriterCmd<V>> {
+    fn sender(&self) -> &mpsc::SyncSender<WriterCmd<V>> {
         self.tx
             .as_ref()
             // soc-lint: allow(L1-panic-free, tx is only taken by into_strategy, which consumes self)
             .expect("writer channel lives as long as self")
+    }
+
+    /// Enqueues a reorganization hint without ever blocking the reader:
+    /// a full writer queue drops the hint and bumps the backpressure
+    /// counter. Hints are advisory — a dropped one delays adaptation but
+    /// can never change an answer.
+    fn hint_reorganize(&self, q: &ValueRange<V>) {
+        if let Err(mpsc::TrySendError::Full(_)) = self.sender().try_send(WriterCmd::Reorganize(*q))
+        {
+            self.hints_dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Reorganization hints dropped so far under writer-queue
+    /// backpressure.
+    pub fn reorg_hints_dropped(&self) -> u64 {
+        self.hints_dropped.load(Ordering::Relaxed)
     }
 
     /// The current epoch's snapshot. Holding the `Arc` pins that epoch for
@@ -766,7 +906,7 @@ impl<V: ColumnValue> ConcurrentColumn<V> {
     /// writer; bit-identical to the serial `&mut` path.
     pub fn select_count(&self, q: &ValueRange<V>, tracker: &mut dyn AccessTracker) -> u64 {
         let n = self.snapshot().select_count(q, tracker);
-        let _ = self.sender().send(WriterCmd::Reorganize(*q));
+        self.hint_reorganize(q);
         n
     }
 
@@ -775,7 +915,7 @@ impl<V: ColumnValue> ConcurrentColumn<V> {
     /// reorganization.
     pub fn select_collect(&self, q: &ValueRange<V>, tracker: &mut dyn AccessTracker) -> Vec<V> {
         let out = self.snapshot().select_collect(q, tracker);
-        let _ = self.sender().send(WriterCmd::Reorganize(*q));
+        self.hint_reorganize(q);
         out
     }
 
@@ -784,7 +924,7 @@ impl<V: ColumnValue> ConcurrentColumn<V> {
     /// query for background reorganization.
     pub fn select_sum(&self, q: &ValueRange<V>, tracker: &mut dyn AccessTracker) -> f64 {
         let total = self.snapshot().select_sum(q, tracker);
-        let _ = self.sender().send(WriterCmd::Reorganize(*q));
+        self.hint_reorganize(q);
         total
     }
 
@@ -797,7 +937,7 @@ impl<V: ColumnValue> ConcurrentColumn<V> {
         tracker: &mut dyn AccessTracker,
     ) -> Option<(V, V)> {
         let out = self.snapshot().select_min_max(q, tracker);
-        let _ = self.sender().send(WriterCmd::Reorganize(*q));
+        self.hint_reorganize(q);
         out
     }
 
@@ -813,9 +953,81 @@ impl<V: ColumnValue> ConcurrentColumn<V> {
     ) -> Vec<u64> {
         let out = self.snapshot().select_count_batch(queries, pool, tracker);
         for q in queries {
-            let _ = self.sender().send(WriterCmd::Reorganize(*q));
+            self.hint_reorganize(q);
         }
         out
+    }
+
+    /// As [`Self::select_count`], behind an [`AdmissionGate`]: the query
+    /// first acquires a permit (queueing up to its deadline under the
+    /// default policy) and holds it for the duration of the scan.
+    ///
+    /// Under [`ServeStale`](crate::AdmissionPolicy::ServeStale) an
+    /// over-capacity query still answers — from the current snapshot,
+    /// marked [`degraded`](Admitted::degraded), with no reorganization
+    /// hint enqueued (a saturated system should not buy itself more
+    /// background work).
+    ///
+    /// # Errors
+    /// [`QueryError::Shed`] when refused outright,
+    /// [`QueryError::DeadlineExceeded`] when the queue wait timed out.
+    pub fn select_count_gated(
+        &self,
+        gate: &AdmissionGate,
+        q: &ValueRange<V>,
+        tracker: &mut dyn AccessTracker,
+    ) -> Result<Admitted<u64>, QueryError> {
+        match gate.admit() {
+            Ok(_permit) => Ok(Admitted {
+                value: self.select_count(q, tracker),
+                degraded: false,
+            }),
+            Err(QueryError::Degraded) => Ok(Admitted {
+                value: self.snapshot().select_count(q, tracker),
+                degraded: true,
+            }),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// As [`Self::select_count_batch`], behind an [`AdmissionGate`]. The
+    /// whole batch admits as one unit — one permit covers every query in
+    /// it — so shedding is all-or-nothing and the results stay those of a
+    /// single epoch. Degraded service (under
+    /// [`ServeStale`](crate::AdmissionPolicy::ServeStale)) answers from
+    /// the snapshot without enqueuing reorganization hints.
+    ///
+    /// # Errors
+    /// [`QueryError::Shed`] when refused outright,
+    /// [`QueryError::DeadlineExceeded`] when the queue wait timed out.
+    pub fn select_count_batch_gated(
+        &self,
+        gate: &AdmissionGate,
+        queries: &[ValueRange<V>],
+        pool: &mut ScanPool,
+        tracker: &mut dyn AccessTracker,
+    ) -> Result<Admitted<Vec<u64>>, QueryError> {
+        match gate.admit() {
+            Ok(_permit) => Ok(Admitted {
+                value: self.select_count_batch(queries, pool, tracker),
+                degraded: false,
+            }),
+            Err(QueryError::Degraded) => Ok(Admitted {
+                value: self.snapshot().select_count_batch(queries, pool, tracker),
+                degraded: true,
+            }),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// The writer's cumulative reorganization accounting as of the
+    /// current snapshot, with this column's dropped-hint backpressure
+    /// count folded into
+    /// [`reorg_hints_dropped`](QueryStats::reorg_hints_dropped).
+    pub fn reorg_totals(&self) -> QueryStats {
+        let mut totals = self.snapshot().reorg_totals();
+        totals.reorg_hints_dropped += self.hints_dropped.load(Ordering::Relaxed);
+        totals
     }
 
     /// Read-only materialization: like [`Self::select_collect`] but with
@@ -1144,6 +1356,155 @@ mod tests {
         concurrent.quiesce();
         assert!(concurrent.epoch() >= 1);
         concurrent.snapshot().validate().unwrap();
+    }
+
+    #[test]
+    fn full_writer_queue_drops_hints_and_counts_them() {
+        let spec = StrategySpec::new(StrategyKind::ApmSegm);
+        let strategy = spec.build(domain(), values()).expect("values in domain");
+        let concurrent = ConcurrentColumn::with_queue_capacity(strategy, domain(), 1);
+        // Saturate the queue far past its bound: answers stay correct,
+        // nothing blocks, and the overflow is counted, not lost silently.
+        for q in queries().iter().cycle().take(5_000) {
+            let _ = concurrent.select_count(q, &mut NullTracker);
+        }
+        assert!(
+            concurrent.reorg_hints_dropped() > 0,
+            "a capacity-1 queue under 5k hints must have dropped some"
+        );
+        let totals = concurrent.reorg_totals();
+        assert_eq!(totals.reorg_hints_dropped, concurrent.reorg_hints_dropped());
+        // Dropped hints are advisory: the column still folds and validates.
+        concurrent.quiesce();
+        concurrent.snapshot().validate().unwrap();
+    }
+
+    #[test]
+    fn gated_reads_match_ungated_and_respect_capacity() {
+        let spec = StrategySpec::new(StrategyKind::ApmSegm);
+        let concurrent =
+            ConcurrentColumn::from_spec(&spec, domain(), values()).expect("values in domain");
+        let gate = AdmissionGate::new(crate::admission::AdmissionConfig::with_in_flight(2));
+        for q in queries() {
+            let expect = concurrent.snapshot().select_count(&q, &mut NullTracker);
+            let got = concurrent
+                .select_count_gated(&gate, &q, &mut NullTracker)
+                .expect("uncontended gate admits");
+            assert!(!got.degraded);
+            assert_eq!(got.value, expect);
+        }
+        assert_eq!(gate.in_flight(), 0, "permits release on drop");
+        assert_eq!(gate.stats().admitted, queries().len() as u64);
+    }
+
+    #[test]
+    fn serve_stale_gate_degrades_without_enqueuing_hints() {
+        let spec = StrategySpec::new(StrategyKind::ApmSegm);
+        let concurrent =
+            ConcurrentColumn::from_spec(&spec, domain(), values()).expect("values in domain");
+        let gate = AdmissionGate::new(
+            crate::admission::AdmissionConfig::with_in_flight(1)
+                .policy(crate::admission::AdmissionPolicy::ServeStale),
+        );
+        let held = gate.admit().expect("first permit");
+        let before = concurrent.reorg_hints_dropped();
+        let q = ValueRange::must(100u32, 900);
+        let expect = concurrent.snapshot().select_count(&q, &mut NullTracker);
+        let got = concurrent
+            .select_count_gated(&gate, &q, &mut NullTracker)
+            .expect("ServeStale never refuses");
+        assert!(got.degraded, "over-capacity ServeStale marks degraded");
+        assert_eq!(got.value, expect, "degraded answers are still correct");
+        assert_eq!(
+            concurrent.reorg_hints_dropped(),
+            before,
+            "degraded reads enqueue no hints, so none can be dropped"
+        );
+        assert_eq!(gate.stats().degraded, 1);
+        drop(held);
+    }
+
+    #[test]
+    fn gated_batch_is_all_or_nothing_per_permit() {
+        let spec = StrategySpec::new(StrategyKind::ApmSegm);
+        let concurrent =
+            ConcurrentColumn::from_spec(&spec, domain(), values()).expect("values in domain");
+        let gate = AdmissionGate::new(
+            crate::admission::AdmissionConfig::with_in_flight(1)
+                .policy(crate::admission::AdmissionPolicy::ShedImmediately),
+        );
+        let qs = queries();
+        let mut pool = crate::morsel::ScanPool::new(2);
+        let expect = concurrent
+            .snapshot()
+            .select_count_batch(&qs, &mut pool, &mut NullTracker);
+        let got = concurrent
+            .select_count_batch_gated(&gate, &qs, &mut pool, &mut NullTracker)
+            .expect("uncontended gate admits the batch");
+        assert_eq!(got.value, expect);
+        // With the single permit held, a shed-immediately gate refuses
+        // the whole batch typed — no partial answers.
+        let held = gate.admit().expect("permit");
+        assert_eq!(
+            concurrent
+                .select_count_batch_gated(&gate, &qs, &mut pool, &mut NullTracker)
+                .err(),
+            Some(crate::admission::QueryError::Shed)
+        );
+        drop(held);
+    }
+
+    #[test]
+    fn try_batch_fails_only_poisoned_queries_typed() {
+        use crate::faults::{Fault, FaultPlan, FaultSite};
+
+        let spec = StrategySpec::new(StrategyKind::ApmSegm)
+            .with_apm_bounds(256, 1024)
+            .with_model_seed(5);
+        let concurrent =
+            ConcurrentColumn::from_spec(&spec, domain(), values()).expect("values in domain");
+        // Adapt first so the snapshot has straddling pieces → pooled jobs.
+        for q in queries() {
+            let _ = concurrent.select_count(&q, &mut NullTracker);
+        }
+        concurrent.quiesce();
+        let snap = concurrent.snapshot();
+        let qs = queries();
+        let expect: Vec<u64> = qs
+            .iter()
+            .map(|q| snap.select_count(q, &mut NullTracker))
+            .collect();
+
+        // Fault-free: try-batch is Ok everywhere and bit-identical.
+        let mut clean_pool = crate::morsel::ScanPool::new(2);
+        let clean = snap.try_select_count_batch(&qs, &mut clean_pool, &mut NullTracker);
+        assert_eq!(
+            clean.into_iter().collect::<Result<Vec<_>, _>>().as_ref(),
+            Ok(&expect)
+        );
+
+        // One injected worker crash: the poisoned queries fail typed, every
+        // Ok answer is still bit-identical, and the pool self-heals.
+        let plan = Arc::new(FaultPlan::one_shot(FaultSite::MorselJob, Fault::Panic));
+        let mut pool = crate::morsel::ScanPool::with_fault_injector(2, plan);
+        let got = snap.try_select_count_batch(&qs, &mut pool, &mut NullTracker);
+        let mut failed = 0;
+        for (i, r) in got.iter().enumerate() {
+            match r {
+                Ok(n) => assert_eq!(*n, expect[i], "query {i} diverged"),
+                Err(_) => failed += 1,
+            }
+        }
+        assert!(
+            failed >= 1,
+            "the injected crash must fail at least one query"
+        );
+        // The next batch runs on a respawned worker and is fully clean.
+        let after = snap.try_select_count_batch(&qs, &mut pool, &mut NullTracker);
+        assert_eq!(
+            after.into_iter().collect::<Result<Vec<_>, _>>().as_ref(),
+            Ok(&expect)
+        );
     }
 
     #[test]

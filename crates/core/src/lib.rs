@@ -51,12 +51,14 @@
 #![warn(rust_2018_idioms)]
 #![deny(unsafe_code)]
 
+pub mod admission;
 pub mod baseline;
 pub mod column;
 pub mod compress;
 pub mod cracking;
 pub mod epoch;
 pub mod estimate;
+pub mod faults;
 pub mod kernels;
 pub mod merge;
 pub mod meta;
@@ -74,6 +76,9 @@ pub mod tracker;
 pub mod validate;
 pub mod value;
 
+pub use admission::{
+    AdmissionConfig, AdmissionGate, AdmissionPolicy, AdmissionStats, Admitted, Permit, QueryError,
+};
 pub use baseline::{FullySorted, NonSegmented};
 pub use column::{ColumnError, SegmentedColumn};
 pub use compress::{
@@ -82,13 +87,14 @@ pub use compress::{
 pub use cracking::CrackedColumn;
 pub use epoch::{ConcurrentColumn, StrategySnapshot};
 pub use estimate::SizeEstimator;
+pub use faults::{Fault, FaultInjector, FaultPlan, FaultSite, NoFaults};
 pub use merge::{MergePolicy, MergingSegmentation};
 pub use meta::{MetaEntry, MetaIndex};
 pub use model::{
     AdaptivePageModel, AlwaysSplit, AutoTunedApm, GaussianDice, NeverSplit, SegmentationModel,
     SplitDecision, SplitGeometry, Technique, WhichBound,
 };
-pub use morsel::ScanPool;
+pub use morsel::{ScanError, ScanPool};
 pub use paired::{pair_rows, Pair};
 pub use range::ValueRange;
 pub use replication::{AdaptiveReplication, ReplicaTree};

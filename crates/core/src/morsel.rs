@@ -17,8 +17,18 @@
 //!   never steals at all; stealing only pays when morsels are skewed
 //!   (one straddling piece much larger than the rest).
 //! - A panicking morsel is caught on the worker and re-raised on the
-//!   submitting thread ([`std::panic::resume_unwind`]), so a poisoned
-//!   scan cannot silently drop results.
+//!   submitting thread ([`std::panic::resume_unwind`]) by [`ScanPool::execute`],
+//!   so a poisoned scan cannot silently drop results; [`ScanPool::try_execute`]
+//!   instead fails only the poisoned morsel with a typed [`ScanError`].
+//! - The pool never wedges: every result slot is armed at submission by a
+//!   guard the job closure owns, so a worker thread that dies *holding* a
+//!   job (an injected crash, a panic outside the morsel) still completes
+//!   the batch — the dropped job records [`ScanError::WorkerDied`] — and
+//!   the dead worker is respawned at the next batch. If *every* worker
+//!   dies mid-batch, jobs still queued in the deques have no one left to
+//!   pick them up, so the collecting thread detects the all-dead state
+//!   and abandons them itself — each dropped job's guard fails its slot
+//!   typed, and the batch still returns.
 //! - The pool is deliberately *not* global: benches and the concurrent
 //!   column create one next to the data they scan, and `Drop` joins the
 //!   workers, so tests cannot leak threads.
@@ -29,7 +39,47 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
+use crate::faults::{Fault, FaultInjector, FaultSite, NoFaults};
+
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Typed failure of one morsel under [`ScanPool::try_execute`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScanError {
+    /// The morsel's closure panicked on its worker; the payload text when
+    /// the panic carried one.
+    MorselPanicked(String),
+    /// The worker thread died (or was killed by fault injection) before
+    /// the morsel ran; the submission guard completed the slot so the
+    /// batch never hangs.
+    WorkerDied,
+}
+
+impl std::fmt::Display for ScanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScanError::MorselPanicked(msg) => write!(f, "morsel panicked: {msg}"),
+            ScanError::WorkerDied => write!(f, "scan worker died before the morsel ran"),
+        }
+    }
+}
+
+impl std::error::Error for ScanError {}
+
+/// The sentinel payload a dropped-without-running job records, so the
+/// collection loop can tell a dead worker from a panicking morsel.
+struct WorkerDied;
+
+/// Renders a caught panic payload for [`ScanError::MorselPanicked`].
+fn payload_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
 
 /// Shared state between the pool handle and its workers.
 struct PoolShared {
@@ -41,6 +91,15 @@ struct PoolShared {
     queued: Mutex<usize>,
     /// Set once by `Drop`; workers drain their deques and exit.
     shutdown: AtomicBool,
+    /// Fault seam: consulted by every worker before each job. The
+    /// production injector ([`NoFaults`]) is a no-op.
+    injector: Arc<dyn FaultInjector>,
+    /// Per-worker death notices. A worker that is about to die on an
+    /// injected crash raises its flag *before* unwinding, because the
+    /// submitting thread can observe the failed batch (via the slot
+    /// guard) while the unwind is still in progress — `is_finished()`
+    /// alone would race and skip the respawn.
+    dead: Vec<AtomicBool>,
 }
 
 /// A fixed pool of scan workers with per-worker work-stealing deques.
@@ -54,6 +113,8 @@ pub struct ScanPool {
     workers: Vec<JoinHandle<()>>,
     /// Round-robin cursor so consecutive `execute` calls spread load.
     next_deque: usize,
+    /// Dead workers replaced so far (supervision observability).
+    respawned: u64,
 }
 
 impl std::fmt::Debug for ScanPool {
@@ -67,12 +128,20 @@ impl std::fmt::Debug for ScanPool {
 impl ScanPool {
     /// Spawns a pool of `workers` threads (clamped to at least one).
     pub fn new(workers: usize) -> Self {
+        ScanPool::with_fault_injector(workers, Arc::new(NoFaults))
+    }
+
+    /// As [`ScanPool::new`] with a fault injector wired into every worker
+    /// (consulted once per job) — the deterministic-fault test seam.
+    pub fn with_fault_injector(workers: usize, injector: Arc<dyn FaultInjector>) -> Self {
         let workers = workers.max(1);
         let shared = Arc::new(PoolShared {
             deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
             signal: Condvar::new(),
             queued: Mutex::new(0),
             shutdown: AtomicBool::new(false),
+            injector,
+            dead: (0..workers).map(|_| AtomicBool::new(false)).collect(),
         });
         let handles = (0..workers)
             .map(|me| {
@@ -88,6 +157,7 @@ impl ScanPool {
             shared,
             workers: handles,
             next_deque: 0,
+            respawned: 0,
         }
     }
 
@@ -105,12 +175,88 @@ impl ScanPool {
         self.workers.len()
     }
 
+    /// Dead workers replaced so far.
+    pub fn respawns(&self) -> u64 {
+        self.respawned
+    }
+
+    /// Joins and replaces any worker thread that has exited — a crashed
+    /// worker (injected or real) must not shrink the pool. Runs at the
+    /// start of every batch.
+    fn respawn_dead_workers(&mut self) {
+        for (me, handle) in self.workers.iter_mut().enumerate() {
+            if !handle.is_finished() && !self.shared.dead[me].load(Ordering::SeqCst) {
+                continue;
+            }
+            self.shared.dead[me].store(false, Ordering::SeqCst);
+            let shared = Arc::clone(&self.shared);
+            let fresh = std::thread::Builder::new()
+                .name(format!("soc-scan-{me}"))
+                .spawn(move || worker_loop(me, &shared))
+                // soc-lint: allow(L1-panic-free, thread spawn failure at worker respawn is unrecoverable)
+                .expect("respawn scan worker");
+            // The dead worker already completed (or abandoned, guarded)
+            // its jobs; the join only reaps the thread.
+            let _ = std::mem::replace(handle, fresh).join();
+            self.respawned += 1;
+        }
+    }
+
     /// Runs every morsel on the pool and returns their results **in
     /// submission order**, blocking until the whole batch finishes.
     ///
     /// If any morsel panics, the panic is re-raised here after the rest
-    /// of the batch has been collected or abandoned.
+    /// of the batch has been collected or abandoned — use
+    /// [`ScanPool::try_execute`] where a poisoned morsel must fail typed
+    /// instead of unwinding the caller.
     pub fn execute<R, F>(&mut self, morsels: Vec<F>) -> Vec<R>
+    where
+        R: Send + 'static,
+        F: FnOnce() -> R + Send + 'static,
+    {
+        let mut results = Vec::with_capacity(morsels.len());
+        let mut panic = None;
+        for outcome in self.run_batch(morsels) {
+            match outcome {
+                Ok(r) => results.push(r),
+                Err(p) => panic = Some(p),
+            }
+        }
+        if let Some(p) = panic {
+            std::panic::resume_unwind(p);
+        }
+        results
+    }
+
+    /// As [`ScanPool::execute`], but a failed morsel yields a typed
+    /// [`ScanError`] in its submission-order slot instead of unwinding
+    /// the caller: the rest of the batch still completes and returns.
+    pub fn try_execute<R, F>(&mut self, morsels: Vec<F>) -> Vec<Result<R, ScanError>>
+    where
+        R: Send + 'static,
+        F: FnOnce() -> R + Send + 'static,
+    {
+        self.run_batch(morsels)
+            .into_iter()
+            .map(|outcome| {
+                outcome.map_err(|payload| {
+                    if payload.downcast_ref::<WorkerDied>().is_some() {
+                        ScanError::WorkerDied
+                    } else {
+                        ScanError::MorselPanicked(payload_text(payload.as_ref()))
+                    }
+                })
+            })
+            .collect()
+    }
+
+    /// The shared batch engine: every morsel's outcome in submission
+    /// order, panics captured, no hangs. Each result slot is armed at
+    /// submission by a [`SlotGuard`] the job closure owns: if the job is
+    /// dropped without running — its worker died mid-unwind with the job
+    /// in hand — the guard's `Drop` completes the slot with the
+    /// [`WorkerDied`] sentinel, so the done-counter always reaches `n`.
+    fn run_batch<R, F>(&mut self, morsels: Vec<F>) -> Vec<std::thread::Result<R>>
     where
         R: Send + 'static,
         F: FnOnce() -> R + Send + 'static,
@@ -119,9 +265,9 @@ impl ScanPool {
         if n == 0 {
             return Vec::new();
         }
+        self.respawn_dead_workers();
         // One result slot per morsel; workers fill them out of order and
         // the submission-order read below restores determinism.
-        type Slot<R> = Mutex<Option<std::thread::Result<R>>>;
         let slots: Arc<Vec<Slot<R>>> = Arc::new((0..n).map(|_| Mutex::new(None)).collect());
         let done = Arc::new((Mutex::new(0usize), Condvar::new()));
 
@@ -133,14 +279,15 @@ impl ScanPool {
             *queued += n;
         }
         for (i, morsel) in morsels.into_iter().enumerate() {
-            let slots = Arc::clone(&slots);
-            let done = Arc::clone(&done);
+            let mut guard = SlotGuard {
+                slots: Arc::clone(&slots),
+                done: Arc::clone(&done),
+                index: i,
+                armed: true,
+            };
             let job: Job = Box::new(move || {
                 let outcome = catch_unwind(AssertUnwindSafe(morsel));
-                *lock_clean(&slots[i]) = Some(outcome);
-                let (count, cv) = &*done;
-                *lock_clean(count) += 1;
-                cv.notify_all();
+                guard.fill(outcome);
             });
             let target = (self.next_deque + i) % workers;
             lock_clean(&self.shared.deques[target]).push_back(job);
@@ -149,33 +296,99 @@ impl ScanPool {
         self.shared.signal.notify_all();
 
         // Wait for the batch, then read the slots back in order. The done
-        // counter only proves the closures *ran*; workers may still hold
-        // their Arc clones for a moment, so results are taken out of the
-        // shared slots rather than by unwrapping the Arc.
+        // counter only proves the closures *ran* (or were guard-completed);
+        // workers may still hold their Arc clones for a moment, so results
+        // are taken out of the shared slots rather than by unwrapping the
+        // Arc. The wait carries a timeout: if every worker has died with
+        // jobs still queued, no guard is left to fire and the collector
+        // must abandon the queue itself.
         let (count, cv) = &*done;
         let mut finished = lock_clean(count);
         while *finished < n {
-            finished = match cv.wait(finished) {
-                Ok(g) => g,
-                Err(poisoned) => poisoned.into_inner(),
-            };
+            let (guard, timeout) =
+                match cv.wait_timeout(finished, std::time::Duration::from_millis(1)) {
+                    Ok((g, t)) => (g, t),
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+            finished = guard;
+            if timeout.timed_out() && *finished < n && self.all_workers_dead() {
+                drop(finished);
+                self.abandon_queued_jobs();
+                finished = lock_clean(count);
+            }
         }
         drop(finished);
 
-        let mut results = Vec::with_capacity(n);
-        let mut panic = None;
-        for slot in slots.iter() {
-            match lock_clean(slot).take() {
-                Some(Ok(r)) => results.push(r),
-                Some(Err(p)) => panic = Some(p),
-                // soc-lint: allow(L1-panic-free, the done-counter proves every slot was filled)
+        slots
+            .iter()
+            .map(|slot| match lock_clean(slot).take() {
+                Some(outcome) => outcome,
+                // soc-lint: allow(L1-panic-free, the done-counter proves every slot was filled or guard-completed)
                 None => unreachable!("morsel counted as done without a result"),
+            })
+            .collect()
+    }
+}
+
+impl ScanPool {
+    /// True when no worker thread is left to take a job: each has either
+    /// exited or raised its death notice (set before the unwind starts).
+    fn all_workers_dead(&self) -> bool {
+        self.workers
+            .iter()
+            .enumerate()
+            .all(|(me, h)| h.is_finished() || self.shared.dead[me].load(Ordering::SeqCst))
+    }
+
+    /// Drains every deque on the collecting thread, dropping the jobs
+    /// unrun: each dropped job's [`SlotGuard`] fails its slot with the
+    /// [`WorkerDied`] sentinel, so the done counter still reaches the
+    /// batch size. Only called once every worker is dead — a live worker
+    /// would race the drain and run jobs this thread means to abandon.
+    fn abandon_queued_jobs(&self) {
+        for deque in &self.shared.deques {
+            loop {
+                let job = lock_clean(deque).pop_front();
+                let Some(job) = job else { break };
+                {
+                    let mut queued = lock_clean(&self.shared.queued);
+                    *queued = queued.saturating_sub(1);
+                }
+                drop(job);
             }
         }
-        if let Some(p) = panic {
-            std::panic::resume_unwind(p);
+    }
+}
+
+/// One morsel's result slot plus the batch's done counter.
+type Slot<R> = Mutex<Option<std::thread::Result<R>>>;
+
+/// Arms a result slot from submission until the job fills it. Owned by
+/// the job closure: dropping the closure without running it (the worker
+/// died) triggers the guard's completion path, so the submitting thread
+/// can never wait forever on a slot no one will fill.
+struct SlotGuard<R> {
+    slots: Arc<Vec<Slot<R>>>,
+    done: Arc<(Mutex<usize>, Condvar)>,
+    index: usize,
+    armed: bool,
+}
+
+impl<R> SlotGuard<R> {
+    fn fill(&mut self, outcome: std::thread::Result<R>) {
+        *lock_clean(&self.slots[self.index]) = Some(outcome);
+        self.armed = false;
+        let (count, cv) = &*self.done;
+        *lock_clean(count) += 1;
+        cv.notify_all();
+    }
+}
+
+impl<R> Drop for SlotGuard<R> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.fill(Err(Box::new(WorkerDied)));
         }
-        results
     }
 }
 
@@ -206,6 +419,20 @@ fn worker_loop(me: usize, shared: &PoolShared) {
         let job = take_job(me, shared);
         match job {
             Some(job) => {
+                match shared.injector.inject(FaultSite::MorselJob) {
+                    Some(Fault::Slow(d)) => std::thread::sleep(d),
+                    Some(Fault::Panic | Fault::IoError) => {
+                        // The injected crash regime: the worker dies with
+                        // the job in hand. Unwinding drops the job, whose
+                        // SlotGuard completes the batch with WorkerDied;
+                        // the pool respawns this thread at the next batch
+                        // (the death notice closes the unwind race).
+                        shared.dead[me].store(true, Ordering::SeqCst);
+                        // soc-lint: allow(L1-panic-free, injected fault: the crash is the tested failure mode)
+                        panic!("injected scan-worker crash");
+                    }
+                    None => {}
+                }
                 job();
             }
             None => {
@@ -306,6 +533,95 @@ mod tests {
         }
         let results = pool.execute(morsels);
         assert_eq!(results, (0..40).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_execute_fails_only_the_poisoned_morsel() {
+        let mut pool = ScanPool::new(2);
+        let morsels: Vec<Box<dyn FnOnce() -> u32 + Send>> = vec![
+            Box::new(|| 1),
+            Box::new(|| panic!("scan failed: piece 7")),
+            Box::new(|| 3),
+        ];
+        let results = pool.try_execute(morsels);
+        assert_eq!(results[0], Ok(1));
+        assert_eq!(
+            results[1],
+            Err(ScanError::MorselPanicked("scan failed: piece 7".to_owned()))
+        );
+        assert_eq!(results[2], Ok(3));
+        // The pool is reusable afterwards.
+        assert_eq!(pool.try_execute(vec![|| 9u32]), vec![Ok(9)]);
+    }
+
+    #[test]
+    fn injected_worker_crash_fails_typed_and_respawns() {
+        use crate::faults::{Fault, FaultPlan, FaultSite};
+        // Kill exactly one worker, on the first job it picks up.
+        let plan = Arc::new(FaultPlan::one_shot(FaultSite::MorselJob, Fault::Panic));
+        let mut pool = ScanPool::with_fault_injector(2, plan.clone());
+        let results = pool.try_execute((0..16u64).map(|i| move || i).collect::<Vec<_>>());
+        assert_eq!(plan.injected(FaultSite::MorselJob), 1);
+        let died = results
+            .iter()
+            .filter(|r| **r == Err(ScanError::WorkerDied))
+            .count();
+        assert_eq!(
+            died, 1,
+            "exactly the killed worker's job fails: {results:?}"
+        );
+        assert_eq!(
+            results.iter().filter(|r| r.is_ok()).count(),
+            15,
+            "every other morsel completes"
+        );
+        // The next batch respawns the dead worker and runs clean.
+        let clean = pool.try_execute((0..16u64).map(|i| move || i * 2).collect::<Vec<_>>());
+        assert!(clean.iter().all(|r| r.is_ok()));
+        assert_eq!(pool.respawns(), 1);
+        assert_eq!(pool.workers(), 2);
+    }
+
+    #[test]
+    fn all_workers_dead_mid_batch_still_returns_typed() {
+        use crate::faults::{Fault, FaultPlan, FaultSite};
+        // Probability 1 with a budget of 2 on a 2-worker pool: both workers
+        // die on the first job each picks up, leaving the rest of the batch
+        // orphaned in the deques with no one to run it. The collector must
+        // notice, abandon the queue (typed failures), and return.
+        let plan = Arc::new(
+            FaultPlan::new(11)
+                .with_fault(FaultSite::MorselJob, Fault::Panic, 1.0)
+                .with_budget(FaultSite::MorselJob, 2),
+        );
+        let mut pool = ScanPool::with_fault_injector(2, plan.clone());
+        let results = pool.try_execute((0..24u64).map(|i| move || i).collect::<Vec<_>>());
+        assert_eq!(plan.injected(FaultSite::MorselJob), 2);
+        assert_eq!(results.len(), 24);
+        assert!(
+            results.iter().all(|r| *r == Err(ScanError::WorkerDied)),
+            "with every worker dead, every morsel fails typed: {results:?}"
+        );
+        // The next batch respawns both workers and runs clean (the budget
+        // is spent), proving the abandoned-queue accounting left the pool
+        // in a servable state.
+        let clean = pool.try_execute((0..24u64).map(|i| move || i * 3).collect::<Vec<_>>());
+        assert_eq!(clean, (0..24u64).map(|i| Ok(i * 3)).collect::<Vec<_>>());
+        assert_eq!(pool.respawns(), 2);
+        assert_eq!(pool.workers(), 2);
+    }
+
+    #[test]
+    fn injected_slow_worker_only_delays() {
+        use crate::faults::{Fault, FaultPlan, FaultSite};
+        let plan = Arc::new(FaultPlan::one_shot(
+            FaultSite::MorselJob,
+            Fault::Slow(std::time::Duration::from_millis(20)),
+        ));
+        let mut pool = ScanPool::with_fault_injector(2, plan);
+        let results = pool.try_execute((0..8u32).map(|i| move || i).collect::<Vec<_>>());
+        assert_eq!(results, (0..8u32).map(Ok).collect::<Vec<_>>());
+        assert_eq!(pool.respawns(), 0);
     }
 
     #[test]

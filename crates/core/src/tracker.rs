@@ -83,6 +83,13 @@ pub struct QueryStats {
     pub segments_pruned: u64,
     /// Bytes the pruned segments would have cost an unpruned scan.
     pub pruned_bytes: u64,
+    /// Reorganization hints dropped because the writer's bounded command
+    /// queue was full (backpressure on the concurrent read path). Hints
+    /// are advisory — dropping one delays adaptation, never correctness —
+    /// but the count must be visible so overload is measurable. Folded in
+    /// by [`ConcurrentColumn`](crate::ConcurrentColumn), not by tracker
+    /// callbacks.
+    pub reorg_hints_dropped: u64,
 }
 
 impl QueryStats {
@@ -95,6 +102,7 @@ impl QueryStats {
         self.segments_materialized += other.segments_materialized;
         self.segments_pruned += other.segments_pruned;
         self.pruned_bytes += other.pruned_bytes;
+        self.reorg_hints_dropped += other.reorg_hints_dropped;
     }
 
     /// What an unpruned execution of the same queries would have read:
@@ -315,6 +323,7 @@ mod tests {
             segments_materialized: 5,
             segments_pruned: 6,
             pruned_bytes: 7,
+            reorg_hints_dropped: 8,
         };
         let mut b = a;
         b.absorb(&a);
@@ -322,6 +331,7 @@ mod tests {
         assert_eq!(b.segments_materialized, 10);
         assert_eq!(b.segments_pruned, 12);
         assert_eq!(b.pruned_bytes, 14);
+        assert_eq!(b.reorg_hints_dropped, 16);
     }
 
     #[test]

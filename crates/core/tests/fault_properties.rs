@@ -1,0 +1,120 @@
+//! Fault-injection property tests for the scan seam: under any seeded
+//! fault plan at [`FaultSite::MorselJob`], every answer the morsel pool
+//! returns is bit-identical to the fault-free run or a typed
+//! [`soc_core::ScanError`] — never a silent wrong answer — and the pool
+//! self-heals for the next batch.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use soc_core::{
+    ConcurrentColumn, Fault, FaultPlan, FaultSite, NullTracker, ScanPool, StrategyKind,
+    StrategySnapshot, StrategySpec, ValueRange,
+};
+
+fn domain() -> ValueRange<u32> {
+    ValueRange::must(0, 9_999)
+}
+
+fn values() -> Vec<u32> {
+    (0..3_000u32).map(|i| (i * 7919) % 10_000).collect()
+}
+
+fn queries() -> Vec<ValueRange<u32>> {
+    (0..16)
+        .map(|i| {
+            let lo = (i * 577) % 9_000;
+            ValueRange::must(lo, lo + 750)
+        })
+        .collect()
+}
+
+/// Builds an adapted snapshot (straddling pieces → pooled morsel jobs)
+/// plus the fault-free batch answers.
+fn adapted_snapshot() -> (Arc<StrategySnapshot<u32>>, Vec<ValueRange<u32>>, Vec<u64>) {
+    let spec = StrategySpec::new(StrategyKind::ApmSegm)
+        .with_apm_bounds(256, 1_024)
+        .with_model_seed(5);
+    let concurrent =
+        ConcurrentColumn::from_spec(&spec, domain(), values()).expect("values in domain");
+    for q in queries() {
+        let _ = concurrent.select_count(&q, &mut NullTracker);
+    }
+    concurrent.quiesce();
+    let snap = concurrent.snapshot();
+    let qs = queries();
+    let expect: Vec<u64> = qs
+        .iter()
+        .map(|q| snap.select_count(q, &mut NullTracker))
+        .collect();
+    (snap, qs, expect)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Panic faults: every `Ok` answer is bit-identical to the fault-free
+    /// run, every failure is a typed `ScanError`, and a follow-up batch
+    /// on the self-healed pool is fully clean.
+    #[test]
+    fn injected_morsel_panics_never_corrupt_answers(
+        seed in any::<u64>(),
+        prob in 0.05f64..0.9,
+    ) {
+        let (snap, qs, expect) = adapted_snapshot();
+        let plan = Arc::new(
+            FaultPlan::new(seed)
+                .with_fault(FaultSite::MorselJob, Fault::Panic, prob)
+                .with_budget(FaultSite::MorselJob, 3),
+        );
+        let mut pool = ScanPool::with_fault_injector(2, plan.clone());
+        let got = snap.try_select_count_batch(&qs, &mut pool, &mut NullTracker);
+        prop_assert_eq!(got.len(), expect.len());
+        for (i, r) in got.iter().enumerate() {
+            if let Ok(n) = r {
+                prop_assert_eq!(*n, expect[i], "query {} diverged under faults", i);
+            }
+        }
+        // Burn whatever is left of the fault budget on throwaway batches
+        // (low-probability plans may not exhaust it in one pass), then the
+        // healed pool must answer the whole batch cleanly.
+        let mut rounds = 0;
+        while plan.injected(FaultSite::MorselJob) < 3 && rounds < 200 {
+            let before = plan.draws(FaultSite::MorselJob);
+            let _ = snap.try_select_count_batch(&qs, &mut pool, &mut NullTracker);
+            rounds += 1;
+            if plan.draws(FaultSite::MorselJob) == before {
+                // The snapshot fans out no pooled jobs, so the injector can
+                // never fire and every batch was already clean.
+                break;
+            }
+        }
+        prop_assert!(
+            plan.injected(FaultSite::MorselJob) == 3 || plan.draws(FaultSite::MorselJob) == 0,
+            "fault budget not exhaustible: {} injected after {} extra batches",
+            plan.injected(FaultSite::MorselJob),
+            rounds
+        );
+        let after = snap.try_select_count_batch(&qs, &mut pool, &mut NullTracker);
+        let after: Result<Vec<u64>, _> = after.into_iter().collect();
+        prop_assert_eq!(after.as_ref(), Ok(&expect));
+    }
+
+    /// Slow faults only delay: every answer stays `Ok` and bit-identical.
+    #[test]
+    fn slow_morsel_faults_change_no_answers(
+        seed in any::<u64>(),
+        prob in 0.0f64..1.0,
+    ) {
+        let (snap, qs, expect) = adapted_snapshot();
+        let plan = Arc::new(FaultPlan::new(seed).with_fault(
+            FaultSite::MorselJob,
+            Fault::Slow(std::time::Duration::from_micros(50)),
+            prob,
+        ));
+        let mut pool = ScanPool::with_fault_injector(2, plan);
+        let got = snap.try_select_count_batch(&qs, &mut pool, &mut NullTracker);
+        let got: Result<Vec<u64>, _> = got.into_iter().collect();
+        prop_assert_eq!(got.as_ref(), Ok(&expect));
+    }
+}

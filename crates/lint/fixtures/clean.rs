@@ -36,6 +36,10 @@ impl Documented {
         }
     }
 
+    fn queues(&self) -> (SyncSender<Cmd>, Receiver<Cmd>) {
+        mpsc::sync_channel(64)
+    }
+
     fn publishes(&self) {
         let snap;
         {

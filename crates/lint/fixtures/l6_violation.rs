@@ -1,0 +1,15 @@
+// Fixture: unbounded channels on a serving-path module must fire —
+// both the turbofished and the inferred form.
+// (Scanned under the rel path of an epoch.rs, which L6 covers.)
+
+impl Server {
+    fn start(&mut self) {
+        let (tx, rx) = mpsc::channel::<Cmd>();
+        self.tx = Some(tx);
+        self.rx = Some(rx);
+    }
+
+    fn side_channel(&self) -> (Sender<Hint>, Receiver<Hint>) {
+        mpsc::channel()
+    }
+}

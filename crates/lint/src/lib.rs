@@ -13,6 +13,7 @@
 //! | `L3-segment-bytes-route` | `segment_bytes` bodies route through sanctioned byte accessors |
 //! | `L4-lock-across-send` | no named lock guard live across `send()`/`spawn()` in `epoch.rs`/`shard.rs` |
 //! | `L5-scan-accounting` | kernel scans in tracker-taking functions charge (or forward) the tracker |
+//! | `L6-bounded-queues` | no unbounded `mpsc::channel()` on serving paths (`epoch.rs`/`shard.rs`/`morsel.rs`) |
 //!
 //! Findings can be waived with a written justification:
 //!
@@ -30,12 +31,13 @@ use std::path::{Path, PathBuf};
 pub mod rules;
 
 /// The rule identifiers, in report order.
-pub const RULES: [&str; 5] = [
+pub const RULES: [&str; 6] = [
     "L1-panic-free",
     "L2-strategy-contract",
     "L3-segment-bytes-route",
     "L4-lock-across-send",
     "L5-scan-accounting",
+    "L6-bounded-queues",
 ];
 
 /// One rule violation.
@@ -429,6 +431,7 @@ pub fn check_file(file: &SourceFile, report: &mut Report) {
     rules::l3_segment_bytes_route(file, &mut found);
     rules::l4_lock_across_send(file, &mut found);
     rules::l5_scan_accounting(file, &mut found);
+    rules::l6_bounded_queues(file, &mut found);
     for f in found {
         match file.pragma_for(f.line - 1, &f.rule) {
             Some(p) if !p.reason.is_empty() => report.waived.push(Waiver {

@@ -338,3 +338,36 @@ pub fn l5_scan_accounting(file: &SourceFile, out: &mut Vec<Finding>) {
         }
     }
 }
+
+/// **L6 `bounded-queues`** — no unbounded `mpsc::channel()` on serving
+/// paths (`epoch.rs`, `shard.rs`, `morsel.rs`).
+///
+/// An unbounded producer queue turns overload into unbounded memory
+/// growth and latency instead of backpressure. Serving-path modules must
+/// use `mpsc::sync_channel` (bounded, applies backpressure or sheds) or
+/// carry a written justification for why the queue's depth is bounded by
+/// construction.
+pub fn l6_bounded_queues(file: &SourceFile, out: &mut Vec<Finding>) {
+    const RULE: &str = "L6-bounded-queues";
+    let name = file.rel.rsplit('/').next().unwrap_or(&file.rel);
+    if name != "epoch.rs" && name != "shard.rs" && name != "morsel.rs" {
+        return;
+    }
+    for (i, line) in file.code_lines.iter().enumerate() {
+        if file.in_test[i] {
+            continue;
+        }
+        if !line.contains("mpsc::channel(") && !line.contains("mpsc::channel::<") {
+            continue;
+        }
+        out.push(finding(
+            file,
+            i,
+            RULE,
+            "unbounded mpsc::channel() on a serving path — use \
+             mpsc::sync_channel (backpressure) or justify the bound with \
+             `soc-lint: allow(L6-bounded-queues, <why the depth is bounded>)`"
+                .to_owned(),
+        ));
+    }
+}

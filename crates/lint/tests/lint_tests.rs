@@ -95,6 +95,36 @@ fn l5_skip_fixture_fires_on_both_arm_shapes() {
 }
 
 #[test]
+fn l6_fixture_fires_on_both_channel_forms() {
+    let report = scan(
+        "crates/core/src/epoch.rs",
+        include_str!("../fixtures/l6_violation.rs"),
+    );
+    assert_eq!(rules_hit(&report), ["L6-bounded-queues"; 2], "{report:?}");
+}
+
+#[test]
+fn l6_only_watches_the_serving_modules() {
+    let report = scan(
+        "crates/core/src/other.rs",
+        include_str!("../fixtures/l6_violation.rs"),
+    );
+    assert!(report.findings.is_empty(), "{report:?}");
+}
+
+#[test]
+fn l6_justified_pragma_waives_the_unbounded_channel() {
+    let src = "fn start() {\n\
+               \x20   // soc-lint: allow(L6-bounded-queues, one in-flight task per caller bounds the depth)\n\
+               \x20   let (tx, rx) = mpsc::channel::<Cmd>();\n\
+               }\n";
+    let report = scan("crates/sim/src/shard.rs", src);
+    assert!(report.findings.is_empty(), "{report:?}");
+    assert_eq!(report.waived.len(), 1);
+    assert_eq!(report.waived[0].rule, "L6-bounded-queues");
+}
+
+#[test]
 fn clean_fixture_passes_every_rule() {
     let report = scan(
         "crates/core/src/epoch.rs",

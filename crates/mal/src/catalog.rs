@@ -26,7 +26,7 @@
 //! reorganization), and a size threshold triggers the merge automatically
 //! once a table's pending delta rows cross it.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::thread;
 
 use soc_bat::{algebra::Atom, Bat, BatError, Head, Oid, Tail};
@@ -184,6 +184,16 @@ pub struct MergeReport {
 /// large enough that a bulk load does not thrash rebuilds.
 pub const DEFAULT_DELTA_MERGE_THRESHOLD: usize = 4096;
 
+/// Retry state for a table whose automatic delta merge failed.
+#[derive(Debug, Clone, Copy, Default)]
+struct MergeBackoff {
+    /// Consecutive failed auto-merge attempts.
+    failures: u32,
+    /// Delta mutations to sit out before the next retry
+    /// (`2^failures`, capped at 64).
+    cooldown: u32,
+}
+
 /// Named storage the MAL interpreter binds against.
 ///
 /// Fields are crate-visible for the checkpoint module
@@ -203,9 +213,12 @@ pub struct Catalog {
     migrations: HashMap<String, PendingMigration>,
     /// Pending-delta-row count at which a table auto-merges (0 disables).
     delta_merge_threshold: usize,
-    /// Tables whose automatic merge failed (e.g. an out-of-domain insert);
-    /// suppressed until an explicit merge or re-registration succeeds.
-    auto_merge_failed: HashSet<String>,
+    /// Per-table retry state for failed automatic merges: a failed
+    /// attempt (e.g. an out-of-domain insert) backs off exponentially in
+    /// *mutations* rather than latching forever, so the pending deltas
+    /// are retried — and never silently dropped — once the blocking
+    /// mutation is compensated (say, the offending row deleted).
+    auto_merge_backoff: HashMap<String, MergeBackoff>,
     /// Incrementally maintained pending-delta-row count per table (delta
     /// entries on *registered* columns + deleted oids) — what the
     /// auto-merge threshold compares against, kept O(1) per mutation.
@@ -223,7 +236,7 @@ impl Default for Catalog {
             next_oid: HashMap::new(),
             migrations: HashMap::new(),
             delta_merge_threshold: DEFAULT_DELTA_MERGE_THRESHOLD,
-            auto_merge_failed: HashSet::new(),
+            auto_merge_backoff: HashMap::new(),
             pending_rows: HashMap::new(),
         }
     }
@@ -259,7 +272,7 @@ impl Catalog {
                 }
             }
         }
-        self.auto_merge_failed.remove(&tk);
+        self.auto_merge_backoff.remove(&tk);
     }
 
     /// Registers a plain (positional) column.
@@ -790,7 +803,7 @@ impl Catalog {
             self.deltas.remove(key);
         }
         self.deleted.remove(&tk);
-        self.auto_merge_failed.remove(&tk);
+        self.auto_merge_backoff.remove(&tk);
         // All counted (registered-column) deltas were folded; deltas
         // against never-registered column names are inert and uncounted,
         // so the table's pending total is zero by construction.
@@ -800,20 +813,28 @@ impl Catalog {
 
     /// Auto-merge hook run after every delta mutation: merges once the
     /// table's pending rows reach the threshold. A failed attempt (e.g.
-    /// an out-of-domain insert) is remembered and not retried until an
-    /// explicit [`Self::merge_deltas`] succeeds, so mutation stays O(1).
+    /// an out-of-domain insert) enters exponential backoff — the next
+    /// `2^failures` mutations (capped at 64) only decrement a cooldown,
+    /// keeping mutation O(1) — and is then retried, so pending deltas
+    /// are never silently dropped; success (auto or explicit) clears the
+    /// backoff.
     fn maybe_auto_merge(&mut self, schema: &str, table: &str) {
         if self.delta_merge_threshold == 0 {
             return;
         }
         let tk = Self::table_key(schema, table);
-        if self.auto_merge_failed.contains(&tk) {
-            return;
+        if let Some(b) = self.auto_merge_backoff.get_mut(&tk) {
+            if b.cooldown > 0 {
+                b.cooldown -= 1;
+                return;
+            }
         }
         if self.pending_delta_rows(schema, table) >= self.delta_merge_threshold
             && self.merge_deltas(schema, table).is_err()
         {
-            self.auto_merge_failed.insert(tk);
+            let b = self.auto_merge_backoff.entry(tk).or_default();
+            b.failures += 1;
+            b.cooldown = 1u32 << b.failures.min(6);
         }
     }
 }
@@ -1119,6 +1140,77 @@ mod tests {
             raw.merge_deltas("s", "t"),
             Err(CatalogError::NoSpec(_))
         ));
+    }
+
+    #[test]
+    fn failed_auto_merge_backs_off_then_retries_without_dropping_deltas() {
+        let mut c = Catalog::new();
+        c.register_segmented(
+            "sys",
+            "T",
+            "v",
+            Bat::dense_int((0..50).collect()),
+            0.0,
+            100.0,
+            StrategySpec::new(StrategyKind::ApmSegm),
+        )
+        .unwrap();
+        c.set_delta_merge_threshold(1);
+        // The poisoned insert: out of the registered domain, so every
+        // merge attempt fails until the row is compensated.
+        let bad = c.insert_row("sys", "T", &[("v", Atom::Int(500))]);
+        assert_eq!(
+            c.pending_delta_rows("sys", "T"),
+            1,
+            "failed merge keeps deltas"
+        );
+
+        // First failure → cooldown 2: the next two mutations only tick
+        // the clock (no rebuild attempt, so the pending count grows).
+        c.insert_row("sys", "T", &[("v", Atom::Int(10))]);
+        c.insert_row("sys", "T", &[("v", Atom::Int(11))]);
+        assert_eq!(
+            c.pending_delta_rows("sys", "T"),
+            3,
+            "cooldown ticks, no merge"
+        );
+
+        // Cooldown elapsed: the next mutation retries — still poisoned,
+        // so it fails again and the cooldown doubles to 4.
+        c.insert_row("sys", "T", &[("v", Atom::Int(12))]);
+        assert_eq!(
+            c.pending_delta_rows("sys", "T"),
+            4,
+            "retry failed, deltas kept"
+        );
+
+        // Compensate the poison (delete the out-of-domain row), then
+        // mutate through the second cooldown window. The retry at its
+        // end succeeds and folds EVERY pending delta — nothing dropped.
+        c.delete_row("sys", "T", bad); // cooldown 4 → 3
+        c.insert_row("sys", "T", &[("v", Atom::Int(13))]); // 3 → 2
+        c.insert_row("sys", "T", &[("v", Atom::Int(14))]); // 2 → 1
+        c.insert_row("sys", "T", &[("v", Atom::Int(15))]); // 1 → 0
+        assert!(c.pending_delta_rows("sys", "T") > 0, "still cooling down");
+        c.insert_row("sys", "T", &[("v", Atom::Int(16))]); // retry: succeeds
+        assert_eq!(
+            c.pending_delta_rows("sys", "T"),
+            0,
+            "the backed-off retry merged every pending delta"
+        );
+        // All seven in-domain inserts landed; the poisoned row is gone.
+        assert_eq!(c.segmented("sys.T.v").unwrap().rows(), 57);
+
+        // A fresh failure after success starts the backoff ladder over
+        // (cooldown 2, not 8): success cleared the failure count.
+        c.insert_row("sys", "T", &[("v", Atom::Int(700))]);
+        c.insert_row("sys", "T", &[("v", Atom::Int(20))]);
+        c.insert_row("sys", "T", &[("v", Atom::Int(21))]);
+        assert_eq!(
+            c.pending_delta_rows("sys", "T"),
+            3,
+            "ladder restarted at cooldown 2 after the earlier success"
+        );
     }
 
     #[test]

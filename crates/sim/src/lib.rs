@@ -37,4 +37,4 @@ pub use cost::CostModel;
 pub use experiment::{build_strategy, Figure, Series, StrategyKind, StrategySpec, TableOut};
 pub use placement::{mean_fanout, overlapping_span, Placement, PlacementError, PlacementPolicy};
 pub use runner::{run_queries, QueryRecord, RunResult, SimTracker};
-pub use shard::{ExecMode, MigrationReport, ShardError, ShardedColumn};
+pub use shard::{ExecMode, MigrationReport, NodeError, ShardError, ShardedColumn};

@@ -48,13 +48,31 @@
 //! round-trip per node instead of one per query — the coordinator shape
 //! the `sharded_scan` benchmark measures. Because the workers are
 //! persistent, no path pays a thread spawn per query or per batch.
+//!
+//! # Supervision
+//!
+//! A node worker can die: a task panics, or the fault-injection harness
+//! ([`soc_core::FaultInjector`], site [`FaultSite::ShardTask`]) kills it
+//! deliberately. The coordinator **supervises**: a failed dispatch or
+//! reply surfaces as a typed [`NodeError::Down`] (never a coordinator
+//! panic), the node's strategy is rebuilt from the values packed at the
+//! last (re-)placement epoch, a fresh worker is spawned, and the
+//! in-flight task is retried under capped exponential backoff with
+//! deterministic, seeded jitter. Because reorganization is purely
+//! physical, a rebuilt node answers bit-identically to the lost one —
+//! only its self-organized layout (and thus future scan *cost*) resets.
+//! [`ShardedColumn::node_recoveries`] counts the rebuilds.
 
 use std::sync::mpsc;
+use std::sync::Arc;
 use std::thread;
+use std::time::Duration;
 
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use soc_core::{
-    AccessTracker, AdaptationStats, ColumnError, ColumnStrategy, ColumnValue, EventLog,
-    NullTracker, SegIdGen, StrategySpec, ValueRange,
+    AccessTracker, AdaptationStats, ColumnError, ColumnStrategy, ColumnValue, EventLog, Fault,
+    FaultInjector, FaultSite, NoFaults, NullTracker, SegIdGen, StrategySpec, ValueRange,
 };
 
 use crate::placement::{overlapping_span, Placement, PlacementError, PlacementPolicy};
@@ -90,6 +108,35 @@ impl From<ColumnError> for ShardError {
         ShardError::Column(e)
     }
 }
+
+/// Typed failure of one node worker, surfaced to the coordinator instead
+/// of a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeError {
+    /// The node's worker thread is down (its task panicked, or fault
+    /// injection killed it) and supervision could not complete the
+    /// operation within its retry budget. Carries the node index and the
+    /// worker's panic payload text when one was captured.
+    Down {
+        /// Index of the failed node.
+        node: usize,
+        /// The worker's panic message, or a generic note when the thread
+        /// died without a payload.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for NodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NodeError::Down { node, detail } => {
+                write!(f, "shard node {node} worker down: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NodeError {}
 
 /// What one [`ShardedColumn::replace`] epoch did.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -127,19 +174,32 @@ pub enum ExecMode {
 /// the actor pattern rather than a variant per operation.
 type NodeTask<V> = Box<dyn FnOnce(&mut Box<dyn ColumnStrategy<V>>) + Send>;
 
+/// One routed node's scan reply: matched count, collected values (empty
+/// for counts), and the node-local event log replayed at merge time.
+type ScanReply<V> = (u64, Vec<V>, EventLog);
+
 /// One simulated node: the channel to its persistent worker thread (which
 /// owns the node's strategy), the value ranges it holds, and its lifetime
 /// read counters (maintained by the coordinator at merge time).
 struct ShardNode<V> {
+    index: usize,
     /// `Some` for the node's whole life; taken in `Drop` so the worker's
     /// receive loop ends before the thread is joined.
     tx: Option<mpsc::Sender<NodeTask<V>>>,
     /// Behind a mutex so the `&self` call paths can take the handle to
-    /// join (and re-raise the original panic payload) when the worker
-    /// dies; uncontended everywhere else.
+    /// join (and capture the panic payload) when the worker dies;
+    /// uncontended everywhere else.
     worker: std::sync::Mutex<Option<thread::JoinHandle<()>>>,
     /// Sorted, pairwise disjoint ranges whose values this node holds.
     assigned: Vec<ValueRange<V>>,
+    /// The node's values as packed at the last (re-)placement epoch — the
+    /// durable state supervision rebuilds a crashed worker's strategy
+    /// from. Self-organization since then is physical only, so a rebuild
+    /// loses layout, never answers.
+    packed: Arc<Vec<V>>,
+    /// Fault seam consulted by the worker before each task; kept so a
+    /// respawned worker stays under the same plan.
+    injector: Arc<dyn FaultInjector>,
     read_bytes: u64,
     queries_touched: u64,
 }
@@ -151,78 +211,130 @@ impl<V: ColumnValue> ShardNode<V> {
         index: usize,
         strategy: Box<dyn ColumnStrategy<V>>,
         assigned: Vec<ValueRange<V>>,
+        packed: Arc<Vec<V>>,
+        injector: Arc<dyn FaultInjector>,
     ) -> Self {
+        let mut node = ShardNode {
+            index,
+            tx: None,
+            worker: std::sync::Mutex::new(None),
+            assigned,
+            packed,
+            injector,
+            read_bytes: 0,
+            queries_touched: 0,
+        };
+        node.start_worker(strategy);
+        node
+    }
+
+    /// (Re)starts the worker thread owning `strategy`. The coordinator
+    /// never queues more than one in-flight task per node per call, so
+    /// the task channel is effectively bounded at the routed fan-out.
+    fn start_worker(&mut self, strategy: Box<dyn ColumnStrategy<V>>) {
+        // soc-lint: allow(L6-bounded-queues, at most one in-flight task per node per coordinator call bounds this queue)
         let (tx, rx) = mpsc::channel::<NodeTask<V>>();
+        let injector = Arc::clone(&self.injector);
         let worker = thread::Builder::new()
-            .name(format!("soc-shard-node-{index}"))
+            .name(format!("soc-shard-node-{}", self.index))
             .spawn(move || {
                 let mut strategy = strategy;
                 for task in rx {
-                    task(&mut strategy);
+                    match injector.inject(FaultSite::ShardTask) {
+                        Some(Fault::Slow(d)) => {
+                            thread::sleep(d);
+                            task(&mut strategy);
+                        }
+                        Some(_) => panic!("injected shard-worker crash"),
+                        None => task(&mut strategy),
+                    }
                 }
             })
             .expect("spawn shard node worker");
-        ShardNode {
-            tx: Some(tx),
-            worker: std::sync::Mutex::new(Some(worker)),
-            assigned,
-            read_bytes: 0,
-            queries_touched: 0,
-        }
+        self.tx = Some(tx);
+        *self.worker.lock().unwrap_or_else(|e| e.into_inner()) = Some(worker);
     }
 
     /// A channel operation failed, meaning the worker thread died (a task
-    /// panicked). Join it and re-raise the original payload so the
-    /// caller's failure carries the worker's message, file, and line —
-    /// not just "a worker died somewhere".
-    fn worker_failed(&self) -> ! {
+    /// panicked, or fault injection killed it). Join it and capture the
+    /// payload text into a typed [`NodeError::Down`] — the coordinator
+    /// decides whether to recover or surface the error; it never unwinds.
+    fn down_error(&self) -> NodeError {
         let handle = self.worker.lock().unwrap_or_else(|e| e.into_inner()).take();
-        if let Some(handle) = handle {
-            if let Err(payload) = handle.join() {
-                std::panic::resume_unwind(payload);
+        let detail = match handle.map(|h| h.join()) {
+            Some(Err(payload)) => {
+                if let Some(s) = payload.downcast_ref::<&str>() {
+                    (*s).to_owned()
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "worker panicked with a non-string payload".to_owned()
+                }
             }
+            _ => "worker exited without a panic payload".to_owned(),
+        };
+        NodeError::Down {
+            node: self.index,
+            detail,
         }
-        panic!("shard node worker terminated unexpectedly without a panic payload");
     }
 
     /// Ships `f` to the worker without waiting; the result arrives on the
     /// returned channel. Dispatching to several nodes before receiving any
     /// reply is what overlaps their scans in [`ExecMode::Parallel`].
-    fn dispatch<T, F>(&self, f: F) -> mpsc::Receiver<T>
+    ///
+    /// # Errors
+    /// [`NodeError::Down`] when the worker thread has died.
+    fn try_dispatch<T, F>(&self, f: F) -> Result<mpsc::Receiver<T>, NodeError>
     where
         T: Send + 'static,
         F: FnOnce(&mut Box<dyn ColumnStrategy<V>>) -> T + Send + 'static,
     {
-        let (reply, rx) = mpsc::channel();
+        // Exactly one reply per task, so the rendezvous buffer of one
+        // never blocks the worker.
+        let (reply, rx) = mpsc::sync_channel(1);
         let task: NodeTask<V> = Box::new(move |strategy| {
             let _ = reply.send(f(strategy));
         });
-        let sender = self
-            .tx
-            .as_ref()
-            .expect("worker channel lives as long as the node");
-        if sender.send(task).is_err() {
-            self.worker_failed();
+        match &self.tx {
+            Some(sender) if sender.send(task).is_ok() => Ok(rx),
+            _ => Err(self.down_error()),
         }
-        rx
     }
 
-    /// Awaits a dispatched reply, forwarding a worker panic.
-    fn await_reply<T>(&self, rx: mpsc::Receiver<T>) -> T {
-        match rx.recv() {
-            Ok(v) => v,
-            Err(_) => self.worker_failed(),
-        }
+    /// Awaits a dispatched reply; a dropped reply channel means the
+    /// worker died mid-task.
+    ///
+    /// # Errors
+    /// [`NodeError::Down`] when the worker thread died before replying.
+    fn try_await<T>(&self, rx: mpsc::Receiver<T>) -> Result<T, NodeError> {
+        rx.recv().map_err(|_| self.down_error())
     }
 
     /// Synchronous round-trip: dispatch and await the result.
+    ///
+    /// # Errors
+    /// [`NodeError::Down`] when the worker thread has died.
+    fn try_call<T, F>(&self, f: F) -> Result<T, NodeError>
+    where
+        T: Send + 'static,
+        F: FnOnce(&mut Box<dyn ColumnStrategy<V>>) -> T + Send + 'static,
+    {
+        let rx = self.try_dispatch(f)?;
+        self.try_await(rx)
+    }
+
+    /// Synchronous round-trip for the infallible accessor paths (`name`,
+    /// `storage_bytes`, `adaptation`, …) whose trait signatures cannot
+    /// carry an error and whose `&self` receivers cannot recover the
+    /// node. A dead worker panics here with the typed error's message —
+    /// the supervised read paths never take this route.
     fn call<T, F>(&self, f: F) -> T
     where
         T: Send + 'static,
         F: FnOnce(&mut Box<dyn ColumnStrategy<V>>) -> T + Send + 'static,
     {
-        let rx = self.dispatch(f);
-        self.await_reply(rx)
+        self.try_call(f).unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -302,6 +414,12 @@ pub struct ShardedColumn<V> {
     moved_bytes: u64,
     queries: u64,
     fanout_sum: u64,
+    /// Fault seam handed to every node worker (and every respawn).
+    injector: Arc<dyn FaultInjector>,
+    /// Workers rebuilt by supervision after a crash.
+    recoveries: u64,
+    /// Seed for the deterministic retry-backoff jitter.
+    retry_seed: u64,
 }
 
 impl<V: ColumnValue + std::fmt::Debug> std::fmt::Debug for ShardedColumn<V> {
@@ -375,6 +493,25 @@ impl<V: ColumnValue> ShardedColumn<V> {
         domain: ValueRange<V>,
         values: Vec<V>,
     ) -> Result<Self, ShardError> {
+        Self::with_faults(spec, policy, nodes, domain, values, Arc::new(NoFaults))
+    }
+
+    /// As [`Self::new`], with a fault-injection plan wired into every
+    /// node worker (and every supervised respawn): before each task the
+    /// worker consults `injector` at [`FaultSite::ShardTask`] —
+    /// [`Fault::Slow`] delays the task, any other fault kills the worker
+    /// with the task in hand, exercising the supervision path.
+    ///
+    /// # Errors
+    /// As [`Self::new`].
+    pub fn with_faults(
+        spec: StrategySpec,
+        policy: PlacementPolicy,
+        nodes: usize,
+        domain: ValueRange<V>,
+        values: Vec<V>,
+        injector: Arc<dyn FaultInjector>,
+    ) -> Result<Self, ShardError> {
         if nodes == 0 {
             return Err(PlacementError::NoNodes.into());
         }
@@ -413,6 +550,9 @@ impl<V: ColumnValue> ShardedColumn<V> {
             moved_bytes: 0,
             queries: 0,
             fanout_sum: 0,
+            injector,
+            recoveries: 0,
+            retry_seed: 0x7368_6172_645f_7276, // stable across runs: backoff jitter is deterministic
         };
         shard.build_nodes(nodes, &plan.node_of_segment, seed_ranges, buckets)?;
         Ok(shard)
@@ -445,22 +585,101 @@ impl<V: ColumnValue> ShardedColumn<V> {
             .zip(per_node_values)
             .map(|(ranges, values)| {
                 // Every node keeps the full domain: assignment, not the
-                // strategy's domain, is what scopes a node's data.
-                Ok((coalesce(ranges), self.spec.build(self.domain, values)?))
+                // strategy's domain, is what scopes a node's data. The
+                // packed values are retained as the node's recovery
+                // state: what supervision rebuilds from after a crash.
+                let packed = Arc::new(values.clone());
+                Ok((
+                    coalesce(ranges),
+                    packed,
+                    self.spec.build(self.domain, values)?,
+                ))
             })
             .collect::<Result<Vec<_>, ColumnError>>()?;
-        for (i, (assigned, strategy)) in built.into_iter().enumerate() {
+        for (i, (assigned, packed, strategy)) in built.into_iter().enumerate() {
             match self.nodes.get_mut(i) {
                 Some(node) => {
-                    node.call(move |s| *s = strategy);
+                    if node.try_call(move |s| *s = strategy).is_err() {
+                        // The old worker died before the hand-off: the
+                        // strategy went down with the task, so rebuild
+                        // the worker from the freshly packed values.
+                        let replacement = self
+                            .spec
+                            .build(self.domain, packed.as_ref().clone())
+                            .expect("packed values were just built from");
+                        node.start_worker(replacement);
+                        self.recoveries += 1;
+                    }
                     node.assigned = assigned;
+                    node.packed = packed;
                     node.read_bytes = 0;
                     node.queries_touched = 0;
                 }
-                None => self.nodes.push(ShardNode::spawn(i, strategy, assigned)),
+                None => self.nodes.push(ShardNode::spawn(
+                    i,
+                    strategy,
+                    assigned,
+                    packed,
+                    Arc::clone(&self.injector),
+                )),
             }
         }
         Ok(())
+    }
+
+    /// Supervision: rebuilds node `i`'s strategy from its last packed
+    /// values and spawns a fresh worker for it. Layout self-organized
+    /// since the last epoch is lost (it is physical only); answers are
+    /// not.
+    fn recover_node(&mut self, i: usize) {
+        let node = &mut self.nodes[i];
+        let strategy = self
+            .spec
+            .build(self.domain, node.packed.as_ref().clone())
+            .expect("packed values built this strategy before");
+        node.start_worker(strategy);
+        self.recoveries += 1;
+    }
+
+    /// Capped exponential backoff before retry `attempt` (1-based) on
+    /// node `i`: 100µs · 2^(attempt−1), capped at 5ms, plus seeded jitter
+    /// of up to half the step — deterministic for a given shard seed, so
+    /// fault-injection runs replay exactly.
+    fn backoff(&self, i: usize, attempt: u32) {
+        const BASE_US: u64 = 100;
+        const CAP_US: u64 = 5_000;
+        let step = (BASE_US << (attempt.saturating_sub(1)).min(10)).min(CAP_US);
+        let mut rng =
+            SmallRng::seed_from_u64(self.retry_seed ^ ((i as u64) << 32) ^ u64::from(attempt));
+        let jitter = rng.gen_range(0..=step / 2);
+        thread::sleep(Duration::from_micros(step + jitter));
+    }
+
+    /// Runs `f` on node `i`, recovering the worker and retrying (with
+    /// capped, seeded backoff) when it is down. `f` must be `Clone`: a
+    /// retry re-ships the whole task to the rebuilt worker.
+    ///
+    /// # Errors
+    /// The last [`NodeError::Down`] when every attempt failed — only
+    /// reachable when a fault plan kills the worker on every retry.
+    fn call_retry<T, F>(&mut self, i: usize, f: F) -> Result<T, NodeError>
+    where
+        T: Send + 'static,
+        F: Fn(&mut Box<dyn ColumnStrategy<V>>) -> T + Clone + Send + 'static,
+    {
+        const MAX_ATTEMPTS: u32 = 4;
+        let mut last: Option<NodeError> = None;
+        for attempt in 0..MAX_ATTEMPTS {
+            if attempt > 0 {
+                self.backoff(i, attempt);
+                self.recover_node(i);
+            }
+            match self.nodes[i].try_call(f.clone()) {
+                Ok(v) => return Ok(v),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.expect("at least one attempt ran"))
     }
 
     /// Node indices whose assigned ranges overlap `q` — the routing
@@ -489,50 +708,86 @@ impl<V: ColumnValue> ShardedColumn<V> {
         &mut self,
         q: &ValueRange<V>,
         tracker: &mut dyn AccessTracker,
-        mut out: Option<&mut Vec<V>>,
+        out: Option<&mut Vec<V>>,
     ) -> u64 {
+        self.try_run_select(q, tracker, out)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn try_run_select(
+        &mut self,
+        q: &ValueRange<V>,
+        tracker: &mut dyn AccessTracker,
+        mut out: Option<&mut Vec<V>>,
+    ) -> Result<u64, NodeError> {
         let routed = self.route(q);
         self.queries += 1;
         self.fanout_sum += routed.len() as u64;
         let collect = out.is_some();
         let q = *q;
+        let task = move |s: &mut Box<dyn ColumnStrategy<V>>| scan_task(s, &q, collect);
         let mut matched = 0u64;
         // Parallel mode ships the scan to every routed node's worker before
         // awaiting any reply, so the scans overlap; serial mode dispatches
         // and awaits one node at a time. Both merge in ascending node
         // order, so the observable event sequence is exactly the serial
-        // one.
-        let mut merge = |this: &mut Self, i: usize, rx: mpsc::Receiver<(u64, Vec<V>, EventLog)>| {
-            let (m, mut part, log) = this.nodes[i].await_reply(rx);
-            this.merge_scan(i, &log, tracker);
+        // one. A node that died mid-scan is recovered and its scan
+        // retried before its slot merges, so supervision preserves the
+        // order — and the counts are those of the fault-free run, since
+        // a rebuilt node holds the same logical values.
+        let pending: Vec<(usize, Option<mpsc::Receiver<ScanReply<V>>>)> = match self.exec {
+            ExecMode::Parallel => routed
+                .into_iter()
+                .map(|i| (i, self.nodes[i].try_dispatch(task).ok()))
+                .collect(),
+            ExecMode::Serial => routed.into_iter().map(|i| (i, None)).collect(),
+        };
+        for (i, rx) in pending {
+            let live = rx.and_then(|rx| self.nodes[i].try_await(rx).ok());
+            let (m, mut part, log) = match live {
+                Some(reply) => reply,
+                None => self.call_retry(i, task)?,
+            };
+            self.merge_scan(i, &log, tracker);
             matched += m;
             if let Some(out) = out.as_deref_mut() {
                 out.append(&mut part);
             }
-        };
-        match self.exec {
-            ExecMode::Parallel => {
-                let pending: Vec<_> = routed
-                    .into_iter()
-                    .map(|i| {
-                        (
-                            i,
-                            self.nodes[i].dispatch(move |s| scan_task(s, &q, collect)),
-                        )
-                    })
-                    .collect();
-                for (i, rx) in pending {
-                    merge(self, i, rx);
-                }
-            }
-            ExecMode::Serial => {
-                for i in routed {
-                    let rx = self.nodes[i].dispatch(move |s| scan_task(s, &q, collect));
-                    merge(self, i, rx);
-                }
-            }
         }
-        matched
+        Ok(matched)
+    }
+
+    /// As [`ColumnStrategy::select_count`], surfacing an unrecoverable
+    /// node failure as a typed error instead of a panic — the entry point
+    /// for callers (and fault-injection proptests) that must survive a
+    /// fault plan killing a worker faster than supervision can rebuild
+    /// it.
+    ///
+    /// # Errors
+    /// [`NodeError::Down`] when a routed node stayed down through the
+    /// supervised retry budget.
+    pub fn try_select_count(
+        &mut self,
+        q: &ValueRange<V>,
+        tracker: &mut dyn AccessTracker,
+    ) -> Result<u64, NodeError> {
+        self.try_run_select(q, tracker, None)
+    }
+
+    /// As [`ColumnStrategy::select_collect`] with typed node failure —
+    /// see [`Self::try_select_count`].
+    ///
+    /// # Errors
+    /// [`NodeError::Down`] when a routed node stayed down through the
+    /// supervised retry budget.
+    pub fn try_select_collect(
+        &mut self,
+        q: &ValueRange<V>,
+        tracker: &mut dyn AccessTracker,
+    ) -> Result<Vec<V>, NodeError> {
+        let mut out = Vec::new();
+        self.try_run_select(q, tracker, Some(&mut out))?;
+        Ok(out)
     }
 
     /// Executes a whole batch of counting range selections, returning one
@@ -555,6 +810,24 @@ impl<V: ColumnValue> ShardedColumn<V> {
         queries: &[ValueRange<V>],
         tracker: &mut dyn AccessTracker,
     ) -> Vec<u64> {
+        self.try_select_count_batch(queries, tracker)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// As [`Self::select_count_batch`], surfacing an unrecoverable node
+    /// failure as a typed error instead of a panic. A node that dies with
+    /// its worklist in hand is recovered and the whole worklist retried —
+    /// counts are logical, so the retried answers are bit-identical to
+    /// the fault-free run.
+    ///
+    /// # Errors
+    /// [`NodeError::Down`] when a routed node stayed down through the
+    /// supervised retry budget.
+    pub fn try_select_count_batch(
+        &mut self,
+        queries: &[ValueRange<V>],
+        tracker: &mut dyn AccessTracker,
+    ) -> Result<Vec<u64>, NodeError> {
         let routes: Vec<Vec<usize>> = queries.iter().map(|q| self.route(q)).collect();
         self.queries += queries.len() as u64;
         self.fanout_sum += routes.iter().map(|r| r.len() as u64).sum::<u64>();
@@ -564,7 +837,7 @@ impl<V: ColumnValue> ShardedColumn<V> {
                 for ((q, routed), count) in queries.iter().zip(&routes).zip(&mut counts) {
                     let q = *q;
                     for &i in routed {
-                        let (m, _, log) = self.nodes[i].call(move |s| scan_task(s, &q, false));
+                        let (m, _, log) = self.call_retry(i, move |s| scan_task(s, &q, false))?;
                         self.merge_scan(i, &log, tracker);
                         *count += m;
                     }
@@ -580,27 +853,35 @@ impl<V: ColumnValue> ShardedColumn<V> {
                         work[i].push(queries[qi]);
                     }
                 }
-                // One task per busy node: dispatch everything, then await.
-                let pending: Vec<(usize, mpsc::Receiver<BatchReply>)> = work
+                // One task per busy node: dispatch everything, then
+                // await. The task is `Clone` (it owns its worklist), so
+                // supervision can re-ship a whole worklist to a rebuilt
+                // worker.
+                let pending: Vec<_> = work
                     .into_iter()
                     .enumerate()
                     .filter(|(_, w)| !w.is_empty())
                     .map(|(i, w)| {
-                        let rx = self.nodes[i].dispatch(move |s| {
+                        let task = move |s: &mut Box<dyn ColumnStrategy<V>>| {
                             w.iter()
                                 .map(|q| {
                                     let (m, _, log) = scan_task(s, q, false);
                                     (m, log)
                                 })
                                 .collect::<BatchReply>()
-                        });
-                        (i, rx)
+                        };
+                        let rx = self.nodes[i].try_dispatch(task.clone()).ok();
+                        (i, task, rx)
                     })
                     .collect();
                 let mut per_node: Vec<BatchReply> =
                     (0..self.nodes.len()).map(|_| Vec::new()).collect();
-                for (i, rx) in pending {
-                    per_node[i] = self.nodes[i].await_reply(rx);
+                for (i, task, rx) in pending {
+                    let live = rx.and_then(|rx| self.nodes[i].try_await(rx).ok());
+                    per_node[i] = match live {
+                        Some(reply) => reply,
+                        None => self.call_retry(i, task)?,
+                    };
                 }
                 // Deterministic merge in serial order: query-major, then
                 // ascending node index. Each node's results are in its
@@ -616,7 +897,7 @@ impl<V: ColumnValue> ShardedColumn<V> {
                 }
             }
         }
-        counts
+        Ok(counts)
     }
 
     /// Re-placement epoch: collects the live (self-organized) partitioning
@@ -796,6 +1077,11 @@ impl<V: ColumnValue> ShardedColumn<V> {
     pub fn epochs(&self) -> u64 {
         self.epochs
     }
+
+    /// Node workers rebuilt by supervision after a crash.
+    pub fn node_recoveries(&self) -> u64 {
+        self.recoveries
+    }
 }
 
 // contract: ColumnStrategy thread-safety: shard access serializes through each node's worker; re-placement mutates the partition only inside &mut self selects, and &self accessors read the cached plan.
@@ -834,7 +1120,12 @@ impl<V: ColumnValue> ColumnStrategy<V> for ShardedColumn<V> {
         let pending: Vec<(usize, mpsc::Receiver<Vec<V>>)> = match self.exec {
             ExecMode::Parallel => routed
                 .into_iter()
-                .map(|i| (i, self.nodes[i].dispatch(move |s| s.peek_collect(&q))))
+                .map(|i| {
+                    let rx = self.nodes[i]
+                        .try_dispatch(move |s| s.peek_collect(&q))
+                        .unwrap_or_else(|e| panic!("{e}"));
+                    (i, rx)
+                })
                 .collect(),
             ExecMode::Serial => {
                 let mut out = Vec::new();
@@ -846,7 +1137,11 @@ impl<V: ColumnValue> ColumnStrategy<V> for ShardedColumn<V> {
         };
         let mut out = Vec::new();
         for (i, rx) in pending {
-            out.extend(self.nodes[i].await_reply(rx));
+            out.extend(
+                self.nodes[i]
+                    .try_await(rx)
+                    .unwrap_or_else(|e| panic!("{e}")),
+            );
         }
         out
     }
@@ -1307,6 +1602,133 @@ mod tests {
             parallel.select_count(q, &mut log_parallel);
         }
         assert_eq!(log_serial.events(), log_parallel.events());
+    }
+
+    #[test]
+    fn injected_worker_kill_recovers_with_bit_identical_counts() {
+        use soc_core::{Fault, FaultPlan, FaultSite};
+
+        let values = uniform_values(8_000, &domain(), 41);
+        let queries = workload(60, 42);
+        let expect: Vec<u64> = queries
+            .iter()
+            .map(|q| values.iter().filter(|v| q.contains(**v)).count() as u64)
+            .collect();
+        for mode in [ExecMode::Serial, ExecMode::Parallel] {
+            // One injected kill: the first task to draw the fault takes
+            // its worker down; supervision rebuilds and retries it.
+            let plan = Arc::new(FaultPlan::one_shot(FaultSite::ShardTask, Fault::Panic));
+            let mut sharded = ShardedColumn::with_faults(
+                spec(StrategyKind::ApmSegm),
+                PlacementPolicy::RangeContiguous,
+                4,
+                domain(),
+                values.clone(),
+                plan,
+            )
+            .expect("shard construction")
+            .with_exec_mode(mode);
+            for (q, &e) in queries.iter().zip(&expect) {
+                let got = sharded
+                    .try_select_count(q, &mut NullTracker)
+                    .expect("supervision recovers a single kill");
+                assert_eq!(got, e, "{mode:?}: count diverged on {q:?} after recovery");
+            }
+            assert_eq!(
+                sharded.node_recoveries(),
+                1,
+                "{mode:?}: exactly the one killed worker is rebuilt"
+            );
+        }
+    }
+
+    #[test]
+    fn injected_kill_mid_batch_recovers_and_matches() {
+        use soc_core::{Fault, FaultPlan, FaultSite};
+
+        let values = uniform_values(8_000, &domain(), 43);
+        let queries = workload(50, 44);
+        let expect: Vec<u64> = queries
+            .iter()
+            .map(|q| values.iter().filter(|v| q.contains(**v)).count() as u64)
+            .collect();
+        let plan = Arc::new(FaultPlan::one_shot(FaultSite::ShardTask, Fault::Panic));
+        let mut sharded = ShardedColumn::with_faults(
+            spec(StrategyKind::GdSegm),
+            PlacementPolicy::RoundRobin,
+            3,
+            domain(),
+            values,
+            plan,
+        )
+        .expect("shard construction");
+        let got = sharded
+            .try_select_count_batch(&queries, &mut NullTracker)
+            .expect("supervision recovers a single kill");
+        assert_eq!(got, expect, "batch counts survive a worker kill");
+        assert_eq!(sharded.node_recoveries(), 1);
+    }
+
+    #[test]
+    fn relentless_fault_plan_surfaces_typed_error_not_panic() {
+        use soc_core::{Fault, FaultPlan, FaultSite};
+
+        // Every task draws a kill — supervision rebuilds, the retry dies
+        // again, and after the capped budget the coordinator must hand
+        // back a typed NodeError, never unwind.
+        let plan = Arc::new(FaultPlan::new(7).with_fault(FaultSite::ShardTask, Fault::Panic, 1.0));
+        let values = uniform_values(2_000, &domain(), 45);
+        let mut sharded = ShardedColumn::with_faults(
+            spec(StrategyKind::NoSegm),
+            PlacementPolicy::RangeContiguous,
+            2,
+            domain(),
+            values,
+            plan,
+        )
+        .expect("shard construction");
+        let err = sharded
+            .try_select_count(&ValueRange::must(0, DOMAIN_HI), &mut NullTracker)
+            .expect_err("a 100% kill plan must exhaust the retry budget");
+        let NodeError::Down { detail, .. } = err;
+        assert!(
+            detail.contains("injected"),
+            "the typed error carries the worker's panic payload: {detail}"
+        );
+        assert!(sharded.node_recoveries() >= 1, "supervision did try");
+    }
+
+    #[test]
+    fn slow_node_fault_delays_but_never_changes_answers() {
+        use soc_core::{Fault, FaultPlan, FaultSite};
+        use std::time::Duration;
+
+        let values = uniform_values(4_000, &domain(), 47);
+        let queries = workload(20, 48);
+        let plan = Arc::new(FaultPlan::new(11).with_fault(
+            FaultSite::ShardTask,
+            Fault::Slow(Duration::from_micros(200)),
+            0.5,
+        ));
+        let mut sharded = ShardedColumn::with_faults(
+            spec(StrategyKind::ApmSegm),
+            PlacementPolicy::SizeBalanced,
+            3,
+            domain(),
+            values.clone(),
+            plan,
+        )
+        .expect("shard construction");
+        for q in &queries {
+            let expect = values.iter().filter(|v| q.contains(**v)).count() as u64;
+            assert_eq!(
+                sharded
+                    .try_select_count(q, &mut NullTracker)
+                    .expect("slow is not down"),
+                expect
+            );
+        }
+        assert_eq!(sharded.node_recoveries(), 0, "slowness needs no rebuild");
     }
 
     #[test]

@@ -1,0 +1,117 @@
+//! Fault-injection property tests for the worker seam: under any seeded
+//! fault plan at [`FaultSite::ShardTask`], every answer the sharded
+//! executor returns is bit-identical to the fault-free run or a typed
+//! [`NodeError`] — supervision may rebuild workers mid-stream, but it
+//! never serves a silently wrong count.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use soc_core::{Fault, FaultPlan, FaultSite, NullTracker, StrategyKind, StrategySpec, ValueRange};
+use soc_sim::{ExecMode, PlacementPolicy, ShardedColumn};
+
+fn domain() -> ValueRange<u32> {
+    ValueRange::must(0, 9_999)
+}
+
+fn values() -> Vec<u32> {
+    (0..2_000u32).map(|i| (i * 7919) % 10_000).collect()
+}
+
+fn queries() -> Vec<ValueRange<u32>> {
+    (0..8)
+        .map(|i| {
+            let lo = (i * 1_123) % 9_000;
+            ValueRange::must(lo, lo + 600)
+        })
+        .collect()
+}
+
+fn spec() -> StrategySpec {
+    StrategySpec::new(StrategyKind::ApmSegm)
+        .with_apm_bounds(512, 2_048)
+        .with_model_seed(17)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Worker kills under supervision: counts that come back are
+    /// bit-identical to the logical answer; a node that stays down
+    /// through the retry budget surfaces as a typed `NodeError::Down`,
+    /// never a panic or a wrong count.
+    #[test]
+    fn killed_workers_recover_bit_identical_or_fail_typed(
+        seed in any::<u64>(),
+        prob in 0.0f64..0.6,
+        parallel in any::<bool>(),
+    ) {
+        let vals = values();
+        let expect: Vec<u64> = queries()
+            .iter()
+            .map(|q| vals.iter().filter(|v| q.contains(**v)).count() as u64)
+            .collect();
+        let plan = Arc::new(
+            FaultPlan::new(seed)
+                .with_fault(FaultSite::ShardTask, Fault::Panic, prob)
+                .with_budget(FaultSite::ShardTask, 2),
+        );
+        let mode = if parallel { ExecMode::Parallel } else { ExecMode::Serial };
+        let mut sharded = ShardedColumn::with_faults(
+            spec(),
+            PlacementPolicy::RangeContiguous,
+            4,
+            domain(),
+            vals,
+            plan,
+        )
+        .expect("shard construction")
+        .with_exec_mode(mode);
+
+        for (q, &e) in queries().iter().zip(&expect) {
+            match sharded.try_select_count(q, &mut NullTracker) {
+                Ok(n) => prop_assert_eq!(n, e, "count diverged on {:?}", q),
+                Err(e) => prop_assert!(e.to_string().contains("worker down"), "typed: {}", e),
+            }
+        }
+        // The fault budget (2) is below the per-call retry budget, so the
+        // batch path after it is spent must be fully recovered and exact.
+        let batch = sharded
+            .try_select_count_batch(&queries(), &mut NullTracker)
+            .expect("budget spent, supervision recovers");
+        prop_assert_eq!(&batch, &expect);
+    }
+
+    /// Slow workers only delay: answers are always `Ok`, bit-identical,
+    /// and no recovery is triggered.
+    #[test]
+    fn slow_workers_change_no_answers(
+        seed in any::<u64>(),
+        prob in 0.0f64..1.0,
+    ) {
+        let vals = values();
+        let expect: Vec<u64> = queries()
+            .iter()
+            .map(|q| vals.iter().filter(|v| q.contains(**v)).count() as u64)
+            .collect();
+        let plan = Arc::new(FaultPlan::new(seed).with_fault(
+            FaultSite::ShardTask,
+            Fault::Slow(std::time::Duration::from_micros(100)),
+            prob,
+        ));
+        let mut sharded = ShardedColumn::with_faults(
+            spec(),
+            PlacementPolicy::RangeContiguous,
+            4,
+            domain(),
+            vals,
+            plan,
+        )
+        .expect("shard construction");
+        let got = sharded
+            .try_select_count_batch(&queries(), &mut NullTracker)
+            .expect("slow faults never kill a worker");
+        prop_assert_eq!(&got, &expect);
+        prop_assert_eq!(sharded.node_recoveries(), 0);
+    }
+}

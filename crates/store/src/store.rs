@@ -17,9 +17,13 @@ use std::collections::HashSet;
 use std::fs;
 use std::io::{Read as _, Write as _};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use soc_core::validate::{self, Violation};
-use soc_core::{ColumnValue, EncodedPayload, PiecePayload, SegId, SegmentedColumn, ValueRange};
+use soc_core::{
+    ColumnValue, EncodedPayload, Fault, FaultInjector, FaultSite, NoFaults, PiecePayload, SegId,
+    SegmentedColumn, ValueRange,
+};
 
 use crate::codec::FixedCodec;
 
@@ -104,10 +108,23 @@ fn xor_checksum(words: impl IntoIterator<Item = u64>) -> u64 {
 }
 
 /// A directory of segment files.
-#[derive(Debug)]
 pub struct SegmentStore {
     dir: PathBuf,
     fsync: bool,
+    /// Fault seam: consulted before each save's commit rename
+    /// ([`FaultSite::StoreSave`] — an injected fault crashes "between
+    /// temp-write and rename", leaving a stale `.tmp`) and before each
+    /// payload read ([`FaultSite::StoreRestore`]).
+    injector: Arc<dyn FaultInjector>,
+}
+
+impl std::fmt::Debug for SegmentStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SegmentStore")
+            .field("dir", &self.dir)
+            .field("fsync", &self.fsync)
+            .finish_non_exhaustive()
+    }
 }
 
 impl SegmentStore {
@@ -115,13 +132,41 @@ impl SegmentStore {
     pub fn open(dir: impl Into<PathBuf>) -> Result<Self, StoreError> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
-        Ok(SegmentStore { dir, fsync: false })
+        Ok(SegmentStore {
+            dir,
+            fsync: false,
+            injector: Arc::new(NoFaults),
+        })
     }
 
     /// Enables fsync-per-write durability (slower, crash-safe).
     pub fn with_fsync(mut self) -> Self {
         self.fsync = true;
         self
+    }
+
+    /// Wires a fault-injection plan into the store's I/O seams — see the
+    /// field docs on `injector`.
+    #[must_use]
+    pub fn with_fault_injector(mut self, injector: Arc<dyn FaultInjector>) -> Self {
+        self.injector = injector;
+        self
+    }
+
+    /// Consults the fault plan at `site`: a [`Fault::Slow`] delays the
+    /// operation, any other fault aborts it with a transient
+    /// [`StoreError::Io`].
+    fn injected_io(&self, site: FaultSite) -> Result<(), StoreError> {
+        match self.injector.inject(site) {
+            Some(Fault::Slow(d)) => {
+                std::thread::sleep(d);
+                Ok(())
+            }
+            Some(_) => Err(StoreError::Io(std::io::Error::other(
+                "injected transient store fault",
+            ))),
+            None => Ok(()),
+        }
     }
 
     /// The store's directory.
@@ -171,6 +216,10 @@ impl SegmentStore {
                 f.sync_all()?;
             }
         }
+        // The crash window the atomic rename protects: an injected fault
+        // here leaves the fully written `.tmp` behind and the previous
+        // checkpoint untouched — exactly a mid-save crash.
+        self.injected_io(FaultSite::StoreSave)?;
         fs::rename(&tmp, self.path_of(id))?;
         Ok(())
     }
@@ -195,6 +244,7 @@ impl SegmentStore {
         &self,
         id: SegId,
     ) -> Result<(ValueRange<V>, PiecePayload<V>), StoreError> {
+        self.injected_io(FaultSite::StoreRestore)?;
         let path = self.path_of(id);
         let mut buf = Vec::new();
         fs::File::open(&path)?.read_to_end(&mut buf)?;
@@ -306,6 +356,27 @@ impl SegmentStore {
         Ok(out)
     }
 
+    /// Removes stale `*.tmp` files — the residue of a crash between a
+    /// save's temp-write and its commit rename. The previous committed
+    /// `.seg` files are untouched (the rename never happened), so the
+    /// last checkpoint stays fully loadable. Returns how many were
+    /// swept. [`Self::restore`] runs this first; it is also safe to call
+    /// any time.
+    pub fn sweep_stale_tmp(&self) -> Result<usize, StoreError> {
+        let mut removed = 0;
+        for entry in fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            if path.extension().is_some_and(|e| e == "tmp") {
+                match fs::remove_file(&path) {
+                    Ok(()) => removed += 1,
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                    Err(e) => return Err(e.into()),
+                }
+            }
+        }
+        Ok(removed)
+    }
+
     /// Bytes of segment files on disk.
     pub fn bytes_on_disk(&self) -> Result<u64, StoreError> {
         let mut total = 0;
@@ -356,6 +427,9 @@ impl SegmentStore {
     /// ranges, and a partially cracked or partially checkpointed column
     /// leaves gaps between ranges.
     pub fn restore<V: ColumnValue + FixedCodec>(&self) -> Result<SegmentedColumn<V>, StoreError> {
+        // A crash between temp-write and rename leaves `.tmp` residue;
+        // it was never committed, so it is swept, not loaded.
+        self.sweep_stale_tmp()?;
         let mut pieces: Vec<(ValueRange<V>, PiecePayload<V>)> = Vec::new();
         for id in self.list()? {
             let (range, payload) = self.load_payload::<V>(id)?;

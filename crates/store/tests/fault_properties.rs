@@ -1,0 +1,94 @@
+//! Fault-injection property tests for the store seam: under any seeded
+//! fault plan at [`FaultSite::StoreSave`]/[`FaultSite::StoreRestore`],
+//! a save or load either succeeds bit-identically or fails with a typed
+//! [`StoreError`] — and a failed save never damages the committed
+//! checkpoint.
+
+use std::fs;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use soc_core::{Fault, FaultPlan, FaultSite, SegId, ValueRange};
+use soc_store::{SegmentStore, StoreError};
+
+struct TempDir(std::path::PathBuf);
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let path = std::env::temp_dir().join(format!(
+            "soc-store-prop-{tag}-{}-{}",
+            std::process::id(),
+            DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&path);
+        TempDir(path)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Transient IO faults on save/load: the committed checkpoint always
+    /// survives a failed save byte-exactly, failures are typed
+    /// `StoreError::Io`, and a fault-free reopen always reads back either
+    /// the old or the new content — never a torn mix.
+    #[test]
+    fn transient_store_faults_are_typed_and_never_tear_checkpoints(
+        seed in any::<u64>(),
+        save_prob in 0.0f64..1.0,
+        restore_prob in 0.0f64..1.0,
+        baseline in proptest::collection::vec(0u32..1_000, 1..200),
+        replacement in proptest::collection::vec(0u32..1_000, 1..200),
+    ) {
+        let dir = TempDir::new("typed");
+        let range = ValueRange::must(0u32, 999);
+        let id = SegId(7);
+
+        // Commit a clean baseline checkpoint.
+        let clean = SegmentStore::open(&dir.0).expect("open");
+        clean.save(id, &range, &baseline).expect("baseline save");
+
+        // Replay saves and loads through a faulty store.
+        let plan = Arc::new(
+            FaultPlan::new(seed)
+                .with_fault(FaultSite::StoreSave, Fault::IoError, save_prob)
+                .with_fault(FaultSite::StoreRestore, Fault::IoError, restore_prob),
+        );
+        let faulty = SegmentStore::open(&dir.0)
+            .expect("open")
+            .with_fault_injector(plan);
+
+        let committed = match faulty.save(id, &range, &replacement) {
+            Ok(()) => replacement.clone(),
+            Err(e) => {
+                prop_assert!(matches!(e, StoreError::Io(_)), "typed failure: {}", e);
+                baseline.clone()
+            }
+        };
+
+        match faulty.load::<u32>(id) {
+            Ok((r, vals)) => {
+                prop_assert_eq!(&r, &range);
+                prop_assert_eq!(&vals, &committed);
+            }
+            Err(e) => prop_assert!(matches!(e, StoreError::Io(_)), "typed failure: {}", e),
+        }
+
+        // A fault-free reopen sweeps any crash residue and reads back the
+        // committed content byte-exactly.
+        let reopened = SegmentStore::open(&dir.0).expect("reopen");
+        reopened.sweep_stale_tmp().expect("sweep");
+        let (r, vals) = reopened.load::<u32>(id).expect("committed load");
+        prop_assert_eq!(&r, &range);
+        prop_assert_eq!(&vals, &committed);
+    }
+}

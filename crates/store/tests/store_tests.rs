@@ -521,3 +521,135 @@ fn cracked_checkpoint_corruption_and_tampering_are_detected() {
     fs::write(&path, &bytes[..bytes.len() - 9]).unwrap();
     assert!(load_cracked::<u32>(&path).is_err());
 }
+
+#[test]
+fn mid_save_crash_leaves_previous_checkpoint_fully_loadable() {
+    use std::sync::Arc;
+
+    use soc_core::{Fault, FaultPlan, FaultSite};
+
+    let dir = TempDir::new("crash");
+    // First checkpoint commits cleanly.
+    let store = SegmentStore::open(&dir.0).unwrap();
+    let range = ValueRange::must(0u32, 999);
+    let first: Vec<u32> = (0..500u32).collect();
+    store.save(SegId(3), &range, &first).unwrap();
+
+    // Second save of the same segment "crashes" between temp-write and
+    // rename: the injected fault fires after the tmp file is fully
+    // written but before the atomic commit.
+    let crashing = SegmentStore::open(&dir.0)
+        .unwrap()
+        .with_fault_injector(Arc::new(FaultPlan::one_shot(
+            FaultSite::StoreSave,
+            Fault::IoError,
+        )));
+    let second: Vec<u32> = (500..999u32).collect();
+    let err = crashing.save(SegId(3), &range, &second).unwrap_err();
+    assert!(matches!(err, StoreError::Io(_)), "typed IO error: {err}");
+
+    // The crash residue is on disk; the committed file is untouched.
+    let tmp_files = fs::read_dir(&dir.0)
+        .unwrap()
+        .filter(|e| {
+            e.as_ref()
+                .unwrap()
+                .path()
+                .extension()
+                .is_some_and(|x| x == "tmp")
+        })
+        .count();
+    assert_eq!(tmp_files, 1, "the aborted save leaves exactly its tmp file");
+
+    // Restore-path hygiene: stale tmp is swept, never loaded, and the
+    // previous checkpoint's content comes back byte-exactly.
+    let reopened = SegmentStore::open(&dir.0).unwrap();
+    assert_eq!(reopened.sweep_stale_tmp().unwrap(), 1);
+    assert_eq!(
+        reopened.sweep_stale_tmp().unwrap(),
+        0,
+        "sweep is idempotent"
+    );
+    let (r, v) = reopened.load::<u32>(SegId(3)).unwrap();
+    assert_eq!(r, range);
+    assert_eq!(v, first, "the pre-crash checkpoint survives unchanged");
+}
+
+#[test]
+fn restore_sweeps_stale_tmp_and_loads_the_committed_checkpoint() {
+    use std::sync::Arc;
+
+    use soc_core::{Fault, FaultPlan, FaultSite};
+
+    let dir = TempDir::new("crash-restore");
+    let store = SegmentStore::open(&dir.0).unwrap();
+    let values: Vec<u32> = (0..2_000u32).map(|i| (i * 37) % 1_000).collect();
+    let column = SegmentedColumn::new(ValueRange::must(0u32, 999), values.clone()).unwrap();
+    store.checkpoint(&column).unwrap();
+
+    // A later incremental checkpoint dies mid-save (after one tmp write).
+    let crashing = SegmentStore::open(&dir.0)
+        .unwrap()
+        .with_fault_injector(Arc::new(FaultPlan::one_shot(
+            FaultSite::StoreSave,
+            Fault::IoError,
+        )));
+    let err = crashing
+        .save(SegId(0xdead), &ValueRange::must(0u32, 999), &[1u32, 2, 3])
+        .unwrap_err();
+    assert!(matches!(err, StoreError::Io(_)));
+
+    // restore() sweeps the residue and rebuilds the committed column.
+    let restored = SegmentStore::open(&dir.0)
+        .unwrap()
+        .restore::<u32>()
+        .unwrap();
+    let mut expect = values;
+    expect.sort_unstable();
+    let mut got: Vec<u32> = restored
+        .segments()
+        .iter()
+        .flat_map(|s| s.values().to_vec())
+        .collect();
+    got.sort_unstable();
+    assert_eq!(
+        got, expect,
+        "restored content matches the committed checkpoint"
+    );
+    assert_eq!(
+        SegmentStore::open(&dir.0)
+            .unwrap()
+            .sweep_stale_tmp()
+            .unwrap(),
+        0,
+        "restore already swept the residue"
+    );
+}
+
+#[test]
+fn transient_restore_io_fault_is_typed_and_retry_succeeds() {
+    use std::sync::Arc;
+
+    use soc_core::{Fault, FaultPlan, FaultSite};
+
+    let dir = TempDir::new("restore-fault");
+    let store = SegmentStore::open(&dir.0).unwrap();
+    let range = ValueRange::must(0u32, 99);
+    store.save(SegId(1), &range, &[5u32, 50, 99]).unwrap();
+
+    let flaky = SegmentStore::open(&dir.0)
+        .unwrap()
+        .with_fault_injector(Arc::new(FaultPlan::one_shot(
+            FaultSite::StoreRestore,
+            Fault::IoError,
+        )));
+    let err = flaky.load::<u32>(SegId(1)).unwrap_err();
+    assert!(
+        matches!(err, StoreError::Io(_)),
+        "typed, not a panic: {err}"
+    );
+    // The fault was transient (budget 1): the retry reads the same bytes.
+    let (r, v) = flaky.load::<u32>(SegId(1)).unwrap();
+    assert_eq!(r, range);
+    assert_eq!(v, vec![5, 50, 99]);
+}
