@@ -12,12 +12,13 @@
 //! ablation-estimator, ablation-placement, ablation-sharding,
 //! ablation-sql-strategy, ablation-compress; perf-sharded, perf-kernels,
 //! perf-concurrent, perf-compress, perf-pruning, perf-morsel,
-//! perf-openloop, perf-overload (wall-clock measurements of the parallel
-//! executor, the scan kernels, the epoch-snapshot concurrent read path,
-//! the compressed-domain scan kernels, zone-map pruning, the
-//! morsel-driven batch reader, the open-loop tail-latency run, and the
-//! admission-gate overload/recovery run); or the groups `simulation`,
-//! `skyserver`, `ablation`, `perf`, `all`.
+//! perf-openloop, perf-overload, perf-delta (wall-clock measurements of
+//! the parallel executor, the scan kernels, the epoch-snapshot concurrent
+//! read path, the compressed-domain scan kernels, zone-map pruning, the
+//! morsel-driven batch reader, the open-loop tail-latency run, the
+//! admission-gate overload/recovery run, and the delta-compaction
+//! write-heavy run); or the groups `simulation`, `skyserver`, `ablation`,
+//! `perf`, `all`.
 //!
 //! Each figure/table is printed (tables verbatim, figures as sparkline
 //! summaries) and written as CSV under `--out` (default `results/`).
@@ -31,7 +32,10 @@
 //! p999 latency — to `<out>/BENCH_PR8.json`, and the overload/recovery
 //! experiments — shed rate, goodput, served-tail quantiles with the
 //! admission gate off vs on at 2× saturation, worker-rebuild recovery
-//! time — to `<out>/BENCH_PR9.json` (CI uploads all five as artifacts).
+//! time — to `<out>/BENCH_PR9.json`, and the delta-compaction
+//! experiments — write-heavy open-loop tail with incremental vs bulk
+//! merge, delta-free overlay overhead — to `<out>/BENCH_PR10.json` (CI
+//! uploads all six as artifacts).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -40,8 +44,8 @@ use std::time::Instant;
 use soc_bench::fig2;
 use soc_bench::perf::{
     aggregate_kernel_perf, compress_perf, concurrent_migration_perf, concurrent_read_perf,
-    kernel_count_perf, morsel_scan_perf, open_loop_perf, overload_perf, pruning_scan_perf,
-    sharded_scan_perf, write_bench_json_named, PerfEntry,
+    delta_merge_perf, kernel_count_perf, morsel_scan_perf, open_loop_perf, overload_perf,
+    pruning_scan_perf, sharded_scan_perf, write_bench_json_named, PerfEntry,
 };
 use soc_sim::experiment::ablation;
 use soc_sim::experiment::simulation::{run_simulation_matrix, SimConfig, SimulationMatrix};
@@ -482,13 +486,38 @@ fn main() -> ExitCode {
         }
         ran_perf = true;
     }
+    let mut perf10: Vec<PerfEntry> = Vec::new();
+    if wants(e, "perf-delta", "perf") {
+        eprintln!("running the write-heavy open-loop run, incremental vs bulk merge…");
+        for entry in delta_merge_perf(opts.quick) {
+            match (entry.p999_us, entry.speedup) {
+                (Some(_), _) => println!(
+                    "{}: p50 {:.0} us, p99 {:.0} us, p999 {:.0} us",
+                    entry.id,
+                    entry.p50_us.unwrap_or(0.0),
+                    entry.p99_us.unwrap_or(0.0),
+                    entry.p999_us.unwrap_or(0.0),
+                ),
+                (None, Some(ratio)) => println!(
+                    "{}: base-only {:.3} ms, overlay-aware {:.3} ms (overhead {:.2}x)",
+                    entry.id,
+                    entry.serial_ms.unwrap_or(0.0),
+                    entry.parallel_ms.unwrap_or(0.0),
+                    ratio,
+                ),
+                _ => println!("{}: {:.2} ms", entry.id, entry.wall_ms),
+            }
+            perf10.push(entry);
+        }
+        ran_perf = true;
+    }
 
     if em.written.is_empty() && !ran_perf {
         eprintln!(
             "error: no experiment matched {e:?}; try fig2, fig5..fig16, tab1, tab2, \
              simulation, skyserver, ablation-*, perf-sharded, perf-kernels, \
              perf-concurrent, perf-compress, perf-pruning, perf-morsel, \
-             perf-openloop, perf-overload, or all"
+             perf-openloop, perf-overload, perf-delta, or all"
         );
         return ExitCode::FAILURE;
     }
@@ -502,6 +531,7 @@ fn main() -> ExitCode {
             ("BENCH_PR6.json", "soc-bench-pr6", &perf6),
             ("BENCH_PR8.json", "soc-bench-pr8", &perf8),
             ("BENCH_PR9.json", "soc-bench-pr9", &perf9),
+            ("BENCH_PR10.json", "soc-bench-pr10", &perf10),
         ] {
             if entries.is_empty() {
                 eprintln!("skipping {file}: no matching experiments ran");

@@ -36,6 +36,15 @@
 //! piece) order so parallel results and accounting are bit-identical to
 //! the serial walk.
 //!
+//! Pending writes overlay the base as immutable sorted [`DeltaRun`]s (see
+//! [`crate::delta`]): every read folds them in on the fly (merge-on-read,
+//! through the galloping kernels), each run prunes through its own zone
+//! maps, and the writer *compacts* the oldest runs into the base a bounded
+//! number of rows per reorganization step — hysteresis watermarks in
+//! [`CompactionPolicy`] — instead of the catalog's historical
+//! stop-the-world rebuild. A column with no pending deltas takes exactly
+//! the pre-overlay read path: the overlay loop is over an empty vector.
+//!
 //! # Equivalence to the serial `&mut` path
 //!
 //! `select_count` results are *bit-identical* to serial execution: counts
@@ -54,6 +63,7 @@ use std::thread;
 
 use crate::admission::{AdmissionGate, Admitted, QueryError};
 use crate::column::ColumnError;
+use crate::delta::{CompactionPolicy, DeltaBatch, DeltaRun};
 use crate::kernels;
 use crate::morsel::{ScanError, ScanPool};
 use crate::range::ValueRange;
@@ -131,6 +141,10 @@ pub struct StrategySnapshot<V: ColumnValue> {
     /// Background `set_strategy` migrations whose rebuild failed (the old
     /// strategy stays in force; diagnosable, never a panic on a reader).
     failed_migrations: u64,
+    /// Pending delta runs overlaid on the base pieces, oldest (smallest
+    /// seq) first. Every read folds them in; the vector is empty on a
+    /// column with no pending writes, restoring the exact pre-delta path.
+    deltas: Vec<DeltaRun<V>>,
 }
 
 impl<V: ColumnValue> std::fmt::Debug for StrategySnapshot<V> {
@@ -139,6 +153,7 @@ impl<V: ColumnValue> std::fmt::Debug for StrategySnapshot<V> {
             .field("epoch", &self.epoch)
             .field("strategy", &self.name)
             .field("pieces", &self.pieces.len())
+            .field("delta_runs", &self.deltas.len())
             .finish_non_exhaustive()
     }
 }
@@ -195,6 +210,7 @@ impl<V: ColumnValue> StrategySnapshot<V> {
         retired: AdaptationStats,
         reorg: QueryStats,
         failed_migrations: u64,
+        deltas: Vec<DeltaRun<V>>,
     ) -> Self {
         let pieces = tile_domain(domain, strategy.segment_ranges())
             .into_iter()
@@ -228,7 +244,33 @@ impl<V: ColumnValue> StrategySnapshot<V> {
             adaptation,
             reorg,
             failed_migrations,
+            deltas,
         }
+    }
+
+    /// Freezes a strategy's current organization into a standalone epoch-0
+    /// snapshot with `deltas` overlaid — the bridge layers (the MAL
+    /// catalog) use to serve delta-visible reads over a column they own,
+    /// without spawning a writer thread. Run ids are caller-assigned
+    /// attribution identities; the snapshot allocates piece ids from a
+    /// fresh generator of its own.
+    pub fn freeze(
+        strategy: &dyn ColumnStrategy<V>,
+        domain: ValueRange<V>,
+        deltas: Vec<DeltaRun<V>>,
+    ) -> Self {
+        let mut ids = SegIdGen::new();
+        Self::capture(
+            strategy,
+            domain,
+            None,
+            &mut ids,
+            0,
+            AdaptationStats::default(),
+            QueryStats::default(),
+            0,
+            deltas,
+        )
     }
 
     fn piece_with_range(&self, range: &ValueRange<V>) -> Option<&SnapshotPiece<V>> {
@@ -251,12 +293,36 @@ impl<V: ColumnValue> StrategySnapshot<V> {
             .take_while(move |p| p.range.lo() <= q.hi())
     }
 
+    /// Folds the overlay into a count: per run, one
+    /// [`AccessTracker::delta_scan`] charge and a pair of sorted-run masks
+    /// ([`kernels::delta_count`]) when either zone map overlaps `q`, or a
+    /// [`AccessTracker::skip`] when the run is provably disjoint. Returns
+    /// `(added, removed)` — qualifying inserts and tombstones.
+    fn delta_fold_count(&self, q: &ValueRange<V>, tracker: &mut dyn AccessTracker) -> (u64, u64) {
+        let (mut added, mut removed) = (0, 0);
+        for run in &self.deltas {
+            if run.overlaps(q) {
+                tracker.delta_scan(run.id(), run.bytes());
+                let (a, r) = kernels::delta_count(run.inserts(), run.tombstones(), q);
+                added += a;
+                removed += r;
+            } else {
+                tracker.skip(run.id(), run.bytes());
+            }
+        }
+        (added, removed)
+    }
+
     /// Counts the values in `q`, pruned through the per-piece zone maps:
     /// a disjoint piece charges [`AccessTracker::skip`] and moves no
     /// bytes, a covered piece answers O(1) from the synopsis count (also
     /// a skip — nothing was read), and only straddling pieces scan, via
     /// the same [`kernels::sorted_run`] as before, so the count is
-    /// bit-identical to the unpruned walk.
+    /// bit-identical to the unpruned walk. Pending deltas fold in after
+    /// the base walk: qualifying inserts add, qualifying tombstones
+    /// cancel one occurrence each (multiset arithmetic — see
+    /// [`crate::delta`]), so the answer matches the catalog's Figure-1
+    /// merge without materializing it.
     pub fn select_count(&self, q: &ValueRange<V>, tracker: &mut dyn AccessTracker) -> u64 {
         let mut n = 0;
         for p in self.overlapping(q) {
@@ -273,13 +339,20 @@ impl<V: ColumnValue> StrategySnapshot<V> {
                 }
             }
         }
-        n
+        let (added, removed) = self.delta_fold_count(q, tracker);
+        (n + added).saturating_sub(removed)
     }
 
     /// Materializes the values in `q`, ascending (the canonical order — see
     /// the module docs). Disjoint pieces are pruned (a skip, zero bytes);
     /// covered and straddling pieces scan — a collect has to move the
     /// data, so only the disjoint class gets cheaper.
+    ///
+    /// Pending deltas fold in by galloping merge: each overlapping run's
+    /// qualifying inserts merge into the base result
+    /// ([`kernels::merge_sorted`]), its qualifying tombstones accumulate
+    /// into one sorted mask subtracted at the end
+    /// ([`kernels::subtract_sorted`] — one occurrence per tombstone).
     pub fn select_collect(&self, q: &ValueRange<V>, tracker: &mut dyn AccessTracker) -> Vec<V> {
         let mut out = Vec::new();
         for p in self.overlapping(q) {
@@ -296,7 +369,35 @@ impl<V: ColumnValue> StrategySnapshot<V> {
                 }
             }
         }
-        out
+        if self.deltas.is_empty() {
+            return out;
+        }
+        let mut tomb_mask: Vec<V> = Vec::new();
+        for run in &self.deltas {
+            if run.overlaps(q) {
+                tracker.delta_scan(run.id(), run.bytes());
+                let (s, e) = kernels::sorted_run(run.inserts(), q);
+                if s < e {
+                    let mut merged = Vec::new();
+                    kernels::merge_sorted(&out, &run.inserts()[s..e], &mut merged);
+                    out = merged;
+                }
+                let (s, e) = kernels::sorted_run(run.tombstones(), q);
+                if s < e {
+                    let mut merged = Vec::new();
+                    kernels::merge_sorted(&tomb_mask, &run.tombstones()[s..e], &mut merged);
+                    tomb_mask = merged;
+                }
+            } else {
+                tracker.skip(run.id(), run.bytes());
+            }
+        }
+        if tomb_mask.is_empty() {
+            return out;
+        }
+        let mut net = Vec::new();
+        kernels::subtract_sorted(&out, &tomb_mask, &mut net);
+        net
     }
 
     /// One-pass `SUM(v) WHERE v IN q` over the snapshot, pruned like
@@ -304,6 +405,12 @@ impl<V: ColumnValue> StrategySnapshot<V> {
     /// synopsis sum — accumulated by [`kernels::sum_all`] with the same
     /// chunking as the masked [`kernels::sum_range`] it replaces, so the
     /// total is bit-identical to an unpruned scan.
+    ///
+    /// Pending deltas fold in as `+ inserts − tombstones` per overlapping
+    /// run. For integer-valued columns whose totals stay below 2^53 every
+    /// f64 addition is exact, so the delta-visible sum equals the
+    /// materialized merge's; float columns inherit the usual
+    /// accumulation-order caveat.
     pub fn select_sum(&self, q: &ValueRange<V>, tracker: &mut dyn AccessTracker) -> f64 {
         let mut total = 0.0f64;
         for p in self.overlapping(q) {
@@ -321,6 +428,15 @@ impl<V: ColumnValue> StrategySnapshot<V> {
                 }
             }
         }
+        for run in &self.deltas {
+            if run.overlaps(q) {
+                tracker.delta_scan(run.id(), run.bytes());
+                total += kernels::sum_range(run.inserts(), q);
+                total -= kernels::sum_range(run.tombstones(), q);
+            } else {
+                tracker.skip(run.id(), run.bytes());
+            }
+        }
         total
     }
 
@@ -328,36 +444,87 @@ impl<V: ColumnValue> StrategySnapshot<V> {
     /// value qualifies). Covered pieces answer O(1) from the synopsis —
     /// its bounds are exact by contract — and straddling pieces read the
     /// ends of their qualifying run (the values are sorted).
+    ///
+    /// With pending deltas the synopsis alone cannot answer (a tombstone
+    /// may cancel a piece's extremum), so the walk gathers the qualifying
+    /// sorted slices — base and overlay — and resolves the net extrema
+    /// with [`kernels::net_min`] / [`kernels::net_max`], which inspect at
+    /// most the cancelled prefix (suffix) of each slice. Accounting is
+    /// unchanged: covered pieces still charge a skip, only straddling
+    /// pieces scan, and every overlapping run charges exactly one
+    /// [`AccessTracker::delta_scan`].
     pub fn select_min_max(
         &self,
         q: &ValueRange<V>,
         tracker: &mut dyn AccessTracker,
     ) -> Option<(V, V)> {
-        let mut acc: Option<(V, V)> = None;
-        for p in self.overlapping(q) {
-            let piece = match p.classify(q) {
-                SynopsisClass::Disjoint => {
-                    tracker.skip(p.id, p.bytes);
-                    None
+        if self.deltas.is_empty() {
+            let mut acc: Option<(V, V)> = None;
+            for p in self.overlapping(q) {
+                let piece = match p.classify(q) {
+                    SynopsisClass::Disjoint => {
+                        tracker.skip(p.id, p.bytes);
+                        None
+                    }
+                    SynopsisClass::Covered => {
+                        tracker.skip(p.id, p.bytes);
+                        p.synopsis.as_ref().map(|s| (s.min(), s.max()))
+                    }
+                    SynopsisClass::Straddle => {
+                        tracker.scan(p.id, p.bytes);
+                        let (s, e) = kernels::sorted_run(&p.values, q);
+                        (s < e).then(|| (p.values[s], p.values[e - 1]))
+                    }
+                };
+                if let Some((lo, hi)) = piece {
+                    acc = Some(match acc {
+                        None => (lo, hi),
+                        Some((alo, ahi)) => (alo.min(lo), ahi.max(hi)),
+                    });
                 }
+            }
+            return acc;
+        }
+        let mut adds: Vec<&[V]> = Vec::new();
+        let mut tombs: Vec<&[V]> = Vec::new();
+        for p in self.overlapping(q) {
+            match p.classify(q) {
+                SynopsisClass::Disjoint => tracker.skip(p.id, p.bytes),
                 SynopsisClass::Covered => {
                     tracker.skip(p.id, p.bytes);
-                    p.synopsis.as_ref().map(|s| (s.min(), s.max()))
+                    adds.push(&p.values[..]);
                 }
                 SynopsisClass::Straddle => {
                     tracker.scan(p.id, p.bytes);
                     let (s, e) = kernels::sorted_run(&p.values, q);
-                    (s < e).then(|| (p.values[s], p.values[e - 1]))
+                    if s < e {
+                        adds.push(&p.values[s..e]);
+                    }
                 }
-            };
-            if let Some((lo, hi)) = piece {
-                acc = Some(match acc {
-                    None => (lo, hi),
-                    Some((alo, ahi)) => (alo.min(lo), ahi.max(hi)),
-                });
             }
         }
-        acc
+        for run in &self.deltas {
+            if run.overlaps(q) {
+                tracker.delta_scan(run.id(), run.bytes());
+                let (s, e) = kernels::sorted_run(run.inserts(), q);
+                if s < e {
+                    adds.push(&run.inserts()[s..e]);
+                }
+                let (s, e) = kernels::sorted_run(run.tombstones(), q);
+                if s < e {
+                    tombs.push(&run.tombstones()[s..e]);
+                }
+            } else {
+                tracker.skip(run.id(), run.bytes());
+            }
+        }
+        match (
+            kernels::net_min(&adds, &tombs),
+            kernels::net_max(&adds, &tombs),
+        ) {
+            (Some(lo), Some(hi)) => Some((lo, hi)),
+            _ => None,
+        }
     }
 
     /// Answers a batch of count queries with straddling pieces fanned out
@@ -368,7 +535,10 @@ impl<V: ColumnValue> StrategySnapshot<V> {
     /// [`EventLog`]; the logs are replayed into `tracker` in (query,
     /// piece) order after the whole batch completes, so the counts *and*
     /// the accounting are bit-identical to calling
-    /// [`Self::select_count`] serially per query.
+    /// [`Self::select_count`] serially per query. Pending deltas fold in
+    /// at the coordinator, per query after its piece replay — the same
+    /// position the serial walk charges them, so the equivalence holds
+    /// with an overlay too.
     pub fn select_count_batch(
         &self,
         queries: &[ValueRange<V>],
@@ -420,7 +590,8 @@ impl<V: ColumnValue> StrategySnapshot<V> {
             pool.execute(jobs).into_iter().map(Some).collect();
         plans
             .into_iter()
-            .map(|units| {
+            .zip(queries.iter())
+            .map(|(units, q)| {
                 let mut n = 0;
                 for unit in units {
                     match unit {
@@ -438,7 +609,8 @@ impl<V: ColumnValue> StrategySnapshot<V> {
                         }
                     }
                 }
-                n
+                let (added, removed) = self.delta_fold_count(q, tracker);
+                (n + added).saturating_sub(removed)
             })
             .collect()
     }
@@ -500,7 +672,8 @@ impl<V: ColumnValue> StrategySnapshot<V> {
             pool.try_execute(jobs).into_iter().map(Some).collect();
         plans
             .into_iter()
-            .map(|units| {
+            .zip(queries.iter())
+            .map(|(units, q)| {
                 // Peek first: if any of this query's morsels failed, the
                 // whole query fails typed and none of its accounting
                 // replays — partial replay would corrupt the tracker
@@ -534,7 +707,10 @@ impl<V: ColumnValue> StrategySnapshot<V> {
                         },
                     }
                 }
-                Ok(n)
+                // Deltas fold only on the success path: a failed query
+                // replays none of its accounting, overlay included.
+                let (added, removed) = self.delta_fold_count(q, tracker);
+                Ok((n + added).saturating_sub(removed))
             })
             .collect()
     }
@@ -585,9 +761,21 @@ impl<V: ColumnValue> StrategySnapshot<V> {
         self.reorg
     }
 
-    /// Background migrations whose rebuild failed so far.
+    /// Background migrations whose rebuild failed so far (including
+    /// compaction folds — both go through the spec's rebuild).
     pub fn failed_migrations(&self) -> u64 {
         self.failed_migrations
+    }
+
+    /// Pending delta runs overlaid on this epoch.
+    pub fn delta_runs(&self) -> usize {
+        self.deltas.len()
+    }
+
+    /// Pending delta rows (inserts plus tombstones) across the overlay —
+    /// the level the compaction watermarks act on.
+    pub fn pending_delta_rows(&self) -> u64 {
+        self.deltas.iter().map(|r| r.rows()).sum()
     }
 
     /// Structural invariants: pieces sorted, disjoint, tiling the domain;
@@ -620,6 +808,14 @@ impl<V: ColumnValue> StrategySnapshot<V> {
                 }
             })?;
         }
+        let mut last_seq: Option<u64> = None;
+        for (i, run) in self.deltas.iter().enumerate() {
+            run.validate()?;
+            if last_seq.is_some_and(|s| s >= run.seq()) {
+                return Err(Violation::NotSorted { index: i });
+            }
+            last_seq = Some(run.seq());
+        }
         Ok(())
     }
 }
@@ -650,6 +846,14 @@ enum WriterCmd<V: ColumnValue> {
     /// Rebuild the column under a different spec from a content snapshot,
     /// then swap — the background migration behind `set_strategy`.
     Migrate(StrategySpec),
+    /// Seal a batch of pending writes into a [`DeltaRun`] for the next
+    /// epoch's overlay. Deltas are data, not hints: senders block on a
+    /// full queue instead of dropping.
+    Deltas(DeltaBatch<V>),
+    /// Fold **every** pending run into the base in one rebuild — the bulk
+    /// merge the benchmarks baseline incremental compaction against —
+    /// then reply like `Sync`.
+    Drain(mpsc::SyncSender<()>),
     /// Reply once every command sent before this one has been folded and
     /// the resulting epoch published.
     Sync(mpsc::SyncSender<()>),
@@ -667,6 +871,24 @@ struct Writer<V: ColumnValue> {
     /// Cumulative reorganization accounting (folded queries + migrations).
     reorg: CountingTracker,
     failed_migrations: u64,
+    /// Pending delta runs, oldest (smallest seq) first.
+    runs: Vec<DeltaRun<V>>,
+    /// Seal order for the next run.
+    next_seq: u64,
+    /// The spec compaction folds rebuild under. `None` — a bare strategy
+    /// wrapped without a spec — disables folding until
+    /// [`ConcurrentColumn::set_strategy`] establishes one; reads stay
+    /// delta-visible either way, the overlay just cannot shrink.
+    spec: Option<StrategySpec>,
+    /// Hysteresis watermarks and per-step budget for incremental folds.
+    policy: CompactionPolicy,
+    /// Whether the compactor is between its start and stop watermarks.
+    compacting: bool,
+    /// Set by a successful fold: the base's *logical* content changed, so
+    /// the next publish must not reuse prev-epoch pieces by range (their
+    /// content is a pure function of the range only while the logical
+    /// column is immutable).
+    base_changed: bool,
 }
 
 impl<V: ColumnValue> Writer<V> {
@@ -675,6 +897,7 @@ impl<V: ColumnValue> Writer<V> {
             // Fold the whole pending batch into one published epoch: the
             // "single writer that folds reorganizations" of the design.
             let mut dirty = false;
+            let mut drain = false;
             let mut syncs: Vec<mpsc::SyncSender<()>> = Vec::new();
             let mut next = Some(first);
             loop {
@@ -688,9 +911,28 @@ impl<V: ColumnValue> Writer<V> {
                         self.migrate(spec);
                         dirty = true;
                     }
+                    WriterCmd::Deltas(batch) => {
+                        if let Some(run) = batch.seal(self.next_seq, self.ids.fresh()) {
+                            self.next_seq += 1;
+                            self.runs.push(run);
+                            dirty = true;
+                        }
+                    }
+                    WriterCmd::Drain(reply) => {
+                        drain = true;
+                        syncs.push(reply);
+                    }
                     WriterCmd::Sync(reply) => syncs.push(reply),
                 }
                 next = rx.try_recv().ok();
+            }
+            // One compaction step per folded batch: the bounded fold that
+            // amortizes merge cost across epochs instead of spiking. A
+            // drain folds everything at once (the bulk-merge baseline).
+            if drain {
+                dirty |= self.fold_step(u64::MAX);
+            } else if self.should_compact() {
+                dirty |= self.fold_step(self.policy.rows_per_step());
             }
             if dirty {
                 self.publish();
@@ -724,27 +966,148 @@ impl<V: ColumnValue> Writer<V> {
                 self.reorg.scan(seg, bytes);
                 self.reorg.materialize(seg, bytes);
                 self.strategy = rebuilt;
+                // Future compaction folds rebuild under the new spec.
+                self.spec = Some(spec);
             }
             Err(_) => self.failed_migrations += 1,
+        }
+    }
+
+    /// Hysteresis: folding starts once pending rows reach
+    /// `policy.start_above()`, keeps going one step per writer wakeup, and
+    /// stops once they fall to `policy.stop_below()` — so a column
+    /// hovering at the threshold does not thrash.
+    fn should_compact(&mut self) -> bool {
+        if self.spec.is_none() || self.runs.is_empty() {
+            self.compacting = false;
+            return false;
+        }
+        let pending: u64 = self.runs.iter().map(|r| r.rows()).sum();
+        if !self.compacting && pending >= self.policy.start_above() {
+            self.compacting = true;
+        }
+        if self.compacting && pending <= self.policy.stop_below() {
+            self.compacting = false;
+        }
+        self.compacting
+    }
+
+    /// Folds up to `budget` delta rows from the oldest runs into the base:
+    /// one bounded rebuild under the current spec, charged as
+    /// reorganization bytes. Runs are not touched until the rebuild
+    /// succeeds, so a failure leaves both base and overlay serving.
+    fn fold_step(&mut self, budget: u64) -> bool {
+        let Some(spec) = self.spec else {
+            return false;
+        };
+        if self.runs.is_empty() {
+            return false;
+        }
+        // Gather parts oldest-run first, tombstones before inserts within
+        // a run — the only order whose tombstones are guaranteed to target
+        // rows already in (base ∪ folded inserts); see crate::delta.
+        let mut ins_parts: Vec<Vec<V>> = Vec::new();
+        let mut tomb_parts: Vec<Vec<V>> = Vec::new();
+        let mut replaced = 0usize;
+        let mut remainder: Option<DeltaRun<V>> = None;
+        let mut left = budget;
+        for run in &self.runs {
+            if left == 0 {
+                break;
+            }
+            let step = usize::try_from(left).unwrap_or(usize::MAX);
+            let (ins, tombs, rest) = run.split_for_fold(step);
+            left -= ((ins.len() + tombs.len()) as u64).min(left);
+            ins_parts.push(ins);
+            tomb_parts.push(tombs);
+            replaced += 1;
+            if rest.is_some() {
+                remainder = rest;
+                break;
+            }
+        }
+        let fold_ins = merge_parts(ins_parts);
+        let fold_tombs = merge_parts(tomb_parts);
+        let fold_bytes = (fold_ins.len() + fold_tombs.len()) as u64 * V::BYTES;
+        let mut base = self.strategy.peek_collect(&self.domain);
+        base.sort_unstable();
+        let base_bytes = base.len() as u64 * V::BYTES;
+        // (base ∪ inserts) ∖ tombstones: merge before subtracting so a
+        // younger run's tombstone still cancels an older run's insert
+        // folded in the very same step.
+        let mut merged = Vec::new();
+        kernels::merge_sorted(&base, &fold_ins, &mut merged);
+        let mut kept = Vec::new();
+        kernels::subtract_sorted(&merged, &fold_tombs, &mut kept);
+        let kept_bytes = kept.len() as u64 * V::BYTES;
+        match spec.build(self.domain, kept) {
+            Ok(rebuilt) => {
+                let a = self.strategy.adaptation();
+                self.retired.splits += a.splits;
+                self.retired.merges += a.merges;
+                self.retired.replicas_created += a.replicas_created;
+                self.retired.drops += a.drops;
+                self.retired.budget_declines += a.budget_declines;
+                // The fold is reorganization: one read of the old layout
+                // plus the folded delta rows, one write of the new base.
+                let seg = self.ids.fresh();
+                self.reorg.scan(seg, base_bytes + fold_bytes);
+                self.reorg.materialize(seg, kept_bytes);
+                self.strategy = rebuilt;
+                self.runs.splice(0..replaced, remainder);
+                self.base_changed = true;
+                true
+            }
+            Err(_) => {
+                // Unreachable through the shipped strategies (the fold's
+                // rows come out of the domain); a pathological custom
+                // spec keeps the old base serving and the runs pending.
+                self.failed_migrations += 1;
+                self.compacting = false;
+                false
+            }
         }
     }
 
     fn publish(&mut self) {
         self.epoch += 1;
         let prev = self.cell.load();
+        // A fold rewrote the logical base: prev pieces are stale by
+        // content even where their ranges survived, so skip reuse once.
+        let reuse = (!std::mem::take(&mut self.base_changed)).then_some(&*prev);
         let snap = StrategySnapshot::capture(
             self.strategy.as_ref(),
             self.domain,
-            Some(&prev),
+            reuse,
             &mut self.ids,
             self.epoch,
             self.retired,
             self.reorg.totals(),
             self.failed_migrations,
+            self.runs.clone(),
         );
         crate::debug_assert_valid!(snap.validate(), "epoch publish");
         self.cell.publish(snap);
     }
+}
+
+/// Merges per-run sorted parts into one ascending multiset (repeated
+/// two-run gallops; the part count is small — one per folded run).
+fn merge_parts<V: ColumnValue>(parts: Vec<Vec<V>>) -> Vec<V> {
+    let mut acc: Vec<V> = Vec::new();
+    for p in parts {
+        if p.is_empty() {
+            continue;
+        }
+        if acc.is_empty() {
+            acc = p;
+            continue;
+        }
+        let mut next = Vec::new();
+        kernels::merge_sorted(&acc, &p, &mut next);
+        acc = next;
+    }
+    acc
 }
 
 /// A column any number of threads read while a single writer thread folds
@@ -812,6 +1175,22 @@ impl<V: ColumnValue> ConcurrentColumn<V> {
         domain: ValueRange<V>,
         queue_capacity: usize,
     ) -> Self {
+        Self::build(
+            strategy,
+            domain,
+            queue_capacity,
+            None,
+            CompactionPolicy::default(),
+        )
+    }
+
+    fn build(
+        strategy: Box<dyn ColumnStrategy<V>>,
+        domain: ValueRange<V>,
+        queue_capacity: usize,
+        spec: Option<StrategySpec>,
+        policy: CompactionPolicy,
+    ) -> Self {
         let mut ids = SegIdGen::new();
         let initial = StrategySnapshot::capture(
             strategy.as_ref(),
@@ -822,6 +1201,7 @@ impl<V: ColumnValue> ConcurrentColumn<V> {
             AdaptationStats::default(),
             QueryStats::default(),
             0,
+            Vec::new(),
         );
         let cell = Arc::new(SnapshotCell {
             snap: RwLock::new(Arc::new(initial)),
@@ -839,6 +1219,12 @@ impl<V: ColumnValue> ConcurrentColumn<V> {
             retired: AdaptationStats::default(),
             reorg: CountingTracker::new(),
             failed_migrations: 0,
+            runs: Vec::new(),
+            next_seq: 0,
+            spec,
+            policy,
+            compacting: false,
+            base_changed: false,
         };
         let writer = thread::Builder::new()
             .name("soc-epoch-writer".into())
@@ -853,7 +1239,9 @@ impl<V: ColumnValue> ConcurrentColumn<V> {
         }
     }
 
-    /// Builds the spec's strategy over `values` and wraps it.
+    /// Builds the spec's strategy over `values` and wraps it. The spec is
+    /// remembered for delta compaction (each fold rebuilds under it), with
+    /// the default [`CompactionPolicy`] watermarks.
     ///
     /// # Errors
     /// The [`ColumnError`] of the underlying constructor when a value lies
@@ -863,7 +1251,29 @@ impl<V: ColumnValue> ConcurrentColumn<V> {
         domain: ValueRange<V>,
         values: Vec<V>,
     ) -> Result<Self, ColumnError> {
-        Ok(Self::new(spec.build(domain, values)?, domain))
+        Self::from_spec_with_policy(spec, domain, values, CompactionPolicy::default())
+    }
+
+    /// As [`Self::from_spec`] with explicit compaction watermarks — the
+    /// knob the write-heavy benchmarks turn to compare incremental folds
+    /// against the bulk-merge baseline.
+    ///
+    /// # Errors
+    /// The [`ColumnError`] of the underlying constructor when a value lies
+    /// outside `domain`.
+    pub fn from_spec_with_policy(
+        spec: &StrategySpec,
+        domain: ValueRange<V>,
+        values: Vec<V>,
+        policy: CompactionPolicy,
+    ) -> Result<Self, ColumnError> {
+        Ok(Self::build(
+            spec.build(domain, values)?,
+            domain,
+            Self::DEFAULT_QUEUE_CAPACITY,
+            Some(*spec),
+            policy,
+        ))
     }
 
     fn sender(&self) -> &mpsc::SyncSender<WriterCmd<V>> {
@@ -1046,6 +1456,39 @@ impl<V: ColumnValue> ConcurrentColumn<V> {
         let _ = self.sender().send(WriterCmd::Migrate(spec));
     }
 
+    /// Queues a batch of pending writes for the writer to seal into a
+    /// sorted [`DeltaRun`] and overlay on the next published epoch.
+    /// Readers see the batch once that epoch publishes
+    /// ([`Self::quiesce`] is the visibility barrier); the writer folds it
+    /// into the base incrementally under the compaction watermarks.
+    /// Unlike reorganization hints, deltas are *data*: a full writer
+    /// queue blocks the sender instead of dropping.
+    pub fn apply_deltas(&self, batch: DeltaBatch<V>) {
+        if batch.is_empty() {
+            return;
+        }
+        let _ = self.sender().send(WriterCmd::Deltas(batch));
+    }
+
+    /// Pending delta rows visible in the current snapshot's overlay.
+    pub fn pending_delta_rows(&self) -> u64 {
+        self.snapshot().pending_delta_rows()
+    }
+
+    /// Folds **every** pending run into the base in one rebuild and
+    /// blocks until the resulting epoch publishes — the bulk merge the
+    /// benchmarks baseline incremental compaction against, and the
+    /// barrier to call before [`Self::into_strategy`] when the handed-back
+    /// strategy must hold the folded rows. On a column wrapped without a
+    /// spec ([`Self::new`], before any [`Self::set_strategy`]) nothing can
+    /// rebuild, so this degrades to a sync barrier.
+    pub fn drain_deltas(&self) {
+        let (reply, done) = mpsc::sync_channel(1);
+        if self.sender().send(WriterCmd::Drain(reply)).is_ok() {
+            let _ = done.recv();
+        }
+    }
+
     /// Blocks until every command enqueued before this call has been
     /// folded and its epoch published — the determinism barrier tests and
     /// benchmarks use; readers never need it.
@@ -1058,6 +1501,9 @@ impl<V: ColumnValue> ConcurrentColumn<V> {
 
     /// Shuts the writer down and hands the (fully folded) strategy back —
     /// the hand-off layers use to move a column between execution modes.
+    /// Pending delta runs are **not** folded on the way out; call
+    /// [`Self::drain_deltas`] first when the handed-back strategy must
+    /// hold them.
     pub fn into_strategy(mut self) -> Box<dyn ColumnStrategy<V>> {
         self.tx.take();
         // soc-lint: allow(L1-panic-free, writer is taken exactly once: into_strategy consumes self)
@@ -1504,6 +1950,241 @@ mod tests {
         assert_eq!(
             after.into_iter().collect::<Result<Vec<_>, _>>().as_ref(),
             Ok(&expect)
+        );
+    }
+
+    use crate::delta::DeltaOp;
+
+    #[test]
+    fn deltas_are_visible_in_every_read() {
+        let spec = StrategySpec::new(StrategyKind::ApmSegm).with_apm_bounds(256, 1024);
+        let concurrent =
+            ConcurrentColumn::from_spec(&spec, domain(), values()).expect("values in domain");
+        let mut expected: Vec<u32> = values();
+        let mut batch = DeltaBatch::new();
+        for oid in 0..50u64 {
+            batch.push(DeltaOp::Delete {
+                oid,
+                value: expected[oid as usize],
+            });
+        }
+        for oid in 50..80u64 {
+            let old = expected[oid as usize];
+            let new = (old + 137) % 10_000;
+            batch.push(DeltaOp::Update { oid, old, new });
+            expected[oid as usize] = new;
+        }
+        for i in 0..100u64 {
+            let v = ((i * 97) % 10_000) as u32;
+            batch.push(DeltaOp::Insert {
+                oid: 1_000_000 + i,
+                value: v,
+            });
+            expected.push(v);
+        }
+        expected.drain(0..50);
+        concurrent.apply_deltas(batch);
+        concurrent.quiesce();
+        let snap = concurrent.snapshot();
+        assert!(snap.delta_runs() >= 1, "the overlay must be pending");
+        assert!(snap.pending_delta_rows() > 0);
+        snap.validate().unwrap();
+        for q in queries() {
+            let mut inside: Vec<u32> = expected
+                .iter()
+                .copied()
+                .filter(|v| q.contains(*v))
+                .collect();
+            inside.sort_unstable();
+            assert_eq!(
+                snap.select_count(&q, &mut NullTracker),
+                inside.len() as u64,
+                "count diverged on {q:?}"
+            );
+            assert_eq!(
+                snap.select_collect(&q, &mut NullTracker),
+                inside,
+                "collect diverged on {q:?}"
+            );
+            // Integer-valued sums below 2^53 are exact in f64.
+            let sum: f64 = inside.iter().map(|v| f64::from(*v)).sum();
+            assert_eq!(
+                snap.select_sum(&q, &mut NullTracker),
+                sum,
+                "sum diverged on {q:?}"
+            );
+            let expect_mm = inside.first().copied().zip(inside.last().copied());
+            assert_eq!(
+                snap.select_min_max(&q, &mut NullTracker),
+                expect_mm,
+                "min/max diverged on {q:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn delta_reads_charge_one_delta_scan_per_overlapping_run() {
+        let spec = StrategySpec::new(StrategyKind::FullSort);
+        let concurrent =
+            ConcurrentColumn::from_spec(&spec, domain(), values()).expect("values in domain");
+        let mut low = DeltaBatch::new();
+        low.push(DeltaOp::Insert {
+            oid: 900_000,
+            value: 5,
+        });
+        concurrent.apply_deltas(low);
+        concurrent.quiesce();
+        let mut high = DeltaBatch::new();
+        high.push(DeltaOp::Insert {
+            oid: 900_001,
+            value: 9_995,
+        });
+        concurrent.apply_deltas(high);
+        concurrent.quiesce();
+        let snap = concurrent.snapshot();
+        assert_eq!(snap.delta_runs(), 2);
+        // A low query overlaps only the low run: the high run prunes
+        // through its zone maps and charges a skip, not a scan.
+        let q = ValueRange::must(0u32, 50);
+        let mut t = CountingTracker::new();
+        t.begin_query();
+        let _ = snap.select_count(&q, &mut t);
+        let s = t.query_stats();
+        assert_eq!(s.delta_read_bytes, 4, "exactly the 1-row u32 run scans");
+        assert!(s.segments_pruned >= 1, "the distant run must prune");
+        assert!(
+            s.read_bytes >= s.delta_read_bytes,
+            "delta reads are a sub-attribution of reads"
+        );
+    }
+
+    #[test]
+    fn incremental_compaction_folds_runs_and_charges_reorg() {
+        let spec = StrategySpec::new(StrategyKind::ApmSegm).with_apm_bounds(256, 1024);
+        let policy = CompactionPolicy::new(64, 16, 32);
+        let concurrent = ConcurrentColumn::from_spec_with_policy(&spec, domain(), values(), policy)
+            .expect("values in domain");
+        let mut expected = values();
+        let mut oid = 500_000u64;
+        for round in 0..20u32 {
+            let mut batch = DeltaBatch::new();
+            for i in 0..10u32 {
+                let v = (round * 389 + i * 53) % 10_000;
+                batch.push(DeltaOp::Insert { oid, value: v });
+                expected.push(v);
+                oid += 1;
+            }
+            concurrent.apply_deltas(batch);
+            concurrent.quiesce();
+        }
+        // 200 rows arrived; with start_above=64 the writer must have been
+        // folding along the way instead of accumulating everything.
+        let snap = concurrent.snapshot();
+        assert!(
+            snap.pending_delta_rows() < 200,
+            "compaction must have folded runs (pending {})",
+            snap.pending_delta_rows()
+        );
+        assert!(
+            snap.reorg_totals().write_bytes > 0,
+            "folds charge reorganization writes"
+        );
+        snap.validate().unwrap();
+        // Answers include both folded and still-pending rows.
+        for q in queries().into_iter().take(10) {
+            let expect = expected.iter().filter(|v| q.contains(**v)).count() as u64;
+            assert_eq!(snap.select_count(&q, &mut NullTracker), expect, "{q:?}");
+        }
+        // The handed-back strategy holds exactly the folded rows; the
+        // still-pending remainder lives in the overlay.
+        let pending = concurrent.pending_delta_rows();
+        let folded = concurrent.into_strategy();
+        assert_eq!(
+            folded.peek_collect(&ValueRange::must(0, 9_999)).len() as u64 + pending,
+            expected.len() as u64
+        );
+    }
+
+    #[test]
+    fn drain_deltas_is_the_bulk_merge_barrier() {
+        let spec = StrategySpec::new(StrategyKind::Cracking);
+        let concurrent =
+            ConcurrentColumn::from_spec(&spec, domain(), values()).expect("values in domain");
+        let mut batch = DeltaBatch::new();
+        let mut expected = values();
+        for i in 0..500u64 {
+            let v = ((i * 31) % 10_000) as u32;
+            batch.push(DeltaOp::Insert {
+                oid: 700_000 + i,
+                value: v,
+            });
+            expected.push(v);
+        }
+        concurrent.apply_deltas(batch);
+        concurrent.drain_deltas();
+        let snap = concurrent.snapshot();
+        assert_eq!(snap.pending_delta_rows(), 0, "drain folds everything");
+        assert_eq!(snap.total_rows(), expected.len() as u64);
+        for q in queries().into_iter().take(10) {
+            let expect = expected.iter().filter(|v| q.contains(**v)).count() as u64;
+            assert_eq!(snap.select_count(&q, &mut NullTracker), expect);
+        }
+        snap.validate().unwrap();
+    }
+
+    #[test]
+    fn batch_counts_fold_deltas_identically_to_serial() {
+        let spec = StrategySpec::new(StrategyKind::ApmSegm)
+            .with_apm_bounds(256, 1024)
+            .with_model_seed(3);
+        let concurrent =
+            ConcurrentColumn::from_spec(&spec, domain(), values()).expect("values in domain");
+        for q in queries() {
+            concurrent.select_count(&q, &mut NullTracker);
+        }
+        let mut batch = DeltaBatch::new();
+        for i in 0..300u64 {
+            batch.push(DeltaOp::Insert {
+                oid: 800_000 + i,
+                value: ((i * 61) % 10_000) as u32,
+            });
+        }
+        for (oid, v) in values().into_iter().enumerate().take(40) {
+            batch.push(DeltaOp::Delete {
+                oid: oid as u64,
+                value: v,
+            });
+        }
+        concurrent.apply_deltas(batch);
+        concurrent.quiesce();
+        let snap = concurrent.snapshot();
+        assert!(snap.delta_runs() >= 1, "the overlay must be pending");
+        let qs = queries();
+        let mut serial_log = EventLog::new();
+        let serial: Vec<u64> = qs
+            .iter()
+            .map(|q| snap.select_count(q, &mut serial_log))
+            .collect();
+        for workers in [1, 4] {
+            let mut pool = crate::morsel::ScanPool::new(workers);
+            let mut batch_log = EventLog::new();
+            let got = snap.select_count_batch(&qs, &mut pool, &mut batch_log);
+            assert_eq!(got, serial, "{workers}-worker batch counts diverged");
+            assert_eq!(
+                batch_log.events(),
+                serial_log.events(),
+                "{workers}-worker batch accounting diverged"
+            );
+        }
+        let mut pool = crate::morsel::ScanPool::new(2);
+        let tried = snap.try_select_count_batch(&qs, &mut pool, &mut NullTracker);
+        assert_eq!(
+            tried
+                .into_iter()
+                .collect::<Result<Vec<_>, _>>()
+                .ok()
+                .as_deref(),
+            Some(serial.as_slice())
         );
     }
 

@@ -184,6 +184,167 @@ pub fn sorted_run<V: ColumnValue>(sorted: &[V], q: &ValueRange<V>) -> (usize, us
     (start, end.max(start))
 }
 
+/// Galloping merge of two ascending runs into `out` (ascending, stable:
+/// ties take from `a` first).
+///
+/// Instead of a per-element compare-and-branch, each iteration binary
+/// searches how far the current side runs below the other side's head and
+/// appends that whole prefix with `extend_from_slice` — so merging a long
+/// base stream with a short delta run costs O(short · log long) plus the
+/// `memcpy`s, and the inner loop carries no per-element branch. This is
+/// the merge-on-read kernel behind delta-visible collects.
+pub fn merge_sorted<V: ColumnValue>(mut a: &[V], mut b: &[V], out: &mut Vec<V>) {
+    out.reserve(a.len() + b.len());
+    while !a.is_empty() && !b.is_empty() {
+        if a[0] <= b[0] {
+            let n = a.partition_point(|x| *x <= b[0]);
+            out.extend_from_slice(&a[..n]);
+            a = &a[n..];
+        } else {
+            let n = b.partition_point(|x| *x < a[0]);
+            out.extend_from_slice(&b[..n]);
+            b = &b[n..];
+        }
+    }
+    out.extend_from_slice(a);
+    out.extend_from_slice(b);
+}
+
+/// Sorted multiset subtraction: appends `base` minus one occurrence per
+/// `tombstones` entry to `out`. Both inputs ascending; the output is the
+/// ascending remainder. A tombstone with no matching occurrence cancels
+/// nothing (the delta layer guarantees matches by construction, but a
+/// stray tombstone must degrade to a no-op, never corrupt the survivors).
+///
+/// Runs of surviving values move with `extend_from_slice` (the positions
+/// come from binary searches against the next tombstone), so the kernel
+/// never pays a per-element branch on the survivor path.
+pub fn subtract_sorted<V: ColumnValue>(base: &[V], tombstones: &[V], out: &mut Vec<V>) {
+    let mut i = 0;
+    for &t in tombstones {
+        if i >= base.len() {
+            return;
+        }
+        let run = base[i..].partition_point(|x| *x < t);
+        out.extend_from_slice(&base[i..i + run]);
+        i += run;
+        if i < base.len() && base[i] == t {
+            i += 1; // cancel exactly one occurrence
+        }
+    }
+    out.extend_from_slice(&base[i..]);
+}
+
+/// Delete-mask count of one delta run against `q`: how many inserts and
+/// how many tombstones fall inside the query, as `(added, removed)` —
+/// four binary searches, no scan. The caller folds these into the base
+/// count as `base + added − removed` (the multiset identity; `removed`
+/// never exceeds the values actually present when tombstones are valid).
+pub fn delta_count<V: ColumnValue>(
+    inserts: &[V],
+    tombstones: &[V],
+    q: &ValueRange<V>,
+) -> (u64, u64) {
+    let (s, e) = sorted_run(inserts, q);
+    let added = (e - s) as u64;
+    let (s, e) = sorted_run(tombstones, q);
+    (added, (e - s) as u64)
+}
+
+/// Smallest net-surviving value across ascending `adds` streams after
+/// cancelling one occurrence per entry of the ascending `tombs` streams;
+/// `None` when everything cancels.
+///
+/// Both sides walk ascending in lockstep: a tombstone equal to the
+/// current smallest add cancels it and the walk advances; a tombstone
+/// below every add cancels nothing. The walk stops at the first
+/// uncancelled add, so the cost is O(cancelled prefix), not O(total) —
+/// the update-shadowing kernel behind delta-visible `MIN`.
+pub fn net_min<V: ColumnValue>(adds: &[&[V]], tombs: &[&[V]]) -> Option<V> {
+    let mut ai = vec![0usize; adds.len()];
+    let mut ti = vec![0usize; tombs.len()];
+    loop {
+        let mut best: Option<(usize, V)> = None;
+        for (k, s) in adds.iter().enumerate() {
+            if let Some(&v) = s.get(ai[k]) {
+                let better = match best {
+                    None => true,
+                    Some((_, b)) => v < b,
+                };
+                if better {
+                    best = Some((k, v));
+                }
+            }
+        }
+        let (k, v) = best?;
+        let mut tbest: Option<(usize, V)> = None;
+        for (j, s) in tombs.iter().enumerate() {
+            if let Some(&t) = s.get(ti[j]) {
+                let better = match tbest {
+                    None => true,
+                    Some((_, b)) => t < b,
+                };
+                if better {
+                    tbest = Some((j, t));
+                }
+            }
+        }
+        match tbest {
+            Some((j, t)) if t < v => ti[j] += 1, // stray: nothing to cancel
+            Some((j, t)) if t == v => {
+                ti[j] += 1;
+                ai[k] += 1;
+            }
+            _ => return Some(v),
+        }
+    }
+}
+
+/// Largest net-surviving value — the descending mirror of [`net_min`],
+/// walking both sides from their tails. The kernel behind delta-visible
+/// `MAX`.
+pub fn net_max<V: ColumnValue>(adds: &[&[V]], tombs: &[&[V]]) -> Option<V> {
+    let mut ai: Vec<usize> = adds.iter().map(|s| s.len()).collect();
+    let mut ti: Vec<usize> = tombs.iter().map(|s| s.len()).collect();
+    loop {
+        let mut best: Option<(usize, V)> = None;
+        for (k, s) in adds.iter().enumerate() {
+            if ai[k] > 0 {
+                let v = s[ai[k] - 1];
+                let better = match best {
+                    None => true,
+                    Some((_, b)) => v > b,
+                };
+                if better {
+                    best = Some((k, v));
+                }
+            }
+        }
+        let (k, v) = best?;
+        let mut tbest: Option<(usize, V)> = None;
+        for (j, s) in tombs.iter().enumerate() {
+            if ti[j] > 0 {
+                let t = s[ti[j] - 1];
+                let better = match tbest {
+                    None => true,
+                    Some((_, b)) => t > b,
+                };
+                if better {
+                    tbest = Some((j, t));
+                }
+            }
+        }
+        match tbest {
+            Some((j, t)) if t > v => ti[j] -= 1, // stray: nothing to cancel
+            Some((j, t)) if t == v => {
+                ti[j] -= 1;
+                ai[k] -= 1;
+            }
+            _ => return Some(v),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -314,6 +475,138 @@ mod tests {
         assert_eq!(min_max_all(&values), Some((mn, mx)));
         assert_eq!(min_max_all::<u32>(&[]), None);
         assert_eq!(min_max_all(&[7u32]), Some((7, 7)));
+    }
+
+    #[test]
+    fn merge_sorted_matches_sort_of_concatenation() {
+        for (na, nb) in [(0, 0), (0, 7), (7, 0), (300, 5), (5, 300), (257, 263)] {
+            let mut a = shuffled(na, na as u64 + 1);
+            let mut b = shuffled(nb, nb as u64 + 2);
+            a.sort_unstable();
+            b.sort_unstable();
+            let mut got = Vec::new();
+            merge_sorted(&a, &b, &mut got);
+            let mut expect = [a.clone(), b.clone()].concat();
+            expect.sort_unstable();
+            assert_eq!(got, expect, "na={na} nb={nb}");
+        }
+    }
+
+    #[test]
+    fn merge_sorted_is_stable_on_ties() {
+        // Equal values interleave with the `a` side first — observable
+        // through Pair's oid component.
+        use crate::paired::Pair;
+        let a = vec![Pair::new(5u32, 1), Pair::new(5, 3)];
+        let b = vec![Pair::new(5u32, 2)];
+        // Pairs differ in oid so the total order decides; merge by value
+        // stability is inherited from the total order here.
+        let mut got = Vec::new();
+        merge_sorted(&a, &b, &mut got);
+        assert_eq!(got, vec![Pair::new(5, 1), Pair::new(5, 2), Pair::new(5, 3)]);
+    }
+
+    #[test]
+    fn subtract_sorted_removes_one_occurrence_per_tombstone() {
+        let base = vec![1u32, 2, 2, 2, 5, 7, 7, 9];
+        let mut out = Vec::new();
+        subtract_sorted(&base, &[2, 2, 7, 9], &mut out);
+        assert_eq!(out, vec![1, 2, 5, 7]);
+
+        // Stray tombstones (no matching occurrence) cancel nothing.
+        out.clear();
+        subtract_sorted(&base, &[0, 3, 100], &mut out);
+        assert_eq!(out, base);
+
+        // Tombstones can drain the base completely.
+        out.clear();
+        subtract_sorted(&[4u32, 4], &[4, 4], &mut out);
+        assert!(out.is_empty());
+
+        // Empty sides are identities.
+        out.clear();
+        subtract_sorted(&base, &[], &mut out);
+        assert_eq!(out, base);
+        out.clear();
+        subtract_sorted(&[], &[1u32], &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn delta_count_masks_both_sides() {
+        let ins = vec![10u32, 20, 30, 40];
+        let tombs = vec![15u32, 25];
+        let q = ValueRange::must(12, 32);
+        assert_eq!(delta_count(&ins, &tombs, &q), (2, 2));
+        assert_eq!(delta_count(&ins, &tombs, &ValueRange::must(0, 5)), (0, 0));
+        assert_eq!(delta_count(&ins, &tombs, &ValueRange::must(0, 99)), (4, 2));
+    }
+
+    #[test]
+    fn net_min_max_cancel_tombstones_in_order() {
+        // Base {5, 7, 9} plus inserts {6}, tombstones cancel 5 and 9.
+        let adds: Vec<&[u32]> = vec![&[5, 7, 9], &[6]];
+        let tombs: Vec<&[u32]> = vec![&[5, 9]];
+        assert_eq!(net_min(&adds, &tombs), Some(6));
+        assert_eq!(net_max(&adds, &tombs), Some(7));
+
+        // No tombstones: plain k-way min/max.
+        assert_eq!(net_min(&adds, &[]), Some(5));
+        assert_eq!(net_max(&adds, &[]), Some(9));
+
+        // Everything cancels.
+        let all: Vec<&[u32]> = vec![&[1, 2]];
+        let kill: Vec<&[u32]> = vec![&[1], &[2]];
+        assert_eq!(net_min(&all, &kill), None);
+        assert_eq!(net_max(&all, &kill), None);
+
+        // Stray tombstones below/above everything cancel nothing.
+        let stray: Vec<&[u32]> = vec![&[0, 100]];
+        assert_eq!(net_min(&adds, &stray), Some(5));
+        assert_eq!(net_max(&adds, &stray), Some(9));
+
+        // Duplicates cancel one occurrence at a time.
+        let dup: Vec<&[u32]> = vec![&[3, 3, 3]];
+        let one: Vec<&[u32]> = vec![&[3]];
+        assert_eq!(net_min(&dup, &one), Some(3));
+        let two: Vec<&[u32]> = vec![&[3, 3]];
+        assert_eq!(net_min(&dup, &two), Some(3));
+        let three: Vec<&[u32]> = vec![&[3, 3, 3]];
+        assert_eq!(net_min(&dup, &three), None);
+
+        // Empty adds.
+        assert_eq!(net_min::<u32>(&[], &[]), None);
+        assert_eq!(net_max::<u32>(&[], &[]), None);
+    }
+
+    #[test]
+    fn net_walk_matches_naive_multiset_subtraction() {
+        let mut rng = SmallRng::seed_from_u64(41);
+        for _ in 0..50 {
+            let a: Vec<u32> = {
+                let mut v: Vec<u32> = (0..30).map(|_| rng.gen_range(0..20)).collect();
+                v.sort_unstable();
+                v
+            };
+            let b: Vec<u32> = {
+                let mut v: Vec<u32> = (0..10).map(|_| rng.gen_range(0..20)).collect();
+                v.sort_unstable();
+                v
+            };
+            let t: Vec<u32> = {
+                let mut v: Vec<u32> = (0..15).map(|_| rng.gen_range(0..20)).collect();
+                v.sort_unstable();
+                v
+            };
+            let mut merged = Vec::new();
+            merge_sorted(&a, &b, &mut merged);
+            let mut survivors = Vec::new();
+            subtract_sorted(&merged, &t, &mut survivors);
+            let adds: Vec<&[u32]> = vec![&a, &b];
+            let tombs: Vec<&[u32]> = vec![&t];
+            assert_eq!(net_min(&adds, &tombs), survivors.first().copied());
+            assert_eq!(net_max(&adds, &tombs), survivors.last().copied());
+        }
     }
 
     #[test]

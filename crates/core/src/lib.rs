@@ -56,6 +56,7 @@ pub mod baseline;
 pub mod column;
 pub mod compress;
 pub mod cracking;
+pub mod delta;
 pub mod epoch;
 pub mod estimate;
 pub mod faults;
@@ -85,6 +86,7 @@ pub use compress::{
     EncodedPayload, EncodingMode, EncodingPolicy, PiecePayload, SegmentEncoding, SegmentHeat,
 };
 pub use cracking::CrackedColumn;
+pub use delta::{CompactionPolicy, DeltaBatch, DeltaOp, DeltaRun};
 pub use epoch::{ConcurrentColumn, StrategySnapshot};
 pub use estimate::SizeEstimator;
 pub use faults::{Fault, FaultInjector, FaultPlan, FaultSite, NoFaults};

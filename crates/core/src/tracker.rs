@@ -64,6 +64,22 @@ pub trait AccessTracker {
     fn skip(&mut self, seg: SegId, bytes: u64) {
         let _ = (seg, bytes);
     }
+
+    /// A merge-on-read scan of delta run `seg` (`bytes` = the footprint
+    /// of both its sides). Fired **exactly once per run per query** —
+    /// the delta half of soc-lint rule L5 — when the query's range
+    /// overlaps either side's zone map; a run disjoint from the query
+    /// charges [`AccessTracker::skip`] instead.
+    ///
+    /// Delta reads are real reads: the default forwards to
+    /// [`AccessTracker::scan`] so trackers that predate delta visibility
+    /// keep counting every byte, while trackers that override it (the
+    /// [`CountingTracker`]) additionally attribute the bytes to
+    /// [`QueryStats::delta_read_bytes`] — the overlay's read overhead,
+    /// separable from base scans without a second execution.
+    fn delta_scan(&mut self, seg: SegId, bytes: u64) {
+        self.scan(seg, bytes);
+    }
 }
 
 /// Counters for one query (one "epoch") of tracked work.
@@ -90,6 +106,12 @@ pub struct QueryStats {
     /// by [`ConcurrentColumn`](crate::ConcurrentColumn), not by tracker
     /// callbacks.
     pub reorg_hints_dropped: u64,
+    /// Bytes of delta runs scanned by merge-on-read — a sub-attribution
+    /// of [`read_bytes`](Self::read_bytes) (every
+    /// [`AccessTracker::delta_scan`] charges both), so
+    /// `read_bytes - delta_read_bytes` is the base-only cost and this
+    /// field alone is the overlay's read overhead.
+    pub delta_read_bytes: u64,
 }
 
 impl QueryStats {
@@ -103,6 +125,7 @@ impl QueryStats {
         self.segments_pruned += other.segments_pruned;
         self.pruned_bytes += other.pruned_bytes;
         self.reorg_hints_dropped += other.reorg_hints_dropped;
+        self.delta_read_bytes += other.delta_read_bytes;
     }
 
     /// What an unpruned execution of the same queries would have read:
@@ -183,6 +206,12 @@ impl AccessTracker for CountingTracker {
         self.total.segments_pruned += 1;
         self.total.pruned_bytes += bytes;
     }
+
+    fn delta_scan(&mut self, seg: SegId, bytes: u64) {
+        self.scan(seg, bytes);
+        self.current.delta_read_bytes += bytes;
+        self.total.delta_read_bytes += bytes;
+    }
 }
 
 /// One recorded [`AccessTracker`] callback.
@@ -196,6 +225,9 @@ pub enum TrackerEvent {
     Free(SegId, u64),
     /// An [`AccessTracker::skip`]: segment `seg` pruned, `bytes` unread.
     Skip(SegId, u64),
+    /// An [`AccessTracker::delta_scan`]: delta run `seg`, `bytes` read by
+    /// merge-on-read.
+    DeltaScan(SegId, u64),
 }
 
 /// A tracker that records every event verbatim for later replay.
@@ -228,14 +260,16 @@ impl EventLog {
         self.events.is_empty()
     }
 
-    /// Total bytes of the recorded [`TrackerEvent::Scan`] events — the
-    /// per-worker read attribution a coordinator charges to the node that
-    /// produced this log (the other half of the merge contract).
+    /// Total bytes of the recorded [`TrackerEvent::Scan`] and
+    /// [`TrackerEvent::DeltaScan`] events — the per-worker read attribution
+    /// a coordinator charges to the node that produced this log (the other
+    /// half of the merge contract). Delta scans are real reads, so they
+    /// count here; skips never do.
     pub fn scan_bytes(&self) -> u64 {
         self.events
             .iter()
             .map(|e| match e {
-                TrackerEvent::Scan(_, bytes) => *bytes,
+                TrackerEvent::Scan(_, bytes) | TrackerEvent::DeltaScan(_, bytes) => *bytes,
                 _ => 0,
             })
             .sum()
@@ -252,6 +286,7 @@ impl EventLog {
                 TrackerEvent::Materialize(seg, bytes) => target.materialize(seg, bytes),
                 TrackerEvent::Free(seg, bytes) => target.free(seg, bytes),
                 TrackerEvent::Skip(seg, bytes) => target.skip(seg, bytes),
+                TrackerEvent::DeltaScan(seg, bytes) => target.delta_scan(seg, bytes),
             }
         }
     }
@@ -272,6 +307,10 @@ impl AccessTracker for EventLog {
 
     fn skip(&mut self, seg: SegId, bytes: u64) {
         self.events.push(TrackerEvent::Skip(seg, bytes));
+    }
+
+    fn delta_scan(&mut self, seg: SegId, bytes: u64) {
+        self.events.push(TrackerEvent::DeltaScan(seg, bytes));
     }
 }
 
@@ -324,6 +363,7 @@ mod tests {
             segments_pruned: 6,
             pruned_bytes: 7,
             reorg_hints_dropped: 8,
+            delta_read_bytes: 9,
         };
         let mut b = a;
         b.absorb(&a);
@@ -332,6 +372,20 @@ mod tests {
         assert_eq!(b.segments_pruned, 12);
         assert_eq!(b.pruned_bytes, 14);
         assert_eq!(b.reorg_hints_dropped, 16);
+        assert_eq!(b.delta_read_bytes, 18);
+    }
+
+    #[test]
+    fn delta_scan_charges_reads_and_attributes_overlay() {
+        let mut t = CountingTracker::new();
+        t.begin_query();
+        t.scan(SegId(1), 100);
+        t.delta_scan(SegId(9), 24);
+        let s = t.query_stats();
+        assert_eq!(s.read_bytes, 124, "delta reads are real reads");
+        assert_eq!(s.segments_scanned, 2);
+        assert_eq!(s.delta_read_bytes, 24);
+        assert_eq!(s.read_bytes - s.delta_read_bytes, 100, "base-only cost");
     }
 
     #[test]
@@ -385,6 +439,7 @@ mod tests {
         log.materialize(SegId(6), 32);
         log.free(SegId(5), 64);
         log.skip(SegId(7), 128);
+        log.delta_scan(SegId(8), 16);
         assert_eq!(
             log.events(),
             &[
@@ -392,9 +447,10 @@ mod tests {
                 TrackerEvent::Materialize(SegId(6), 32),
                 TrackerEvent::Free(SegId(5), 64),
                 TrackerEvent::Skip(SegId(7), 128),
+                TrackerEvent::DeltaScan(SegId(8), 16),
             ]
         );
-        assert_eq!(log.scan_bytes(), 64, "skips never count as scan bytes");
+        assert_eq!(log.scan_bytes(), 80, "skips never count as scan bytes");
 
         // Replaying into a CountingTracker gives the direct-observation counters.
         let mut direct = CountingTracker::new();
@@ -402,6 +458,7 @@ mod tests {
         direct.materialize(SegId(6), 32);
         direct.free(SegId(5), 64);
         direct.skip(SegId(7), 128);
+        direct.delta_scan(SegId(8), 16);
         let mut replayed = CountingTracker::new();
         log.replay_into(&mut replayed);
         assert_eq!(replayed.totals(), direct.totals());

@@ -32,6 +32,7 @@ impl Documented {
             match e {
                 TrackerEvent::Scan(seg, bytes) => target.scan(*seg, *bytes),
                 TrackerEvent::Skip(seg, bytes) => target.skip(*seg, *bytes),
+                TrackerEvent::DeltaScan(seg, bytes) => target.delta_scan(*seg, *bytes),
             }
         }
     }

@@ -1,13 +1,17 @@
 // Fixture: a match arm that replays a pruned (Skip) event as a scan
 // charge must fire — skipped bytes were never read, and recharging them
-// double-counts the reconstructed unpruned cost. Both the expression-arm
-// and the block-arm shape are covered.
+// double-counts the reconstructed unpruned cost. Likewise a DeltaScan
+// event replayed as `.scan(` must fire: a delta-run read is charged
+// exactly once, through `.delta_scan(`, and folding it into the base-
+// scan attribution corrupts the pruned-vs-unpruned split. Both the
+// expression-arm and the block-arm shape are covered for each.
 
 fn replay(events: &[TrackerEvent], target: &mut dyn AccessTracker) {
     for e in events {
         match e {
             TrackerEvent::Scan(seg, bytes) => target.scan(*seg, *bytes),
             TrackerEvent::Skip(seg, bytes) => target.scan(*seg, *bytes),
+            TrackerEvent::DeltaScan(seg, bytes) => target.scan(*seg, *bytes),
         }
     }
 }
@@ -17,6 +21,10 @@ fn replay_blocks(events: &[TrackerEvent], target: &mut dyn AccessTracker) {
         match e {
             TrackerEvent::Scan(seg, bytes) => target.scan(*seg, *bytes),
             TrackerEvent::Skip(seg, bytes) => {
+                let charged = *bytes;
+                target.scan(*seg, charged);
+            }
+            TrackerEvent::DeltaScan(seg, bytes) => {
                 let charged = *bytes;
                 target.scan(*seg, charged);
             }

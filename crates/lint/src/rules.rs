@@ -216,13 +216,17 @@ pub fn l4_lock_across_send(file: &SourceFile, out: &mut Vec<Finding>) {
     }
 }
 
-/// Kernel-scan entry points that read segment payloads.
-const L5_KERNELS: [&str; 5] = [
+/// Kernel-scan entry points that read segment payloads (the merge-on-read
+/// kernels walk delta-run payloads, which are reads all the same).
+const L5_KERNELS: [&str; 8] = [
     "kernels::count_range",
     "kernels::collect_range",
     "kernels::count_partition",
     "kernels::sorted_run",
     "kernels::select_count",
+    "kernels::merge_sorted",
+    "kernels::subtract_sorted",
+    "kernels::delta_count",
 ];
 
 /// Payload scan methods that read segment bytes.
@@ -239,6 +243,12 @@ const L5_PAYLOAD_SCANS: [&str; 2] = [".count_in(", ".collect_in("];
 /// read; replaying its bytes as a scan silently double-counts them (the
 /// unpruned cost is reconstructed as `read + pruned`, so a skip turned
 /// scan inflates both sides).
+///
+/// Delta sub-check: a match arm on a `DeltaScan` event must not charge
+/// `.scan(`. A delta-run read is charged exactly once, through
+/// `.delta_scan(` — replaying it as a base-piece scan folds overlay
+/// bytes into the base-scan attribution and corrupts the pruned-vs-
+/// unpruned split the paper's byte figures are reconstructed from.
 pub fn l5_scan_accounting(file: &SourceFile, out: &mut Vec<Finding>) {
     const RULE: &str = "L5-scan-accounting";
     if !file.rel.starts_with("crates/core/src/") && !file.rel.starts_with("crates/sim/src/") {
@@ -313,9 +323,19 @@ pub fn l5_scan_accounting(file: &SourceFile, out: &mut Vec<Finding>) {
         let Some(arrow) = line.find("=>") else {
             continue;
         };
-        if !line[..arrow].contains("Skip") {
+        let pattern = &line[..arrow];
+        let message = if pattern.contains("Skip") {
+            "a Skip-event arm charges .scan( — a pruned piece was never read; \
+             replay it with .skip or leave it unaccounted"
+        } else if pattern.contains("DeltaScan") {
+            "a DeltaScan-event arm charges .scan( — a delta-run read is charged \
+             exactly once, through .delta_scan; replaying it as a base scan \
+             corrupts the pruned-vs-unpruned split"
+        } else {
             continue;
-        }
+        };
+        // `.delta_scan(` does not substring-match `.scan(`, so a correct
+        // replay arm stays quiet under both sub-checks.
         let after = &line[arrow + 2..];
         let charges_scan = match after.find('{') {
             // A block arm: check the whole arm body.
@@ -327,14 +347,7 @@ pub fn l5_scan_accounting(file: &SourceFile, out: &mut Vec<Finding>) {
             None => after.contains(".scan("),
         };
         if charges_scan {
-            out.push(finding(
-                file,
-                i,
-                RULE,
-                "a Skip-event arm charges .scan( — a pruned piece was never read; \
-                 replay it with .skip or leave it unaccounted"
-                    .to_owned(),
-            ));
+            out.push(finding(file, i, RULE, message.to_owned()));
         }
     }
 }

@@ -91,7 +91,8 @@ fn l5_skip_fixture_fires_on_both_arm_shapes() {
         "crates/core/src/fixture.rs",
         include_str!("../fixtures/l5_skip_violation.rs"),
     );
-    assert_eq!(rules_hit(&report), ["L5-scan-accounting"; 2], "{report:?}");
+    // Two Skip arms and two DeltaScan arms, each in expression and block shape.
+    assert_eq!(rules_hit(&report), ["L5-scan-accounting"; 4], "{report:?}");
 }
 
 #[test]

@@ -16,12 +16,15 @@
 //! segment optimizer injects), and reorganization accounting flows out of
 //! `adaptation()` uniformly.
 
-use soc_bat::{algebra::Atom, Bat, BatError, Head, Tail};
+use soc_bat::{algebra::Atom, Bat, BatError, Head, Oid, Tail};
 use soc_core::model::SegmentationModel;
 use soc_core::{
-    AdaptationStats, AdaptiveSegmentation, ColumnError, ColumnStrategy, ColumnValue,
-    CountingTracker, OrdF64, Pair, SegmentedColumn, SizeEstimator, StrategySpec, ValueRange,
+    AccessTracker, AdaptationStats, AdaptiveSegmentation, ColumnError, ColumnStrategy, ColumnValue,
+    CountingTracker, DeltaBatch, DeltaOp, DeltaRun, OrdF64, Pair, SegIdGen, SegmentedColumn,
+    SizeEstimator, StrategySnapshot, StrategySpec, ValueRange,
 };
+
+use crate::catalog::ColumnDeltas;
 
 /// Errors from segmented-bat operations.
 #[derive(Debug)]
@@ -83,6 +86,13 @@ trait TailValue: ColumnValue {
     /// Rebuilds this type's tail from extracted values.
     fn make_tail(values: Vec<Self>) -> Tail;
 
+    /// The typed value a delta [`Atom`] lands as — the **same** coercion
+    /// rules `atoms_to_bat` applies when a bulk merge materializes the
+    /// delta, so snapshot-visible reads and merged reads agree bit for
+    /// bit. `None` only for a NaN landing in a `:dbl` tail (which a merge
+    /// would also reject, via [`BpmError::NanTail`]).
+    fn from_atom(a: &Atom) -> Option<Self>;
+
     /// Smallest representable value `>= x`; `None` when no such value
     /// exists (NaN, or `x` above the type's range) — an empty query.
     fn bound_lo(x: f64) -> Option<Self>;
@@ -119,6 +129,15 @@ impl TailValue for i64 {
         let f = x.floor();
         Self::bound_hi(if f == x { x - 1.0 } else { f })
     }
+
+    fn from_atom(a: &Atom) -> Option<Self> {
+        Some(match a {
+            Atom::Int(v) => *v,
+            Atom::Oid(v) => *v as i64,
+            Atom::Dbl(v) => *v as i64,
+            _ => 0,
+        })
+    }
 }
 
 impl TailValue for u64 {
@@ -144,6 +163,14 @@ impl TailValue for u64 {
         let f = x.floor();
         Self::bound_hi(if f == x { x - 1.0 } else { f })
     }
+
+    fn from_atom(a: &Atom) -> Option<Self> {
+        Some(match a {
+            Atom::Oid(v) => *v,
+            Atom::Int(v) => *v as u64,
+            _ => 0,
+        })
+    }
 }
 
 impl TailValue for OrdF64 {
@@ -161,6 +188,10 @@ impl TailValue for OrdF64 {
 
     fn below_excl(x: f64) -> Option<Self> {
         OrdF64::new(x.next_down())
+    }
+
+    fn from_atom(a: &Atom) -> Option<Self> {
+        OrdF64::new(a.as_f64().unwrap_or(f64::NAN))
     }
 }
 
@@ -278,6 +309,110 @@ impl<V: TailValue> TypedSeg<V> {
         (after.splits - before.splits)
             + (after.merges - before.merges)
             + (after.replicas_created - before.replicas_created)
+    }
+
+    /// Seals the column's pending catalog deltas into one sorted
+    /// [`DeltaRun`] over pair space: inserts land verbatim, updates and
+    /// deletes probe their *old* value from the current pieces (tombstones
+    /// cancel by value, not by oid). Per-oid shadowing — a later update
+    /// wins, a delete of an inserted row cancels it — is [`DeltaBatch`]'s
+    /// seal semantics, which match what a bulk merge would materialize.
+    /// `None` when nothing survives shadowing.
+    fn pending_run(
+        &self,
+        d: Option<&ColumnDeltas>,
+        deleted: &[Oid],
+    ) -> Result<Option<DeltaRun<Pair<V>>>, BpmError> {
+        let no_entries = d.is_none_or(|d| d.insert_heads.is_empty() && d.update_heads.is_empty());
+        if no_entries && deleted.is_empty() {
+            return Ok(None);
+        }
+        // Current value per oid: the base pieces, then pending ops replayed
+        // in recorded order, so each op sees the value it overwrites.
+        let mut current: std::collections::BTreeMap<Oid, V> = self
+            .strategy
+            .peek_collect(&self.value_domain.paired())
+            .into_iter()
+            .map(|p| (p.oid, p.value))
+            .collect();
+        let mut batch = DeltaBatch::new();
+        if let Some(d) = d {
+            for (row, (oid, a)) in d.insert_heads.iter().zip(&d.insert_vals).enumerate() {
+                let v = V::from_atom(a).ok_or(BpmError::NanTail { row })?;
+                batch.push(DeltaOp::Insert {
+                    oid: *oid,
+                    value: Pair::new(v, *oid),
+                });
+                current.insert(*oid, v);
+            }
+            for (row, (oid, a)) in d.update_heads.iter().zip(&d.update_vals).enumerate() {
+                let new = V::from_atom(a).ok_or(BpmError::NanTail { row })?;
+                // Updates of rows this column never held are inert — the
+                // Figure 1 merge applies updates by matching oid only.
+                if let Some(old) = current.insert(*oid, new) {
+                    batch.push(DeltaOp::Update {
+                        oid: *oid,
+                        old: Pair::new(old, *oid),
+                        new: Pair::new(new, *oid),
+                    });
+                }
+            }
+        }
+        for oid in deleted {
+            // Repeated deletes of one oid collapse: the first removes the
+            // row from `current`, later ones find nothing to tombstone.
+            if let Some(old) = current.remove(oid) {
+                batch.push(DeltaOp::Delete {
+                    oid: *oid,
+                    value: Pair::new(old, *oid),
+                });
+            }
+        }
+        Ok(batch.seal(0, SegIdGen::new().fresh()))
+    }
+
+    /// A delta-visible [`StrategySnapshot`]: the current pieces with the
+    /// pending run carried in the overlay, so reads merge deltas on the
+    /// fly without rebuilding the column.
+    fn delta_snapshot(
+        &self,
+        d: Option<&ColumnDeltas>,
+        deleted: &[Oid],
+    ) -> Result<StrategySnapshot<Pair<V>>, BpmError> {
+        let run = self.pending_run(d, deleted)?;
+        Ok(StrategySnapshot::freeze(
+            self.strategy.as_ref(),
+            self.value_domain.paired(),
+            run.into_iter().collect(),
+        ))
+    }
+
+    fn delta_visible_count(
+        &self,
+        d: Option<&ColumnDeltas>,
+        deleted: &[Oid],
+        lo: f64,
+        hi: f64,
+        tracker: &mut dyn AccessTracker,
+    ) -> Result<u64, BpmError> {
+        let Some(q) = self.query(lo, hi) else {
+            return Ok(0);
+        };
+        Ok(self.delta_snapshot(d, deleted)?.select_count(&q, tracker))
+    }
+
+    fn delta_visible_collect(
+        &self,
+        d: Option<&ColumnDeltas>,
+        deleted: &[Oid],
+        lo: f64,
+        hi: f64,
+        tracker: &mut dyn AccessTracker,
+    ) -> Result<Bat, BpmError> {
+        let Some(q) = self.query(lo, hi) else {
+            return bat_of_pairs(Vec::<Pair<V>>::new());
+        };
+        bat_of_pairs(self.delta_snapshot(d, deleted)?.select_collect(&q, tracker))
     }
 
     /// Structural invariant check (tests): pieces disjoint and ascending,
@@ -539,6 +674,35 @@ impl SegmentedBat {
             return Ok(0);
         };
         Ok(on_seg!(&mut self.inner, s => s.adapt(ql, qh)))
+    }
+
+    /// Counts rows in the closed query `[lo, hi]` **including** the
+    /// column's pending deltas, by merge-on-read against a frozen
+    /// [`StrategySnapshot`] — no decode of the base pieces, no rebuild.
+    /// Bit-identical to counting the Figure 1 merged bat.
+    pub(crate) fn delta_visible_count(
+        &self,
+        d: Option<&ColumnDeltas>,
+        deleted: &[Oid],
+        lo: f64,
+        hi: f64,
+        tracker: &mut dyn AccessTracker,
+    ) -> Result<u64, BpmError> {
+        on_seg!(&self.inner, s => s.delta_visible_count(d, deleted, lo, hi, tracker))
+    }
+
+    /// Materializes the rows in the closed query `[lo, hi]` including
+    /// pending deltas, in value order (oid tiebreak) — the delta-visible
+    /// twin of [`Self::piece_bats`] + Figure 1's merge.
+    pub(crate) fn delta_visible_collect(
+        &self,
+        d: Option<&ColumnDeltas>,
+        deleted: &[Oid],
+        lo: f64,
+        hi: f64,
+        tracker: &mut dyn AccessTracker,
+    ) -> Result<Bat, BpmError> {
+        on_seg!(&self.inner, s => s.delta_visible_collect(d, deleted, lo, hi, tracker))
     }
 
     /// Structural invariant check (tests): pieces disjoint and ascending,

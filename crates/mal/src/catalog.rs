@@ -23,10 +23,20 @@
 //! table's pending inserts/updates/deletes into the base columns through
 //! the same snapshot-rebuild machinery (segmented columns re-organize
 //! under their registered spec with the rewrite charged as
-//! reorganization), and a size threshold triggers the merge automatically
-//! once a table's pending delta rows cross it.
+//! reorganization). Automatic merging is **incremental**: once a table's
+//! pending rows cross the threshold (global default, overridable per
+//! table), each subsequent mutation folds one bounded
+//! [`Catalog::merge_deltas_step`] — oldest rows first — until the backlog
+//! drains below the stop watermark (threshold/4), so no single mutation
+//! pays for a full backlog rebuild.
+//!
+//! Pending deltas are also **readable without merging**:
+//! [`Catalog::snapshot_count`]/[`Catalog::snapshot_collect`] freeze a
+//! [`soc_core::StrategySnapshot`] of the column with its deltas sealed
+//! into a sorted run, and answer by merge-on-read — bit-identical to the
+//! Figure 1 merged bat.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::thread;
 
 use soc_bat::{algebra::Atom, Bat, BatError, Head, Oid, Tail};
@@ -101,6 +111,27 @@ pub(crate) struct ColumnDeltas {
     /// In-place updates of base rows: (oid, new value).
     pub(crate) update_heads: Vec<Oid>,
     pub(crate) update_vals: Vec<Atom>,
+}
+
+impl ColumnDeltas {
+    /// Drops every entry whose row is in `folded` (those rows just merged
+    /// into the base), preserving the recorded order of the remainder.
+    fn retain_rows_outside(&mut self, folded: &BTreeSet<Oid>) {
+        fn retain_pair(heads: &mut Vec<Oid>, vals: &mut Vec<Atom>, folded: &BTreeSet<Oid>) {
+            let mut kept_heads = Vec::with_capacity(heads.len());
+            let mut kept_vals = Vec::with_capacity(vals.len());
+            for (h, v) in heads.drain(..).zip(vals.drain(..)) {
+                if !folded.contains(&h) {
+                    kept_heads.push(h);
+                    kept_vals.push(v);
+                }
+            }
+            *heads = kept_heads;
+            *vals = kept_vals;
+        }
+        retain_pair(&mut self.insert_heads, &mut self.insert_vals, folded);
+        retain_pair(&mut self.update_heads, &mut self.update_vals, folded);
+    }
 }
 
 fn atoms_to_bat(key: &str, heads: &[Oid], vals: &[Atom], like: &Bat) -> Result<Bat, CatalogError> {
@@ -184,6 +215,12 @@ pub struct MergeReport {
 /// large enough that a bulk load does not thrash rebuilds.
 pub const DEFAULT_DELTA_MERGE_THRESHOLD: usize = 4096;
 
+/// Smallest number of rows one automatic compaction step folds. Keeps the
+/// per-step rebuild from degenerating into one-row rewrites under tiny
+/// thresholds (tests, demos) while the default threshold compacts in
+/// `threshold/4` chunks between the watermarks.
+pub const MIN_AUTO_MERGE_STEP: usize = 256;
+
 /// Retry state for a table whose automatic delta merge failed.
 #[derive(Debug, Clone, Copy, Default)]
 struct MergeBackoff {
@@ -223,6 +260,14 @@ pub struct Catalog {
     /// entries on *registered* columns + deleted oids) — what the
     /// auto-merge threshold compares against, kept O(1) per mutation.
     pending_rows: HashMap<String, usize>,
+    /// Per-table threshold overrides (the `ALTER TABLE … SET MERGE
+    /// THRESHOLD` DDL); absent tables use [`Self::delta_merge_threshold`].
+    merge_thresholds: HashMap<String, usize>,
+    /// Tables between the compaction watermarks: pending rows crossed the
+    /// threshold and have not yet drained below threshold/4, so each
+    /// mutation folds one bounded step (hysteresis — mirrors
+    /// `soc_core::CompactionPolicy`).
+    compacting: HashSet<String>,
 }
 
 impl Default for Catalog {
@@ -238,6 +283,8 @@ impl Default for Catalog {
             delta_merge_threshold: DEFAULT_DELTA_MERGE_THRESHOLD,
             auto_merge_backoff: HashMap::new(),
             pending_rows: HashMap::new(),
+            merge_thresholds: HashMap::new(),
+            compacting: HashSet::new(),
         }
     }
 }
@@ -619,13 +666,93 @@ impl Catalog {
             .map_err(|source| CatalogError::MalformedDelta { key, source })
     }
 
+    /// The delta overlay of column `key`: its pending insert/update
+    /// entries plus the table's deleted oids.
+    fn overlay(&self, key: &str) -> (Option<&ColumnDeltas>, &[Oid]) {
+        let d = self.deltas.get(key);
+        let deleted = key
+            .rfind('.')
+            .and_then(|dot| self.deleted.get(&key[..dot]))
+            .map(|v| v.as_slice())
+            .unwrap_or(&[]);
+        (d, deleted)
+    }
+
+    // ---- delta-visible snapshot reads ----------------------------------
+
+    /// Counts the rows of segmented column `key` in the closed query
+    /// `[lo, hi]` **including** its pending deltas, by merge-on-read
+    /// against a frozen [`soc_core::StrategySnapshot`] — no merge, no
+    /// rebuild, and bit-identical to counting the Figure 1 merged bat.
+    /// An in-flight background migration keeps serving from the old
+    /// organization (same rows, same answer).
+    ///
+    /// # Errors
+    /// [`CatalogError::NotSegmented`]/`UnknownColumn` when `key` does not
+    /// name a segmented column; [`CatalogError::Bpm`] when a pending
+    /// `:dbl` delta holds NaN.
+    pub fn snapshot_count(&self, key: &str, lo: f64, hi: f64) -> Result<u64, CatalogError> {
+        let seg = self.require_segmented(key)?;
+        let (d, deleted) = self.overlay(key);
+        let mut tracker = soc_core::NullTracker;
+        Ok(seg.delta_visible_count(d, deleted, lo, hi, &mut tracker)?)
+    }
+
+    /// Materializes the rows of segmented column `key` in the closed
+    /// query `[lo, hi]` including pending deltas, in value order (oid
+    /// tiebreak) — the delta-visible snapshot twin of the Figure 1 merge
+    /// plan. Same errors as [`Self::snapshot_count`].
+    pub fn snapshot_collect(&self, key: &str, lo: f64, hi: f64) -> Result<Bat, CatalogError> {
+        let seg = self.require_segmented(key)?;
+        let (d, deleted) = self.overlay(key);
+        let mut tracker = soc_core::NullTracker;
+        Ok(seg.delta_visible_collect(d, deleted, lo, hi, &mut tracker)?)
+    }
+
+    fn require_segmented(&self, key: &str) -> Result<&SegmentedBat, CatalogError> {
+        self.segmented.get(key).ok_or_else(|| {
+            if self.bats.contains_key(key) {
+                CatalogError::NotSegmented(key.to_owned())
+            } else {
+                CatalogError::UnknownColumn(key.to_owned())
+            }
+        })
+    }
+
     // ---- bulk delta merge ----------------------------------------------
 
-    /// Sets the pending-delta-row count at which a table's deltas merge
-    /// into the base columns automatically (0 disables auto-merging; the
-    /// default is [`DEFAULT_DELTA_MERGE_THRESHOLD`]).
+    /// Sets the pending-delta-row count at which a table's deltas start
+    /// compacting into the base columns automatically (0 disables
+    /// auto-merging; the default is [`DEFAULT_DELTA_MERGE_THRESHOLD`]).
+    /// Tables with a per-table override ([`Self::set_table_merge_threshold`])
+    /// keep it.
     pub fn set_delta_merge_threshold(&mut self, rows: usize) {
         self.delta_merge_threshold = rows;
+    }
+
+    /// Per-table override of the auto-merge threshold — what the
+    /// `ALTER TABLE schema.table SET MERGE THRESHOLD n` DDL executes
+    /// (0 disables auto-merging for this table only).
+    pub fn set_table_merge_threshold(&mut self, schema: &str, table: &str, rows: usize) {
+        self.merge_thresholds
+            .insert(Self::table_key(schema, table), rows);
+    }
+
+    /// The auto-merge threshold in force for `schema.table`: the per-table
+    /// override when one was set, the global default otherwise.
+    pub fn table_merge_threshold(&self, schema: &str, table: &str) -> usize {
+        self.merge_thresholds
+            .get(&Self::table_key(schema, table))
+            .copied()
+            .unwrap_or(self.delta_merge_threshold)
+    }
+
+    /// Pending delta rows against `schema.table` — the SQL-surface name
+    /// for [`Self::pending_delta_rows`] (what `SELECT`s over the table
+    /// still see un-merged, and what the merge threshold compares
+    /// against). O(1).
+    pub fn pending_rows(&self, schema: &str, table: &str) -> usize {
+        self.pending_delta_rows(schema, table)
     }
 
     /// Pending delta rows against `schema.table`: insert and update
@@ -712,6 +839,37 @@ impl Catalog {
     /// fails; [`CatalogError::MalformedDelta`] when a delta cannot be
     /// typed like its base column.
     pub fn merge_deltas(&mut self, schema: &str, table: &str) -> Result<MergeReport, CatalogError> {
+        self.fold_deltas(schema, table, None)
+    }
+
+    /// One **incremental** compaction step: folds the pending deltas of
+    /// at most `max_rows` distinct logical rows — smallest oids first,
+    /// the oldest pending rows — into the base columns, retaining the
+    /// rest for later steps. Per-row delta operations are folded
+    /// all-or-nothing (ops on different rows commute), so any prefix of
+    /// steps leaves the catalog in a state bit-identical to what reads
+    /// already saw through the delta overlay. This is the driver the
+    /// automatic merge runs one bounded step of per mutation; `merge
+    /// everything` is [`Self::merge_deltas`]. Same staging and errors.
+    pub fn merge_deltas_step(
+        &mut self,
+        schema: &str,
+        table: &str,
+        max_rows: usize,
+    ) -> Result<MergeReport, CatalogError> {
+        self.fold_deltas(schema, table, Some(max_rows))
+    }
+
+    /// The shared fold machinery: `limit = None` folds every pending
+    /// delta (bulk merge), `Some(k)` folds the `k` oldest pending rows
+    /// (compaction step). Staged all-or-nothing: every rebuilt column is
+    /// validated before any is installed.
+    fn fold_deltas(
+        &mut self,
+        schema: &str,
+        table: &str,
+        limit: Option<usize>,
+    ) -> Result<MergeReport, CatalogError> {
         let tk = Self::table_key(schema, table);
         let keys = self.table_columns(schema, table);
         // Land in-flight migrations on this table first: the merge below
@@ -719,7 +877,7 @@ impl Catalog {
         for key in &keys {
             self.await_column(key)?;
         }
-        let deleted: BTreeSet<Oid> = self
+        let deleted_all: BTreeSet<Oid> = self
             .deleted
             .get(&tk)
             .map(|v| v.iter().copied().collect())
@@ -728,6 +886,23 @@ impl Catalog {
         if self.pending_delta_rows(schema, table) == 0 {
             return Ok(report);
         }
+        // The fold set: which logical rows this pass folds (`None` = all).
+        let fold: Option<BTreeSet<Oid>> = limit.map(|max| {
+            let mut oids: BTreeSet<Oid> = BTreeSet::new();
+            for key in &keys {
+                if let Some(d) = self.deltas.get(key) {
+                    oids.extend(d.insert_heads.iter().copied());
+                    oids.extend(d.update_heads.iter().copied());
+                }
+            }
+            oids.extend(deleted_all.iter().copied());
+            oids.into_iter().take(max).collect()
+        });
+        if fold.as_ref().is_some_and(|f| f.is_empty()) {
+            return Ok(report);
+        }
+        let folds = |oid: &Oid| fold.as_ref().is_none_or(|f| f.contains(oid));
+        let deleted: BTreeSet<Oid> = deleted_all.iter().copied().filter(folds).collect();
 
         enum Staged {
             Plain(Bat),
@@ -735,6 +910,15 @@ impl Catalog {
         }
         let mut staged: Vec<(String, Staged)> = Vec::with_capacity(keys.len());
         for key in &keys {
+            // A partial fold leaves columns it does not touch alone — no
+            // entries of theirs in the fold set and no row deletions means
+            // no content change, so no rewrite to charge.
+            let has_entries = self.deltas.get(key).is_some_and(|d| {
+                d.insert_heads.iter().any(folds) || d.update_heads.iter().any(folds)
+            });
+            if fold.is_some() && !has_entries && deleted.is_empty() {
+                continue;
+            }
             // The merged logical rows, keyed (and thus ordered) by oid.
             let mut rows: BTreeMap<Oid, Atom> = BTreeMap::new();
             let (like, seg_rebuild) = if let Some(seg) = self.segmented.get(key) {
@@ -754,11 +938,17 @@ impl Catalog {
             }
             if let Some(d) = self.deltas.get(key) {
                 for (oid, v) in d.insert_heads.iter().zip(&d.insert_vals) {
+                    if !folds(oid) {
+                        continue;
+                    }
                     rows.insert(*oid, v.clone());
                     report.inserted += 1;
                 }
                 // Recorded order: a later update of the same row wins.
                 for (oid, v) in d.update_heads.iter().zip(&d.update_vals) {
+                    if !folds(oid) {
+                        continue;
+                    }
                     if let Some(slot) = rows.get_mut(oid) {
                         *slot = v.clone();
                         report.updated += 1;
@@ -788,7 +978,8 @@ impl Catalog {
             }
         }
 
-        // Commit: every column rebuilt successfully — install and clear.
+        // Commit: every column rebuilt successfully — install and clear
+        // (or, for a partial fold, retain the unfolded remainder).
         for (key, s) in staged {
             match s {
                 Staged::Plain(bat) => {
@@ -799,43 +990,124 @@ impl Catalog {
                 }
             }
         }
-        for key in &keys {
-            self.deltas.remove(key);
+        match &fold {
+            None => {
+                for key in &keys {
+                    self.deltas.remove(key);
+                }
+                self.deleted.remove(&tk);
+                // All counted (registered-column) deltas were folded;
+                // deltas against never-registered column names are inert
+                // and uncounted, so the table's pending total is zero by
+                // construction.
+                self.pending_rows.remove(&tk);
+            }
+            Some(f) => {
+                for key in &keys {
+                    if let Some(d) = self.deltas.get_mut(key) {
+                        d.retain_rows_outside(f);
+                        if d.insert_heads.is_empty() && d.update_heads.is_empty() {
+                            self.deltas.remove(key);
+                        }
+                    }
+                }
+                if let Some(v) = self.deleted.get_mut(&tk) {
+                    v.retain(|o| !f.contains(o));
+                    if v.is_empty() {
+                        self.deleted.remove(&tk);
+                    }
+                }
+                self.recompute_pending();
+            }
         }
-        self.deleted.remove(&tk);
         self.auto_merge_backoff.remove(&tk);
-        // All counted (registered-column) deltas were folded; deltas
-        // against never-registered column names are inert and uncounted,
-        // so the table's pending total is zero by construction.
-        self.pending_rows.remove(&tk);
         Ok(report)
     }
 
-    /// Auto-merge hook run after every delta mutation: merges once the
-    /// table's pending rows reach the threshold. A failed attempt (e.g.
-    /// an out-of-domain insert) enters exponential backoff — the next
-    /// `2^failures` mutations (capped at 64) only decrement a cooldown,
-    /// keeping mutation O(1) — and is then retried, so pending deltas
-    /// are never silently dropped; success (auto or explicit) clears the
-    /// backoff.
+    /// Auto-merge hook run after every delta mutation, now an
+    /// **incremental compactor with hysteresis** (mirroring
+    /// `soc_core::CompactionPolicy`): once the table's pending rows reach
+    /// the threshold in force, each mutation folds one bounded
+    /// [`Self::merge_deltas_step`] — at most `max(threshold/4,`
+    /// [`MIN_AUTO_MERGE_STEP`]`)` rows, oldest first — until the backlog
+    /// drains to the stop watermark (`threshold/4`). No single mutation
+    /// pays for the whole backlog. A failed step (e.g. an out-of-domain
+    /// insert among the oldest rows) leaves compaction and enters
+    /// exponential backoff — the next `2^failures` mutations (capped at
+    /// 64) only decrement a cooldown, keeping mutation O(1) — and is then
+    /// retried, so pending deltas are never silently dropped; success
+    /// (auto or explicit) clears the backoff.
     fn maybe_auto_merge(&mut self, schema: &str, table: &str) {
-        if self.delta_merge_threshold == 0 {
+        let tk = Self::table_key(schema, table);
+        let threshold = self.table_merge_threshold(schema, table);
+        if threshold == 0 {
+            self.compacting.remove(&tk);
             return;
         }
-        let tk = Self::table_key(schema, table);
         if let Some(b) = self.auto_merge_backoff.get_mut(&tk) {
             if b.cooldown > 0 {
                 b.cooldown -= 1;
                 return;
             }
         }
-        if self.pending_delta_rows(schema, table) >= self.delta_merge_threshold
-            && self.merge_deltas(schema, table).is_err()
-        {
-            let b = self.auto_merge_backoff.entry(tk).or_default();
-            b.failures += 1;
-            b.cooldown = 1u32 << b.failures.min(6);
+        let stop = threshold / 4;
+        if self.pending_delta_rows(schema, table) >= threshold {
+            self.compacting.insert(tk.clone());
         }
+        if !self.compacting.contains(&tk) {
+            return;
+        }
+        let step = (threshold / 4).max(MIN_AUTO_MERGE_STEP);
+        match self.merge_deltas_step(schema, table, step) {
+            Ok(_) => {
+                if self.pending_delta_rows(schema, table) <= stop {
+                    self.compacting.remove(&tk);
+                }
+            }
+            Err(_) => {
+                self.compacting.remove(&tk);
+                let b = self.auto_merge_backoff.entry(tk).or_default();
+                b.failures += 1;
+                b.cooldown = 1u32 << b.failures.min(6);
+            }
+        }
+    }
+
+    /// Drops a registered column (plain or segmented): its base storage,
+    /// strategy metadata, pending deltas and any in-flight migration are
+    /// discarded, and the table's failed-merge backoff is released — a
+    /// poisoned column (say, an out-of-domain insert that latched the
+    /// auto-merge into backoff) stops blocking the table the moment it is
+    /// gone, instead of the backoff surviving until an unrelated success.
+    /// Returns whether the column existed. The table's deleted-oid list
+    /// is untouched (deletions are rows, not cells).
+    pub fn drop_column(&mut self, schema: &str, table: &str, column: &str) -> bool {
+        let key = Self::key(schema, table, column);
+        let tk = Self::table_key(schema, table);
+        if let Some(m) = self.migrations.remove(&key) {
+            // The builder's output has no home any more; reap the thread.
+            let _ = m.handle.join();
+        }
+        let had_plain = self.bats.remove(&key).is_some();
+        let had_seg = self.segmented.remove(&key).is_some();
+        if !(had_plain || had_seg) {
+            return false;
+        }
+        self.seg_meta.remove(&key);
+        if let Some(d) = self.deltas.remove(&key) {
+            let n = d.insert_heads.len() + d.update_heads.len();
+            if n > 0 {
+                if let Some(p) = self.pending_rows.get_mut(&tk) {
+                    *p = p.saturating_sub(n);
+                    if *p == 0 {
+                        self.pending_rows.remove(&tk);
+                    }
+                }
+            }
+        }
+        self.auto_merge_backoff.remove(&tk);
+        self.compacting.remove(&tk);
+        true
     }
 }
 
@@ -1211,6 +1483,267 @@ mod tests {
             3,
             "ladder restarted at cooldown 2 after the earlier success"
         );
+    }
+
+    #[test]
+    fn snapshot_reads_see_pending_deltas_without_merging() {
+        let mut c = Catalog::new();
+        let base: Vec<i64> = (0..100).map(|i| (i * 7) % 50).collect();
+        c.register_segmented(
+            "sys",
+            "T",
+            "v",
+            Bat::dense_int(base.clone()),
+            0.0,
+            50.0,
+            StrategySpec::new(StrategyKind::ApmSegm).with_apm_bounds(64, 256),
+        )
+        .unwrap();
+        let b = c.insert_row("sys", "T", &[("v", Atom::Int(22))]);
+        c.update_value("sys", "T", "v", 0, Atom::Int(33));
+        c.update_value("sys", "T", "v", 0, Atom::Int(44)); // later update wins
+        c.update_value("sys", "T", "v", b, Atom::Int(23)); // update of an insert
+        c.delete_row("sys", "T", 1);
+        assert!(c.pending_delta_rows("sys", "T") > 0, "nothing merged yet");
+
+        // Expected logical rows after the (not yet run) merge.
+        let mut expect: BTreeMap<Oid, i64> = base
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (i as Oid, *v))
+            .collect();
+        expect.insert(0, 44);
+        expect.insert(b, 23);
+        expect.remove(&1);
+
+        let snap = c.snapshot_collect("sys.T.v", 0.0, 49.0).unwrap();
+        let got: BTreeMap<Oid, i64> = match snap.tail() {
+            Tail::Int(vals) => snap
+                .head_oids()
+                .into_iter()
+                .zip(vals.iter().copied())
+                .collect(),
+            other => panic!("unexpected tail {other:?}"),
+        };
+        assert_eq!(got, expect, "snapshot read ≡ merged read, before merging");
+        assert_eq!(
+            c.snapshot_count("sys.T.v", 0.0, 49.0).unwrap(),
+            expect.len() as u64
+        );
+        // Sub-range probes agree with the expected multiset too.
+        for (lo, hi) in [(0.0, 10.0), (20.0, 25.0), (44.0, 44.0), (45.0, 49.0)] {
+            let want = expect
+                .values()
+                .filter(|v| lo <= **v as f64 && **v as f64 <= hi)
+                .count() as u64;
+            assert_eq!(c.snapshot_count("sys.T.v", lo, hi).unwrap(), want);
+        }
+        // The base column is untouched: pending rows still pending, and
+        // after the real merge the answers do not move.
+        assert!(c.pending_delta_rows("sys", "T") > 0);
+        c.merge_deltas("sys", "T").unwrap();
+        assert_eq!(
+            c.snapshot_count("sys.T.v", 0.0, 49.0).unwrap(),
+            expect.len() as u64
+        );
+        // Errors are typed.
+        c.register_bat("sys", "T", "plain", Bat::dense_int(vec![1]));
+        assert!(matches!(
+            c.snapshot_count("sys.T.plain", 0.0, 1.0),
+            Err(CatalogError::NotSegmented(_))
+        ));
+        assert!(matches!(
+            c.snapshot_count("sys.T.nope", 0.0, 1.0),
+            Err(CatalogError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn merge_deltas_step_folds_oldest_rows_first() {
+        let mut c = Catalog::new();
+        c.set_delta_merge_threshold(0); // drive the steps by hand
+        c.register_segmented(
+            "sys",
+            "T",
+            "v",
+            Bat::dense_int((0..50).collect()),
+            0.0,
+            200.0,
+            StrategySpec::new(StrategyKind::Cracking),
+        )
+        .unwrap();
+        let mut oids = Vec::new();
+        for i in 0..10 {
+            oids.push(c.insert_row("sys", "T", &[("v", Atom::Int(100 + i))]));
+        }
+        c.delete_row("sys", "T", 3);
+        assert_eq!(c.pending_delta_rows("sys", "T"), 11);
+
+        // Step 1: the four oldest pending rows are oid 3 (the deletion)
+        // and the first three inserts.
+        let r = c.merge_deltas_step("sys", "T", 4).unwrap();
+        assert_eq!((r.inserted, r.deleted), (3, 1));
+        assert_eq!(c.pending_delta_rows("sys", "T"), 7);
+        assert_eq!(c.segmented("sys.T.v").unwrap().rows(), 52);
+        // The overlay still answers for the retained rows.
+        assert_eq!(c.snapshot_count("sys.T.v", 100.0, 200.0).unwrap(), 10);
+
+        // Remaining steps drain the rest; a step past the backlog is a
+        // clean no-op.
+        while c.pending_delta_rows("sys", "T") > 0 {
+            c.merge_deltas_step("sys", "T", 4).unwrap();
+        }
+        assert_eq!(c.segmented("sys.T.v").unwrap().rows(), 59);
+        assert_eq!(
+            c.merge_deltas_step("sys", "T", 4).unwrap(),
+            MergeReport::default()
+        );
+        assert_eq!(c.snapshot_count("sys.T.v", 100.0, 200.0).unwrap(), 10);
+    }
+
+    #[test]
+    fn auto_merge_compacts_incrementally_with_hysteresis() {
+        let mut c = Catalog::new();
+        // threshold 1024 → stop watermark 256, step 256.
+        c.register_segmented(
+            "sys",
+            "T",
+            "v",
+            Bat::dense_int((0..100).collect()),
+            0.0,
+            100_000.0,
+            StrategySpec::new(StrategyKind::Cracking),
+        )
+        .unwrap();
+        c.set_table_merge_threshold("sys", "T", 1024);
+        assert_eq!(c.table_merge_threshold("sys", "T"), 1024);
+        for i in 0..1023 {
+            c.insert_row("sys", "T", &[("v", Atom::Int(1000 + i))]);
+        }
+        assert_eq!(c.pending_rows("sys", "T"), 1023, "below the threshold");
+        // Crossing the threshold folds one bounded step, not the backlog.
+        c.insert_row("sys", "T", &[("v", Atom::Int(5000))]);
+        let after_first = c.pending_rows("sys", "T");
+        assert_eq!(after_first, 1024 - 256, "one 256-row step folded");
+        // Hysteresis: still above the stop watermark, so mutations below
+        // the threshold keep folding until the backlog drains to ≤ 256.
+        let mut steps = 0;
+        while c.pending_rows("sys", "T") > 256 {
+            c.insert_row("sys", "T", &[("v", Atom::Int(6000 + steps))]);
+            steps += 1;
+            assert!(steps < 100, "compaction must converge");
+        }
+        assert!(c.pending_rows("sys", "T") <= 256);
+        // Once drained below the watermark, mutations stop folding.
+        let resting = c.pending_rows("sys", "T");
+        c.insert_row("sys", "T", &[("v", Atom::Int(9000))]);
+        assert_eq!(c.pending_rows("sys", "T"), resting + 1, "compactor idle");
+        // Nothing was lost across the incremental folds.
+        let total = c.segmented("sys.T.v").unwrap().rows() as usize + c.pending_rows("sys", "T");
+        assert_eq!(total, 100 + 1024 + steps as usize + 1);
+    }
+
+    #[test]
+    fn dropping_the_poisoned_column_releases_the_merge_backoff() {
+        let mut c = Catalog::new();
+        c.register_segmented(
+            "sys",
+            "T",
+            "v",
+            Bat::dense_int((0..50).collect()),
+            0.0,
+            100.0,
+            StrategySpec::new(StrategyKind::ApmSegm),
+        )
+        .unwrap();
+        c.set_delta_merge_threshold(1);
+        // Poison the column: every merge attempt fails, the backoff
+        // ladder climbs.
+        c.insert_row("sys", "T", &[("v", Atom::Int(500))]);
+        c.insert_row("sys", "T", &[("v", Atom::Int(10))]); // cooldown tick
+        c.insert_row("sys", "T", &[("v", Atom::Int(11))]); // cooldown tick
+        c.insert_row("sys", "T", &[("v", Atom::Int(12))]); // retry: fails again
+        assert_eq!(c.pending_delta_rows("sys", "T"), 4);
+        assert!(
+            c.auto_merge_backoff.contains_key("sys.T"),
+            "backoff latched"
+        );
+
+        // The fix under test: dropping the poisoned column releases the
+        // table's backoff (before, only a successful merge reset it).
+        assert!(c.drop_column("sys", "T", "v"));
+        assert!(!c.auto_merge_backoff.contains_key("sys.T"), "drop resets");
+        assert_eq!(c.pending_delta_rows("sys", "T"), 0, "its deltas are gone");
+        assert!(!c.drop_column("sys", "T", "v"), "already dropped");
+
+        // Re-register clean: the very next mutation merges immediately
+        // instead of sitting out the surviving cooldown.
+        c.register_segmented(
+            "sys",
+            "T",
+            "v",
+            Bat::dense_int((0..50).collect()),
+            0.0,
+            100.0,
+            StrategySpec::new(StrategyKind::ApmSegm),
+        )
+        .unwrap();
+        c.insert_row("sys", "T", &[("v", Atom::Int(13))]);
+        assert_eq!(c.pending_delta_rows("sys", "T"), 0, "merged, no cooldown");
+        assert_eq!(c.segmented("sys.T.v").unwrap().rows(), 51);
+
+        // Re-registering over a poisoned column (without a drop) also
+        // releases the backoff — the regression twin of the drop path.
+        c.insert_row("sys", "T", &[("v", Atom::Int(600))]); // poison again
+        assert!(c.auto_merge_backoff.contains_key("sys.T"));
+        c.register_segmented(
+            "sys",
+            "T",
+            "v",
+            Bat::dense_int((0..51).collect()),
+            0.0,
+            1000.0,
+            StrategySpec::new(StrategyKind::ApmSegm),
+        )
+        .unwrap();
+        assert!(
+            !c.auto_merge_backoff.contains_key("sys.T"),
+            "re-register resets"
+        );
+    }
+
+    #[test]
+    fn per_table_threshold_overrides_the_global_default() {
+        let mut c = Catalog::new();
+        for t in ["A", "B"] {
+            c.register_segmented(
+                "sys",
+                t,
+                "v",
+                Bat::dense_int((0..10).collect()),
+                0.0,
+                1000.0,
+                StrategySpec::new(StrategyKind::Cracking),
+            )
+            .unwrap();
+        }
+        c.set_delta_merge_threshold(100);
+        c.set_table_merge_threshold("sys", "A", 2);
+        // Table A merges at its own threshold…
+        c.insert_row("sys", "A", &[("v", Atom::Int(11))]);
+        c.insert_row("sys", "A", &[("v", Atom::Int(12))]);
+        assert_eq!(c.pending_rows("sys", "A"), 0);
+        assert_eq!(c.segmented("sys.A.v").unwrap().rows(), 12);
+        // …while table B sits on the global one.
+        c.insert_row("sys", "B", &[("v", Atom::Int(11))]);
+        c.insert_row("sys", "B", &[("v", Atom::Int(12))]);
+        assert_eq!(c.pending_rows("sys", "B"), 2);
+        // A per-table 0 disables auto-merging for that table alone.
+        c.set_table_merge_threshold("sys", "A", 0);
+        for i in 0..300 {
+            c.insert_row("sys", "A", &[("v", Atom::Int(i))]);
+        }
+        assert_eq!(c.pending_rows("sys", "A"), 300);
     }
 
     #[test]

@@ -330,6 +330,26 @@ impl<'a> Interp<'a> {
                 let table = self.str_atom(i, 1)?;
                 Ok(MalValue::Bat(self.catalog.dbat(&schema, &table)?))
             }
+            ("sql", "setMergeThreshold") => {
+                // The `ALTER TABLE … SET MERGE THRESHOLD n` DDL: per-table
+                // override of the auto-compaction threshold (0 disables).
+                self.need_args(i, 3)?;
+                let schema = self.str_atom(i, 0)?;
+                let table = self.str_atom(i, 1)?;
+                let rows = self.int_atom(i, 2)?.max(0) as usize;
+                self.catalog
+                    .set_table_merge_threshold(&schema, &table, rows);
+                Ok(MalValue::Atom(Atom::Int(rows as i64)))
+            }
+            ("sql", "pendingRows") => {
+                // Pending (un-merged) delta rows of a table — the overlay
+                // size readers currently merge on the fly.
+                self.need_args(i, 2)?;
+                let schema = self.str_atom(i, 0)?;
+                let table = self.str_atom(i, 1)?;
+                let n = self.catalog.pending_rows(&schema, &table);
+                Ok(MalValue::Atom(Atom::Int(n as i64)))
+            }
             ("sql", "resultSet") => {
                 self.need_args(i, 3)?;
                 let b = self.bat(i, 2)?;

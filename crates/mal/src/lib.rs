@@ -40,6 +40,7 @@ pub use interp::{ExecError, Interp, MalValue};
 pub use optimizer::{OptimizerReport, RewriteStrategy, SegmentOptimizer};
 pub use parser::{parse, ParseError};
 pub use sql::{
-    compile_alter, compile_select, compile_stmt, parse_alter, parse_select, parse_stmt,
-    AlterStrategy, SelectBetween, SqlError, SqlStmt,
+    compile_alter, compile_alter_table, compile_select, compile_stmt, parse_alter,
+    parse_alter_table, parse_select, parse_stmt, AlterMergeThreshold, AlterStrategy, SelectBetween,
+    SqlError, SqlStmt,
 };

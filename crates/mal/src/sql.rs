@@ -63,6 +63,19 @@ pub struct AlterStrategy {
     pub kind: StrategyKind,
 }
 
+/// A parsed `ALTER TABLE … SET MERGE THRESHOLD` hint: sets the pending
+/// delta-row count at which the table starts compacting its deltas into
+/// the base columns (0 disables auto-merging for the table).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlterMergeThreshold {
+    /// Schema (defaults to `sys`).
+    pub schema: String,
+    /// Table name.
+    pub table: String,
+    /// Pending rows at which compaction starts.
+    pub rows: usize,
+}
+
 /// Any statement the SQL front-end accepts.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SqlStmt {
@@ -70,6 +83,8 @@ pub enum SqlStmt {
     Select(SelectBetween),
     /// The physical-design DDL hint.
     AlterStrategy(AlterStrategy),
+    /// The delta-compaction DDL hint.
+    AlterMergeThreshold(AlterMergeThreshold),
 }
 
 /// SQL parse failure.
@@ -226,14 +241,82 @@ pub fn compile_alter(a: &AlterStrategy) -> Program {
     }
 }
 
-/// Parses any accepted statement: a range selection or the strategy DDL.
+/// Parses `ALTER TABLE [<schema>.]<table> SET MERGE THRESHOLD <n>`.
+pub fn parse_alter_table(sql: &str) -> Result<AlterMergeThreshold, SqlError> {
+    let toks = tokenize(sql)?;
+    let kw = |i: usize, want: &str| -> bool {
+        matches!(&toks.get(i), Some(Tok::Word(w)) if w.eq_ignore_ascii_case(want))
+    };
+    let word = |i: usize, what: &str| -> Result<String, SqlError> {
+        match toks.get(i) {
+            Some(Tok::Word(w)) => Ok(w.clone()),
+            other => Err(err(format!("expected {what}, got {other:?}"))),
+        }
+    };
+    if !(kw(0, "alter") && kw(1, "table")) {
+        return Err(err("expected ALTER TABLE"));
+    }
+    let mut i = 2;
+    let first = word(i, "table reference")?;
+    i += 1;
+    let (schema, table) = if toks.get(i) == Some(&Tok::Dot) {
+        i += 1;
+        let t = word(i, "table name after schema")?;
+        i += 1;
+        (first, t)
+    } else {
+        ("sys".to_owned(), first)
+    };
+    if !(kw(i, "set") && kw(i + 1, "merge") && kw(i + 2, "threshold")) {
+        return Err(err("expected SET MERGE THRESHOLD"));
+    }
+    i += 3;
+    let rows = match toks.get(i) {
+        Some(Tok::Num(v, false)) if *v >= 0.0 => *v as usize,
+        other => return Err(err(format!("expected a row count, got {other:?}"))),
+    };
+    i += 1;
+    if i != toks.len() {
+        return Err(err("trailing tokens after the threshold"));
+    }
+    Ok(AlterMergeThreshold {
+        schema,
+        table,
+        rows,
+    })
+}
+
+/// Compiles the compaction DDL into its one-instruction MAL plan.
+pub fn compile_alter_table(a: &AlterMergeThreshold) -> Program {
+    Program {
+        stmts: vec![Stmt::Assign(Instruction::new(
+            Some("X1"),
+            "sql",
+            "setMergeThreshold",
+            vec![
+                Arg::Const(Atom::Str(a.schema.clone())),
+                Arg::Const(Atom::Str(a.table.clone())),
+                Arg::Const(Atom::Int(a.rows as i64)),
+            ],
+        ))],
+    }
+}
+
+/// Parses any accepted statement: a range selection or one of the DDL
+/// hints (`ALTER COLUMN … SET STRATEGY`, `ALTER TABLE … SET MERGE
+/// THRESHOLD`).
 pub fn parse_stmt(sql: &str) -> Result<SqlStmt, SqlError> {
-    let trimmed = sql.trim_start();
-    if trimmed
-        .get(..5)
-        .is_some_and(|w| w.eq_ignore_ascii_case("alter"))
-    {
-        Ok(SqlStmt::AlterStrategy(parse_alter(sql)?))
+    let mut words = sql.split_whitespace();
+    let first = words.next().unwrap_or("");
+    if first.eq_ignore_ascii_case("alter") {
+        if words
+            .next()
+            .is_some_and(|w| w.eq_ignore_ascii_case("table"))
+        {
+            Ok(SqlStmt::AlterMergeThreshold(parse_alter_table(sql)?))
+        } else {
+            Ok(SqlStmt::AlterStrategy(parse_alter(sql)?))
+        }
     } else {
         Ok(SqlStmt::Select(parse_select(sql)?))
     }
@@ -244,6 +327,7 @@ pub fn compile_stmt(stmt: &SqlStmt) -> Program {
     match stmt {
         SqlStmt::Select(q) => compile(q),
         SqlStmt::AlterStrategy(a) => compile_alter(a),
+        SqlStmt::AlterMergeThreshold(a) => compile_alter_table(a),
     }
 }
 
@@ -657,6 +741,63 @@ mod tests {
             .unwrap();
         // ra = i * 0.72 in [90, 180] -> i in [125, 250].
         assert_eq!(result.len(), 126);
+    }
+
+    #[test]
+    fn alter_merge_threshold_parses_compiles_and_executes() {
+        let a = parse_alter_table("ALTER TABLE sys.P SET MERGE THRESHOLD 128").unwrap();
+        assert_eq!(
+            a,
+            AlterMergeThreshold {
+                schema: "sys".to_owned(),
+                table: "P".to_owned(),
+                rows: 128,
+            }
+        );
+        // Unqualified tables default to sys; parse_stmt dispatches on the
+        // second keyword.
+        assert!(matches!(
+            parse_stmt("alter table P set merge threshold 0"),
+            Ok(SqlStmt::AlterMergeThreshold(AlterMergeThreshold {
+                rows: 0,
+                ..
+            }))
+        ));
+        let plan = compile_alter_table(&a);
+        assert!(plan.render().contains("sql.setMergeThreshold"));
+        for bad in [
+            "ALTER TABLE SET MERGE THRESHOLD 1",
+            "ALTER TABLE P SET MERGE THRESHOLD",
+            "ALTER TABLE P SET MERGE THRESHOLD 1.5",
+            "ALTER TABLE P SET MERGE THRESHOLD 1 extra",
+            "ALTER TABLE P SET STRATEGY cracking",
+        ] {
+            assert!(parse_alter_table(bad).is_err(), "{bad:?} should fail");
+        }
+
+        // End to end: the DDL changes the threshold the auto-compactor
+        // consults, per table.
+        let mut c = Catalog::new();
+        c.register_segmented(
+            "sys",
+            "P",
+            "ra",
+            Bat::dense_dbl((0..50).map(f64::from).collect()),
+            0.0,
+            1000.0,
+            soc_core::StrategySpec::new(soc_core::StrategyKind::Cracking),
+        )
+        .unwrap();
+        let ddl = parse_stmt("ALTER TABLE sys.P SET MERGE THRESHOLD 3").unwrap();
+        Interp::new(&mut c)
+            .run(&compile_stmt(&ddl), &[])
+            .expect("DDL executes");
+        assert_eq!(c.table_merge_threshold("sys", "P"), 3);
+        for i in 0..3 {
+            c.insert_row("sys", "P", &[("ra", Atom::Dbl(100.0 + f64::from(i)))]);
+        }
+        assert_eq!(c.pending_rows("sys", "P"), 0, "merged at the DDL's pace");
+        assert_eq!(c.segmented("sys.P.ra").unwrap().rows(), 53);
     }
 
     #[test]
